@@ -1,0 +1,83 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p bhut-bench --bin tables -- [--artifact table1,figure9,...]
+//!     [--scale 0.02] [--full] [--out results/]
+//! ```
+//!
+//! With no `--artifact`, every table, figure and analysis runs in paper
+//! order. `--scale` shrinks the large instances (default 0.02 ≈ tens of
+//! thousands of particles, minutes of wall-clock); `--full` runs the paper's
+//! exact particle counts. Output goes to stdout and, with `--out`, to one
+//! text file per artifact (plus `figure8.csv`).
+
+use bhut_bench::tables::{run_artifact, ARTIFACTS};
+use std::fs;
+use std::path::PathBuf;
+
+struct Args {
+    artifacts: Vec<String>,
+    scale: f64,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut artifacts = Vec::new();
+    let mut scale = 0.02;
+    let mut out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--artifact" | "--table" | "--figure" | "--analysis" => {
+                let v = it.next().expect("missing value");
+                for a in v.split(',') {
+                    // allow bare numbers after --table / --figure
+                    let name = match (arg.as_str(), a.parse::<u32>()) {
+                        ("--table", Ok(n)) => format!("table{n}"),
+                        ("--figure", Ok(n)) => format!("figure{n}"),
+                        _ => a.to_string(),
+                    };
+                    artifacts.push(name);
+                }
+            }
+            "--scale" => scale = it.next().expect("missing value").parse().expect("bad scale"),
+            "--full" => scale = 1.0,
+            "--out" => out = Some(PathBuf::from(it.next().expect("missing value"))),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: tables [--artifact names] [--table N] [--figure N] \
+                     [--scale F | --full] [--out DIR]\nartifacts: {ARTIFACTS:?}"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts = ARTIFACTS.iter().map(|s| s.to_string()).collect();
+    }
+    Args { artifacts, scale, out }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(dir) = &args.out {
+        fs::create_dir_all(dir).expect("create output dir");
+    }
+    println!(
+        "# Barnes-Hut parallel formulations - experiment regeneration (scale = {})\n",
+        args.scale
+    );
+    for name in &args.artifacts {
+        let start = std::time::Instant::now();
+        let (text, csv) = run_artifact(name, args.scale);
+        println!("{text}");
+        println!("[{name} regenerated in {:.1}s wall-clock]\n", start.elapsed().as_secs_f64());
+        if let Some(dir) = &args.out {
+            fs::write(dir.join(format!("{name}.txt")), &text).expect("write artifact");
+            if let Some(csv) = csv {
+                fs::write(dir.join(format!("{name}.csv")), csv).expect("write csv");
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment: title, column header, and rows of cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (paper values, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for i in 0..cols {
+                let _ = write!(s, " {:<w$} |", cells[i], w = widths[i]);
+            }
+            let _ = writeln!(out, "{s}");
+        };
+        line(&mut out, &self.header);
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<w$}|", "", w = w + 2);
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "> {n}");
+        }
+        out
+    }
+}
+
+/// Format seconds with 3 significant decimals.
+pub fn secs(t: f64) -> String {
+    format!("{t:.3}")
+}
+
+/// Format a ratio/efficiency with 2 decimals.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+/// Format a percentage with enough precision for small errors.
+pub fn pct(r: f64) -> String {
+    let v = r * 100.0;
+    if v >= 0.1 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| long-name | 22    |"));
+        assert!(s.contains("> a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(ratio(0.876), "0.88");
+        assert_eq!(pct(0.0462), "4.62");
+        assert_eq!(pct(0.000042), "0.0042");
+    }
+}

@@ -1,0 +1,282 @@
+//! Processor-assignment strategies and per-iteration rebalancing.
+//!
+//! * [`spsa_assignment`] — §3.3.1: cluster `(i, j)` goes to processor
+//!   `(gray(i, d/2), gray(j, d/2))` on a `d`-cube; with `r > p` the indices
+//!   wrap (modular assignment), scattering adjacent dense clusters over
+//!   distinct processors.
+//! * [`spda_initial`] / [`spda_rebalance`] — §3.3.2: clusters ordered along
+//!   the Morton (or, for the ablation, Hilbert) curve, carved into `p`
+//!   contiguous runs of ≈`W/p` measured load.
+//! * DPDA's rebalancing lives in [`crate::partition::Partition::costzones`];
+//!   this module adds the cost accounting shared by all schemes
+//!   ([`movement_cost`]).
+
+use crate::domain::ClusterGrid;
+use bhut_machine::{CostModel, Topology};
+use bhut_morton::subdomain_to_processor_2d;
+
+/// Which parallel formulation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Static partitioning, static (gray-code modular) assignment.
+    Spsa,
+    /// Static partitioning, dynamic Morton-ordered assignment.
+    Spda,
+    /// Dynamic partitioning (costzones), dynamic assignment.
+    Dpda,
+}
+
+impl Scheme {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Spsa => "SPSA",
+            Scheme::Spda => "SPDA",
+            Scheme::Dpda => "DPDA",
+        }
+    }
+}
+
+/// Space-filling curve used to order clusters in SPDA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Curve {
+    Morton,
+    Hilbert,
+}
+
+/// SPSA: gray-code modular mapping of the `c×c` grid onto `p = 2^d`
+/// processors.
+///
+/// # Panics
+/// If `p` is not a power of two.
+pub fn spsa_assignment(grid: &ClusterGrid, p: usize) -> Vec<usize> {
+    assert!(p.is_power_of_two(), "SPSA requires a hypercube (power-of-two p)");
+    let d = p.trailing_zeros();
+    (0..grid.r() as u32)
+        .map(|cl| {
+            let (i, j) = grid.coords(cl);
+            subdomain_to_processor_2d(i as u64, j as u64, d) as usize
+        })
+        .collect()
+}
+
+/// SPDA initial assignment (no loads known yet): equal-length contiguous
+/// runs of the curve order.
+pub fn spda_initial(grid: &ClusterGrid, p: usize, curve: Curve) -> Vec<usize> {
+    let order = curve_order(grid, curve);
+    let r = order.len();
+    let mut owners = vec![0usize; r];
+    for (pos, &cl) in order.iter().enumerate() {
+        owners[cl as usize] = (pos * p / r).min(p - 1);
+    }
+    owners
+}
+
+/// SPDA rebalance: given per-cluster loads measured in the previous
+/// iteration, carve the curve order into `p` contiguous runs of ≈`W/p` load
+/// each (§3.3.2: processors import/export clusters at the ends of their
+/// runs until loads match the global average).
+pub fn spda_rebalance(grid: &ClusterGrid, loads: &[f64], p: usize, curve: Curve) -> Vec<usize> {
+    assert_eq!(loads.len(), grid.r());
+    let order = curve_order(grid, curve);
+    let total: f64 = loads.iter().sum();
+    let per = (total / p as f64).max(f64::MIN_POSITIVE);
+    let mut owners = vec![0usize; loads.len()];
+    let mut acc = 0.0;
+    let mut q = 0usize;
+    for &cl in &order {
+        // Close the current run when the boundary falls nearer to `acc`
+        // than to `acc + load` (round-to-nearest, avoiding the systematic
+        // overshoot of a pure greedy rule).
+        let l = loads[cl as usize];
+        let boundary = per * (q + 1) as f64;
+        if q + 1 < p && acc + 0.5 * l >= boundary {
+            q += 1;
+        }
+        owners[cl as usize] = q;
+        acc += l;
+    }
+    owners
+}
+
+fn curve_order(grid: &ClusterGrid, curve: Curve) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..grid.r() as u32).collect();
+    match curve {
+        Curve::Morton => ids.sort_by_key(|&c| grid.morton_of(c)),
+        Curve::Hilbert => ids.sort_by_key(|&c| grid.hilbert_of(c)),
+    }
+    ids
+}
+
+/// Charge the clock cost of moving reassigned data between processors:
+/// `moved[src][dst]` items of `words_per_item` each travel point-to-point.
+/// Returns `(messages, words)` for the report.
+pub fn movement_cost<T: Topology>(
+    clocks: &mut [f64],
+    moved: &[Vec<u64>],
+    words_per_item: u64,
+    topo: &T,
+    cost: &CostModel,
+) -> (u64, u64) {
+    let p = topo.p();
+    assert_eq!(moved.len(), p);
+    let mut msgs = 0u64;
+    let mut words = 0u64;
+    // Each pair exchanges one message; receivers see the max arrival.
+    let mut arrivals: Vec<f64> = clocks.to_vec();
+    for (src, row) in moved.iter().enumerate() {
+        assert_eq!(row.len(), p);
+        for (dst, &count) in row.iter().enumerate() {
+            if count == 0 || src == dst {
+                continue;
+            }
+            let w = count * words_per_item;
+            msgs += 1;
+            words += w;
+            clocks[src] += cost.message_time(0, w) - cost.t_h * 0.0; // sender occupancy
+            let arrival = clocks[src] + cost.t_h * topo.hops(src, dst) as f64;
+            arrivals[dst] = arrivals[dst].max(arrival);
+        }
+    }
+    for (c, a) in clocks.iter_mut().zip(arrivals) {
+        *c = c.max(a);
+    }
+    (msgs, words)
+}
+
+/// Count items that change owner between two assignments, as a `p×p`
+/// movement matrix. `weight[i]` is how many items entry `i` represents
+/// (particles per cluster, or 1 per particle).
+pub fn movement_matrix(
+    old: &[usize],
+    new: &[usize],
+    weight: &[u64],
+    p: usize,
+) -> Vec<Vec<u64>> {
+    assert_eq!(old.len(), new.len());
+    assert_eq!(old.len(), weight.len());
+    let mut m = vec![vec![0u64; p]; p];
+    for ((&o, &n), &w) in old.iter().zip(new).zip(weight) {
+        if o != n {
+            m[o][n] += w;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhut_geom::Aabb;
+    use bhut_machine::Hypercube;
+
+    fn grid(c: u32) -> ClusterGrid {
+        ClusterGrid::new(c, Aabb::origin_cube(100.0))
+    }
+
+    #[test]
+    fn spsa_round_robins_all_processors() {
+        let g = grid(8); // 64 clusters
+        let owners = spsa_assignment(&g, 16);
+        // every processor gets exactly r/p = 4 clusters
+        let mut counts = vec![0usize; 16];
+        for &o in &owners {
+            counts[o] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 4), "{counts:?}");
+    }
+
+    #[test]
+    fn spsa_adjacent_clusters_differ_in_processor() {
+        // The modular gray mapping sends neighboring clusters to
+        // neighboring (hence distinct) processors — the scattering that
+        // provides SPSA's statistical balance.
+        let g = grid(16);
+        let owners = spsa_assignment(&g, 256);
+        for j in 0..16u32 {
+            for i in 0..15u32 {
+                let a = owners[(j * 16 + i) as usize];
+                let b = owners[(j * 16 + i + 1) as usize];
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn spda_initial_contiguous_runs() {
+        let g = grid(8);
+        let owners = spda_initial(&g, 4, Curve::Morton);
+        // along the Morton order, owner ids are non-decreasing
+        let order = g.morton_order();
+        let seq: Vec<usize> = order.iter().map(|&c| owners[c as usize]).collect();
+        assert!(seq.windows(2).all(|w| w[0] <= w[1]));
+        let mut counts = vec![0usize; 4];
+        for &o in &owners {
+            counts[o] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 16), "{counts:?}");
+    }
+
+    #[test]
+    fn spda_rebalance_moves_boundaries_toward_load() {
+        let g = grid(8);
+        // all load in the first cluster of the Morton order
+        let order = g.morton_order();
+        let mut loads = vec![1.0; 64];
+        loads[order[0] as usize] = 1000.0;
+        let owners = spda_rebalance(&g, &loads, 4, Curve::Morton);
+        // processor 0 should own only the hot cluster (plus maybe a couple)
+        let p0: usize = owners.iter().filter(|&&o| o == 0).count();
+        assert!(p0 <= 3, "processor 0 got {p0} clusters");
+        // still contiguous
+        let seq: Vec<usize> = order.iter().map(|&c| owners[c as usize]).collect();
+        assert!(seq.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn spda_rebalance_even_loads_even_runs() {
+        let g = grid(8);
+        let owners = spda_rebalance(&g, &vec![1.0; 64], 8, Curve::Morton);
+        let mut counts = vec![0usize; 8];
+        for &o in &owners {
+            counts[o] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 8), "{counts:?}");
+    }
+
+    #[test]
+    fn hilbert_curve_also_partitions() {
+        let g = grid(8);
+        let owners = spda_initial(&g, 4, Curve::Hilbert);
+        let mut counts = vec![0usize; 4];
+        for &o in &owners {
+            counts[o] += 1;
+        }
+        assert_eq!(counts, vec![16; 4]);
+    }
+
+    #[test]
+    fn movement_matrix_counts_changes() {
+        let old = vec![0, 0, 1, 1];
+        let new = vec![0, 1, 1, 0];
+        let w = vec![10, 20, 30, 40];
+        let m = movement_matrix(&old, &new, &w, 2);
+        assert_eq!(m[0][1], 20);
+        assert_eq!(m[1][0], 40);
+        assert_eq!(m[0][0], 0);
+    }
+
+    #[test]
+    fn movement_cost_charges_both_ends() {
+        let topo = Hypercube::new(4);
+        let cost = CostModel::unit();
+        let mut clocks = vec![0.0; 4];
+        let mut moved = vec![vec![0u64; 4]; 4];
+        moved[0][1] = 5;
+        let (msgs, words) = movement_cost(&mut clocks, &moved, 2, &topo, &cost);
+        assert_eq!(msgs, 1);
+        assert_eq!(words, 10);
+        assert!(clocks[0] > 0.0);
+        assert!(clocks[1] >= clocks[0]);
+        assert_eq!(clocks[2], 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Static domain decomposition into a cluster grid.
+//!
+//! §3.3.1: the simulated domain is partitioned into `r > p` subdomains
+//! ("clusters"). The paper's cluster counts (16×16 … 256×256) are 2-D grids
+//! over the domain: a cluster is a *column* of the 3-D domain in `x, y`.
+//! Each cluster corresponds to the set of oct-tree cells at level `log₂ c`
+//! that share its `(i, j)` footprint, so cluster ownership induces tree-node
+//! ownership at (and below) that level.
+
+use bhut_geom::{Aabb, Particle, Vec3};
+use bhut_morton::{encode_2d, hilbert_index_2d};
+
+/// A `c×c` grid of column clusters over the domain cube (`c` a power of
+/// two).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterGrid {
+    /// Clusters per axis.
+    pub c: u32,
+    /// The domain cube the grid tiles (the tree's root cell).
+    pub cell: Aabb,
+}
+
+impl ClusterGrid {
+    /// # Panics
+    /// If `c` is not a power of two (cluster boundaries must align with
+    /// oct-tree cells).
+    pub fn new(c: u32, cell: Aabb) -> Self {
+        assert!(c.is_power_of_two(), "cluster grid side must be a power of two, got {c}");
+        ClusterGrid { c, cell }
+    }
+
+    /// Total number of clusters `r = c²`.
+    #[inline]
+    pub fn r(&self) -> usize {
+        (self.c * self.c) as usize
+    }
+
+    /// The oct-tree level whose cells have this grid's footprint.
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.c.trailing_zeros()
+    }
+
+    /// Grid coordinates of the cluster containing `p` (clamped to the grid).
+    #[inline]
+    pub fn coords_of(&self, p: Vec3) -> (u32, u32) {
+        let side = self.cell.side();
+        let f = self.c as f64 / side;
+        let i = (((p.x - self.cell.min.x) * f) as i64).clamp(0, self.c as i64 - 1) as u32;
+        let j = (((p.y - self.cell.min.y) * f) as i64).clamp(0, self.c as i64 - 1) as u32;
+        (i, j)
+    }
+
+    /// Linear cluster index (row-major) of the cluster containing `p`.
+    #[inline]
+    pub fn cluster_of(&self, p: Vec3) -> u32 {
+        let (i, j) = self.coords_of(p);
+        j * self.c + i
+    }
+
+    /// Grid coordinates from a linear index.
+    #[inline]
+    pub fn coords(&self, cluster: u32) -> (u32, u32) {
+        (cluster % self.c, cluster / self.c)
+    }
+
+    /// Morton (Z-curve) number of a cluster — the SPDA ordering key (§3.3.2).
+    #[inline]
+    pub fn morton_of(&self, cluster: u32) -> u64 {
+        let (i, j) = self.coords(cluster);
+        encode_2d(i, j)
+    }
+
+    /// Peano–Hilbert number of a cluster (the Costzones ordering), for the
+    /// curve ablation.
+    #[inline]
+    pub fn hilbert_of(&self, cluster: u32) -> u64 {
+        let (i, j) = self.coords(cluster);
+        hilbert_index_2d(i, j, self.level())
+    }
+
+    /// All cluster indices sorted along the Morton curve — "this ordering can
+    /// be computed in advance and stored in a sorted list".
+    pub fn morton_order(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..self.r() as u32).collect();
+        ids.sort_by_key(|&c| self.morton_of(c));
+        ids
+    }
+
+    /// Bin every particle to its cluster: returns `cluster_of_particle` and
+    /// per-cluster particle lists (indices into `particles`).
+    pub fn bin_particles(&self, particles: &[Particle]) -> (Vec<u32>, Vec<Vec<u32>>) {
+        let mut of = Vec::with_capacity(particles.len());
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); self.r()];
+        for (idx, p) in particles.iter().enumerate() {
+            let c = self.cluster_of(p.pos);
+            of.push(c);
+            lists[c as usize].push(idx as u32);
+        }
+        (of, lists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhut_geom::uniform_cube;
+
+    fn grid(c: u32) -> ClusterGrid {
+        ClusterGrid::new(c, Aabb::origin_cube(100.0))
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = grid(16);
+        assert_eq!(g.r(), 256);
+        assert_eq!(g.level(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = grid(12);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = grid(8);
+        for cl in 0..g.r() as u32 {
+            let (i, j) = g.coords(cl);
+            assert_eq!(j * 8 + i, cl);
+        }
+    }
+
+    #[test]
+    fn cluster_of_respects_boundaries() {
+        let g = grid(4); // 25-unit cells
+        assert_eq!(g.coords_of(Vec3::new(0.0, 0.0, 50.0)), (0, 0));
+        assert_eq!(g.coords_of(Vec3::new(24.9, 0.0, 0.0)), (0, 0));
+        assert_eq!(g.coords_of(Vec3::new(25.1, 0.0, 0.0)), (1, 0));
+        assert_eq!(g.coords_of(Vec3::new(99.9, 99.9, 0.0)), (3, 3));
+        // z is ignored: clusters are columns
+        assert_eq!(g.cluster_of(Vec3::new(10.0, 10.0, 1.0)), g.cluster_of(Vec3::new(10.0, 10.0, 99.0)));
+        // out-of-domain points clamp
+        assert_eq!(g.coords_of(Vec3::new(-5.0, 200.0, 0.0)), (0, 3));
+    }
+
+    #[test]
+    fn binning_partitions_particles() {
+        let set = uniform_cube(500, 100.0, 3);
+        let g = grid(8);
+        let (of, lists) = g.bin_particles(&set.particles);
+        assert_eq!(of.len(), 500);
+        let total: usize = lists.iter().map(Vec::len).sum();
+        assert_eq!(total, 500);
+        for (cl, list) in lists.iter().enumerate() {
+            for &pi in list {
+                assert_eq!(of[pi as usize], cl as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn morton_order_is_permutation_and_z_shaped() {
+        let g = grid(4);
+        let order = g.morton_order();
+        assert_eq!(order.len(), 16);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<u32>>());
+        // First four clusters in Z order = the 2×2 block at the origin.
+        let first: Vec<(u32, u32)> = order[..4].iter().map(|&c| g.coords(c)).collect();
+        assert_eq!(first, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn hilbert_order_is_permutation() {
+        let g = grid(8);
+        let mut ids: Vec<u32> = (0..64).collect();
+        ids.sort_by_key(|&c| g.hilbert_of(c));
+        let keys: Vec<u64> = ids.iter().map(|&c| g.hilbert_of(c)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64);
+    }
+}

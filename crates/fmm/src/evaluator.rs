@@ -1,0 +1,237 @@
+//! The end-to-end FMM evaluator: upward pass → dual traversal → M2L
+//! scatter → downward L2L pass → L2P + near-field direct sums.
+
+use crate::dual::{dual_traversal, SeparationCriterion};
+use bhut_geom::{Particle, Vec3};
+use bhut_multipole::{LocalExpansion, MultipoleTree};
+use bhut_tree::traverse::{accel_kernel, potential_kernel};
+use bhut_tree::{NodeId, Tree, NIL};
+
+/// FMM parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FmmConfig {
+    /// Expansion degree for both multipole and local series.
+    pub degree: u32,
+    /// Cell–cell separation parameter.
+    pub theta: f64,
+    /// Plummer softening for the near field.
+    pub eps: f64,
+}
+
+impl Default for FmmConfig {
+    fn default() -> Self {
+        FmmConfig { degree: 4, theta: 0.7, eps: 0.0 }
+    }
+}
+
+/// Work counters for one evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FmmStats {
+    /// Cluster–cluster translations performed.
+    pub m2l: u64,
+    /// Particle–particle near-field interactions.
+    pub p2p: u64,
+}
+
+/// A ready-to-evaluate FMM operator over one particle configuration.
+pub struct Fmm {
+    pub config: FmmConfig,
+    pub stats: FmmStats,
+    locals: Vec<LocalExpansion>,
+    /// Leaf pairs needing direct summation, from the dual traversal.
+    near_field: Option<Vec<(NodeId, NodeId)>>,
+}
+
+impl Fmm {
+    /// Run the upward pass + dual traversal + M2L + downward pass; after
+    /// construction, [`Fmm::potentials_and_accels`] harvests per-particle
+    /// values.
+    pub fn new(tree: &Tree, particles: &[Particle], config: FmmConfig) -> Fmm {
+        let mut stats = FmmStats::default();
+        let n_nodes = tree.len();
+        let mut locals: Vec<LocalExpansion> = (0..n_nodes)
+            .map(|id| {
+                let center = if n_nodes == 0 { Vec3::ZERO } else { tree.node(id as u32).com };
+                LocalExpansion::zero(center, config.degree)
+            })
+            .collect();
+        if n_nodes == 0 {
+            return Fmm { config, stats, locals, near_field: None };
+        }
+
+        // Upward pass: multipoles about each node's COM.
+        let mt = MultipoleTree::new(tree, particles, config.degree);
+
+        // Dual traversal.
+        let lists = dual_traversal(tree, SeparationCriterion::new(config.theta));
+
+        // M2L scatter: source multipole → target local.
+        for &(target, source) in &lists.m2l {
+            let l = LocalExpansion::from_multipole(
+                &mt.expansions[source as usize],
+                locals[target as usize].center,
+                config.degree,
+            );
+            locals[target as usize].add_assign(&l);
+            stats.m2l += 1;
+        }
+
+        // Downward pass: push parents' locals into children (arena order
+        // guarantees parents precede children).
+        for id in 0..n_nodes as u32 {
+            let node = tree.node(id);
+            if node.is_leaf() {
+                continue;
+            }
+            let parent_local = locals[id as usize].clone();
+            for &c in &node.children {
+                if c != NIL {
+                    let shifted = parent_local.translate(locals[c as usize].center);
+                    locals[c as usize].add_assign(&shifted);
+                }
+            }
+        }
+
+        // Near-field pair count for stats (evaluation happens on harvest).
+        for &(a, b) in &lists.p2p {
+            let ca = tree.node(a).count() as u64;
+            let cb = tree.node(b).count() as u64;
+            stats.p2p += if a == b { ca * (ca - 1) } else { 2 * ca * cb };
+        }
+
+        Fmm { config, stats, locals, near_field: Some(lists.p2p) }
+    }
+
+    /// Potential and acceleration for every particle.
+    pub fn potentials_and_accels(
+        &self,
+        tree: &Tree,
+        particles: &[Particle],
+    ) -> (Vec<f64>, Vec<Vec3>) {
+        let n = particles.len();
+        let mut phis = vec![0.0f64; n];
+        let mut accs = vec![Vec3::ZERO; n];
+        if tree.is_empty() {
+            return (phis, accs);
+        }
+        // L2P at leaves.
+        for id in 0..tree.len() as u32 {
+            let node = tree.node(id);
+            if !node.is_leaf() {
+                continue;
+            }
+            let local = &self.locals[id as usize];
+            for &pi in tree.particles_under(id) {
+                let p = &particles[pi as usize];
+                let (phi, acc) = local.eval(p.pos);
+                phis[pi as usize] += phi;
+                accs[pi as usize] += acc;
+            }
+        }
+        // Near field.
+        if let Some(pairs) = &self.near_field {
+            for &(a, b) in pairs {
+                let pa = tree.particles_under(a);
+                let pb = tree.particles_under(b);
+                for &i in pa {
+                    let xi = particles[i as usize].pos;
+                    for &j in pb {
+                        if i == j {
+                            continue;
+                        }
+                        let q = &particles[j as usize];
+                        phis[i as usize] += potential_kernel(xi, q.pos, q.mass, self.config.eps);
+                        accs[i as usize] += accel_kernel(xi, q.pos, q.mass, self.config.eps);
+                        if a != b {
+                            let p = &particles[i as usize];
+                            phis[j as usize] +=
+                                potential_kernel(q.pos, xi, p.mass, self.config.eps);
+                            accs[j as usize] += accel_kernel(q.pos, xi, p.mass, self.config.eps);
+                        }
+                    }
+                }
+            }
+        }
+        (phis, accs)
+    }
+
+    /// Local expansion of a node (diagnostics).
+    pub fn local(&self, id: NodeId) -> &LocalExpansion {
+        &self.locals[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhut_geom::{plummer, uniform_cube, PlummerSpec};
+    use bhut_tree::build::{build, BuildParams};
+    use bhut_tree::direct;
+
+    fn setup(n: usize, seed: u64) -> (bhut_geom::ParticleSet, Tree) {
+        let set = uniform_cube(n, 1.0, seed);
+        let t = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        (set, t)
+    }
+
+    #[test]
+    fn fmm_matches_direct() {
+        let (set, t) = setup(500, 1);
+        let fmm = Fmm::new(&t, &set.particles, FmmConfig { degree: 6, theta: 0.6, eps: 0.0 });
+        let (phis, accs) = fmm.potentials_and_accels(&t, &set.particles);
+        let exact_phi = direct::all_potentials_direct(&set.particles, 0.0);
+        let exact_acc = direct::all_accels_direct(&set.particles, 0.0);
+        let e_phi = direct::fractional_error(&phis, &exact_phi);
+        let e_acc = direct::fractional_error_vec(&accs, &exact_acc);
+        assert!(e_phi < 1e-4, "potential error {e_phi}");
+        assert!(e_acc < 1e-3, "force error {e_acc}");
+    }
+
+    #[test]
+    fn error_decreases_with_degree() {
+        let (set, t) = setup(400, 2);
+        let exact = direct::all_potentials_direct(&set.particles, 0.0);
+        let mut prev = f64::INFINITY;
+        for degree in [1u32, 3, 5] {
+            let fmm = Fmm::new(&t, &set.particles, FmmConfig { degree, theta: 0.7, eps: 0.0 });
+            let (phis, _) = fmm.potentials_and_accels(&t, &set.particles);
+            let err = direct::fractional_error(&phis, &exact);
+            assert!(err < prev, "degree {degree}: {err} !< {prev}");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn fmm_work_scales_linearly() {
+        // Total work (m2l + p2p) per particle should stay roughly flat as n
+        // grows — the O(n) signature vs Barnes–Hut's O(n log n).
+        let per = |n: usize| {
+            let (set, t) = setup(n, 3);
+            let fmm = Fmm::new(&t, &set.particles, FmmConfig::default());
+            (fmm.stats.m2l + fmm.stats.p2p) as f64 / n as f64
+        };
+        let small = per(500);
+        let large = per(4000);
+        assert!(large < small * 2.5, "work per particle grew too fast: {small} -> {large}");
+    }
+
+    #[test]
+    fn plummer_fmm_accuracy() {
+        let set = plummer(PlummerSpec { n: 1500, seed: 5, ..Default::default() });
+        let t = build(&set.particles, BuildParams::default());
+        let fmm = Fmm::new(&t, &set.particles, FmmConfig { degree: 4, theta: 0.6, eps: 0.0 });
+        let (phis, _) = fmm.potentials_and_accels(&t, &set.particles);
+        let exact = direct::all_potentials_direct(&set.particles, 0.0);
+        let err = direct::fractional_error(&phis, &exact);
+        assert!(err < 5e-3, "clustered-data FMM error {err}");
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = build(&[], BuildParams::default());
+        let fmm = Fmm::new(&t, &[], FmmConfig::default());
+        let (phis, accs) = fmm.potentials_and_accels(&t, &[]);
+        assert!(phis.is_empty() && accs.is_empty());
+        assert_eq!(fmm.stats.m2l, 0);
+    }
+}

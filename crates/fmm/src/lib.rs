@@ -1,0 +1,25 @@
+//! A fast multipole method (FMM) on the Barnes–Hut oct-tree — the extension
+//! the paper's §2 and §6 describe: "FMM… uses cluster–cluster interactions
+//! in addition to particle–cluster interactions" and "the techniques can be
+//! extended to FMM".
+//!
+//! The evaluator reuses the whole substrate: the `bhut-tree` oct-tree, the
+//! Cartesian multipole algebra of `bhut-multipole` (P2M/M2M for the upward
+//! pass, M2L/L2L/L2P for the downward pass). Interaction pairs come from a
+//! *dual tree traversal* with a symmetric separation criterion: two cells
+//! may interact via M2L iff
+//!
+//! ```text
+//! (side_a + side_b)² < θ² · dist(center_a, center_b)²
+//! ```
+//!
+//! otherwise the larger cell is split; pairs of leaves fall back to direct
+//! particle–particle summation. This keeps the far field `O(n)` cluster
+//! work while never evaluating a truncated series inside its convergence
+//! radius.
+
+pub mod dual;
+pub mod evaluator;
+
+pub use dual::{dual_traversal, InteractionLists, SeparationCriterion};
+pub use evaluator::{Fmm, FmmConfig, FmmStats};

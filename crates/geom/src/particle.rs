@@ -1,0 +1,190 @@
+//! Particle representation.
+//!
+//! A simulation instance is a [`ParticleSet`]: positions, velocities and
+//! masses plus a stable `id` so particles can be tracked across the
+//! redistribution steps of the parallel formulations (SPDA cluster moves,
+//! DPDA costzones exchange).
+
+use crate::aabb::Aabb;
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// One body: mass, position, velocity, and a stable identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Particle {
+    /// Stable index into the originating [`ParticleSet`]; survives
+    /// inter-processor redistribution.
+    pub id: u32,
+    pub mass: f64,
+    pub pos: Vec3,
+    pub vel: Vec3,
+}
+
+impl Particle {
+    pub fn new(id: u32, mass: f64, pos: Vec3, vel: Vec3) -> Self {
+        Particle { id, mass, pos, vel }
+    }
+
+    /// A unit-mass particle at rest.
+    pub fn at(id: u32, pos: Vec3) -> Self {
+        Particle::new(id, 1.0, pos, Vec3::ZERO)
+    }
+}
+
+/// An owned collection of particles with convenience aggregate queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParticleSet {
+    pub particles: Vec<Particle>,
+}
+
+impl ParticleSet {
+    pub fn new(particles: Vec<Particle>) -> Self {
+        ParticleSet { particles }
+    }
+
+    /// Build from positions with unit masses and zero velocities, assigning
+    /// sequential ids.
+    pub fn from_positions(positions: impl IntoIterator<Item = Vec3>) -> Self {
+        let particles = positions
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Particle::at(i as u32, p))
+            .collect();
+        ParticleSet { particles }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Particle> {
+        self.particles.iter()
+    }
+
+    pub fn total_mass(&self) -> f64 {
+        self.particles.iter().map(|p| p.mass).sum()
+    }
+
+    /// Mass-weighted centroid; `None` when empty or massless.
+    pub fn center_of_mass(&self) -> Option<Vec3> {
+        let m = self.total_mass();
+        if m <= 0.0 {
+            return None;
+        }
+        let s: Vec3 = self.particles.iter().map(|p| p.pos * p.mass).sum();
+        Some(s / m)
+    }
+
+    /// Smallest cube containing all particle positions (padded slightly), the
+    /// canonical root cell for tree construction. `None` when empty.
+    pub fn bounding_cube(&self) -> Option<Aabb> {
+        let pad = 1e-9
+            * self
+                .particles
+                .iter()
+                .map(|p| p.pos.norm())
+                .fold(1.0, f64::max);
+        Aabb::bounding_cube(self.particles.iter().map(|p| p.pos), pad)
+    }
+
+    /// Total kinetic energy `Σ ½ m v²`.
+    pub fn kinetic_energy(&self) -> f64 {
+        self.particles
+            .iter()
+            .map(|p| 0.5 * p.mass * p.vel.norm_sq())
+            .sum()
+    }
+
+    /// Translate every particle so the center of mass sits at the origin and
+    /// the net momentum is zero — standard cleanup after sampling a random
+    /// distribution so the cluster does not drift.
+    pub fn recenter(&mut self) {
+        let m = self.total_mass();
+        if m <= 0.0 {
+            return;
+        }
+        let com: Vec3 = self.particles.iter().map(|p| p.pos * p.mass).sum::<Vec3>() / m;
+        let mom: Vec3 = self.particles.iter().map(|p| p.vel * p.mass).sum::<Vec3>() / m;
+        for p in &mut self.particles {
+            p.pos -= com;
+            p.vel -= mom;
+        }
+    }
+}
+
+impl FromIterator<Particle> for ParticleSet {
+    fn from_iter<T: IntoIterator<Item = Particle>>(iter: T) -> Self {
+        ParticleSet::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> ParticleSet {
+        ParticleSet::new(vec![
+            Particle::new(0, 1.0, Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0)),
+            Particle::new(1, 3.0, Vec3::new(4.0, 0.0, 0.0), Vec3::new(-1.0, 0.0, 0.0)),
+        ])
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = pair();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_mass(), 4.0);
+        assert_eq!(s.center_of_mass().unwrap(), Vec3::new(3.0, 0.0, 0.0));
+        // KE = 0.5*1*1 + 0.5*3*1 = 2
+        assert_eq!(s.kinetic_energy(), 2.0);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = ParticleSet::default();
+        assert!(s.is_empty());
+        assert!(s.center_of_mass().is_none());
+        assert!(s.bounding_cube().is_none());
+    }
+
+    #[test]
+    fn from_positions_assigns_ids() {
+        let s = ParticleSet::from_positions([Vec3::ZERO, Vec3::ONE]);
+        assert_eq!(s.particles[0].id, 0);
+        assert_eq!(s.particles[1].id, 1);
+        assert_eq!(s.particles[1].mass, 1.0);
+    }
+
+    #[test]
+    fn recenter_zeroes_com_and_momentum() {
+        let mut s = pair();
+        s.recenter();
+        let com = s.center_of_mass().unwrap();
+        assert!(com.norm() < 1e-12);
+        let mom: Vec3 = s.particles.iter().map(|p| p.vel * p.mass).sum();
+        assert!(mom.norm() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_cube_contains_everything() {
+        let s = pair();
+        let c = s.bounding_cube().unwrap();
+        for p in s.iter() {
+            assert!(c.contains(p.pos));
+        }
+        let e = c.extent();
+        assert!((e.x - e.y).abs() < 1e-9 && (e.y - e.z).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: ParticleSet = (0..5).map(|i| Particle::at(i, Vec3::splat(i as f64))).collect();
+        assert_eq!(s.len(), 5);
+    }
+}

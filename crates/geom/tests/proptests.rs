@@ -1,0 +1,88 @@
+//! Property tests on the geometric substrate: the oct-tree's correctness
+//! rests on these invariants holding for arbitrary boxes and points.
+
+use bhut_geom::{Aabb, Vec3};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Vec3> {
+    (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0)
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_cube() -> impl Strategy<Value = Aabb> {
+    (arb_point(), 0.1f64..50.0).prop_map(|(c, side)| Aabb::cube(c, side))
+}
+
+proptest! {
+    /// The eight octants tile the parent exactly.
+    #[test]
+    fn octants_tile_parent(cube in arb_cube()) {
+        let vol: f64 = (0..8).map(|o| cube.octant(o).volume()).sum();
+        prop_assert!((vol - cube.volume()).abs() < 1e-9 * cube.volume());
+        for o in 0..8 {
+            prop_assert!(cube.contains_box(&cube.octant(o)));
+        }
+    }
+
+    /// A contained point's octant contains the point.
+    #[test]
+    fn octant_of_is_consistent(cube in arb_cube(), p in arb_point()) {
+        if cube.contains(p) {
+            let oct = cube.octant_of(p);
+            prop_assert!(cube.octant(oct).contains(p), "octant {oct} misses its point");
+        }
+    }
+
+    /// Collapsing never loses the tight box and never grows the cell.
+    #[test]
+    fn collapse_preserves_containment(cube in arb_cube(), a in arb_point(), b in arb_point()) {
+        let scale = cube.side() / 250.0;
+        let pa = cube.center() + (a * (scale / 100.0));
+        let pb = cube.center() + (b * (scale / 100.0));
+        let tight = Aabb::bounding([pa, pb]).unwrap();
+        prop_assume!(cube.contains_box(&tight));
+        let c = cube.collapse_to(&tight);
+        prop_assert!(c.contains_box(&tight));
+        prop_assert!(cube.contains_box(&c));
+        prop_assert!(c.side() <= cube.side());
+    }
+
+    /// dist_sq_to is zero exactly for contained points, positive otherwise,
+    /// and is a lower bound on the distance to any contained point.
+    #[test]
+    fn dist_sq_lower_bound(cube in arb_cube(), p in arb_point(), q in arb_point()) {
+        let d2 = cube.dist_sq_to(p);
+        if cube.contains(p) {
+            prop_assert_eq!(d2, 0.0);
+        } else {
+            prop_assert!(d2 > 0.0);
+        }
+        // clamp q into the box: distance from p to it must be >= d2
+        let inside = Vec3::new(
+            q.x.clamp(cube.min.x, cube.max.x),
+            q.y.clamp(cube.min.y, cube.max.y),
+            q.z.clamp(cube.min.z, cube.max.z),
+        );
+        prop_assert!(p.dist_sq(inside) >= d2 - 1e-9 * d2.abs().max(1.0));
+    }
+
+    /// Union is commutative, idempotent, and contains both inputs.
+    #[test]
+    fn union_laws(a in arb_cube(), b in arb_cube()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_box(&a) && u.contains_box(&b));
+        prop_assert_eq!(u, b.union(&a));
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    /// Vector algebra: distributivity and norm scaling.
+    #[test]
+    fn vec3_algebra(a in arb_point(), b in arb_point(), s in -10.0f64..10.0) {
+        let lhs = (a + b) * s;
+        let rhs = a * s + b * s;
+        prop_assert!(lhs.dist(rhs) < 1e-9 * (1.0 + lhs.norm()));
+        prop_assert!(((a * s).norm() - s.abs() * a.norm()).abs() < 1e-9 * (1.0 + a.norm()));
+        // Cauchy–Schwarz
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() + 1e-9);
+    }
+}

@@ -1,0 +1,97 @@
+//! The linear communication/computation cost model.
+//!
+//! Message latency: `t_s + hops·t_h + words·t_w`; local work: `flops·t_flop`.
+//! A *word* is one f64 (the paper counts "floating point numbers" as the unit
+//! of communication volume, §4.2.1).
+//!
+//! Presets use published figures for the paper's two machines. They set the
+//! computation/communication *ratio* the experiments depend on; the paper
+//! itself notes (§6) that on newer machines the ratio is more favourable, so
+//! we also provide [`CostModel::modern`] for that comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// Machine cost constants, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Message startup latency.
+    pub t_s: f64,
+    /// Per-hop switching time.
+    pub t_h: f64,
+    /// Per-word (f64) transfer time.
+    pub t_w: f64,
+    /// Time per floating-point operation.
+    pub t_flop: f64,
+}
+
+impl CostModel {
+    /// nCUBE2: ≈3.3 Mflop/s nodes, `t_s ≈ 160 µs`, `t_w ≈ 2.4 µs/word`
+    /// (figures consistent with Kumar et al. \[20\], ch. 3).
+    pub fn ncube2() -> Self {
+        CostModel { t_s: 160e-6, t_h: 1e-6, t_w: 2.4e-6, t_flop: 0.30e-6 }
+    }
+
+    /// CM5 (scalar SPARC nodes, no vector units — as the paper's runs):
+    /// ≈3–5 Mflop/s effective, `t_s ≈ 86 µs`, ≈10 MB/s per channel.
+    pub fn cm5() -> Self {
+        CostModel { t_s: 86e-6, t_h: 0.5e-6, t_w: 0.8e-6, t_flop: 0.25e-6 }
+    }
+
+    /// A modern commodity cluster (for the §6 extrapolation): ≈1 Gflop/s
+    /// sustained scalar, ≈2 µs MPI latency, ≈10 GB/s links.
+    pub fn modern() -> Self {
+        CostModel { t_s: 2e-6, t_h: 20e-9, t_w: 0.8e-9, t_flop: 1e-9 }
+    }
+
+    /// A unit-cost model (all constants 1) for analytically checkable tests.
+    pub fn unit() -> Self {
+        CostModel { t_s: 1.0, t_h: 1.0, t_w: 1.0, t_flop: 1.0 }
+    }
+
+    /// Latency of one point-to-point message.
+    #[inline]
+    pub fn message_time(&self, hops: u32, words: u64) -> f64 {
+        self.t_s + self.t_h * hops as f64 + self.t_w * words as f64
+    }
+
+    /// Time for `flops` floating-point operations.
+    #[inline]
+    pub fn compute_time(&self, flops: u64) -> f64 {
+        self.t_flop * flops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_is_linear() {
+        let c = CostModel::unit();
+        assert_eq!(c.message_time(0, 0), 1.0);
+        assert_eq!(c.message_time(2, 3), 6.0);
+    }
+
+    #[test]
+    fn presets_are_ordered_sanely() {
+        let n = CostModel::ncube2();
+        let c = CostModel::cm5();
+        let m = CostModel::modern();
+        // Startup dominates per-word cost on all machines.
+        for k in [n, c, m] {
+            assert!(k.t_s > k.t_w);
+            assert!(k.t_w > 0.0 && k.t_flop > 0.0);
+        }
+        // Modern machines are faster across the board.
+        assert!(m.t_s < c.t_s && c.t_s < n.t_s);
+        assert!(m.t_flop < n.t_flop);
+        // Communication/computation ratio improves over time (§6).
+        assert!(m.t_w / m.t_flop < n.t_w / n.t_flop * 200.0);
+    }
+
+    #[test]
+    fn compute_time() {
+        let c = CostModel::ncube2();
+        assert!((c.compute_time(1_000_000) - 0.30).abs() < 1e-12);
+    }
+}

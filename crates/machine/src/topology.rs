@@ -1,0 +1,325 @@
+//! Interconnection topologies.
+//!
+//! A [`Topology`] provides the processor count and per-pair hop distances
+//! that the cost model turns into message latencies, plus closed-form costs
+//! for the collective operations (the formulas of Kumar et al., *Introduction
+//! to Parallel Computing* — reference \[20\] of the paper).
+
+use crate::cost::CostModel;
+
+/// The collective operations the treecode formulations use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collective {
+    /// All-to-all broadcast (allgather): `m` is the *total* words gathered
+    /// over all processors; everyone ends with all of them.
+    AllToAllBroadcast,
+    /// All-to-all personalized: every processor sends a distinct `m`-word
+    /// message to every other.
+    AllToAllPersonalized,
+    /// One-to-all broadcast of `m` words.
+    Broadcast,
+    /// All-reduce / reduction of `m` words.
+    Reduce,
+    /// Parallel prefix (scan) of `m` words.
+    Scan,
+}
+
+/// An interconnect: processor count, hop metric, and collective costs.
+pub trait Topology {
+    /// Number of processors.
+    fn p(&self) -> usize;
+
+    /// Routing distance between two processor labels.
+    fn hops(&self, a: usize, b: usize) -> u32;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Network diameter (max hops).
+    fn diameter(&self) -> u32 {
+        let p = self.p();
+        let mut d = 0;
+        for a in 0..p {
+            for b in 0..p {
+                d = d.max(self.hops(a, b));
+            }
+        }
+        d
+    }
+
+    /// Time for a collective with per-processor payload `m` words under
+    /// `cost`. Default formulas assume a hypercube-quality network (log-depth
+    /// trees); topologies with weaker bisection override.
+    fn collective_time(&self, op: Collective, m: u64, cost: &CostModel) -> f64 {
+        let p = self.p() as f64;
+        let lg = p.log2().ceil().max(1.0);
+        let m = m as f64;
+        match op {
+            // t_s·log p + t_w·m_total: doubling gather (m is total words).
+            Collective::AllToAllBroadcast => cost.t_s * lg + cost.t_w * m,
+            // (t_s + t_w·m·p/2)·log p: E-cube exchange.
+            Collective::AllToAllPersonalized => (cost.t_s + cost.t_w * m * p / 2.0) * lg,
+            Collective::Broadcast | Collective::Reduce | Collective::Scan => {
+                (cost.t_s + cost.t_w * m) * lg
+            }
+        }
+    }
+}
+
+/// A binary hypercube of dimension `dim` (the nCUBE2).
+#[derive(Debug, Clone, Copy)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// # Panics
+    /// If `p` is not a power of two.
+    pub fn new(p: usize) -> Self {
+        assert!(p.is_power_of_two() && p > 0, "hypercube needs a power-of-two p, got {p}");
+        Hypercube { dim: p.trailing_zeros() }
+    }
+
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+}
+
+impl Topology for Hypercube {
+    fn p(&self) -> usize {
+        1 << self.dim
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        (a ^ b).count_ones()
+    }
+
+    fn name(&self) -> &'static str {
+        "hypercube"
+    }
+
+    fn diameter(&self) -> u32 {
+        self.dim
+    }
+}
+
+/// A 2-D mesh (optionally a torus) with row-major labels.
+#[derive(Debug, Clone, Copy)]
+pub struct Mesh2D {
+    rows: usize,
+    cols: usize,
+    wrap: bool,
+}
+
+impl Mesh2D {
+    pub fn new(rows: usize, cols: usize, wrap: bool) -> Self {
+        assert!(rows > 0 && cols > 0);
+        Mesh2D { rows, cols, wrap }
+    }
+
+    fn axis_dist(&self, a: usize, b: usize, n: usize) -> u32 {
+        let d = a.abs_diff(b);
+        if self.wrap {
+            d.min(n - d) as u32
+        } else {
+            d as u32
+        }
+    }
+}
+
+impl Topology for Mesh2D {
+    fn p(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        let (ar, ac) = (a / self.cols, a % self.cols);
+        let (br, bc) = (b / self.cols, b % self.cols);
+        self.axis_dist(ar, br, self.rows) + self.axis_dist(ac, bc, self.cols)
+    }
+
+    fn name(&self) -> &'static str {
+        "mesh2d"
+    }
+
+    fn collective_time(&self, op: Collective, m: u64, cost: &CostModel) -> f64 {
+        // Mesh formulas (store-and-forward rows-then-columns, [20] ch. 4):
+        let p = self.p() as f64;
+        let sq = p.sqrt().max(1.0);
+        let m = m as f64;
+        match op {
+            // 2 t_s(√p − 1) + t_w·m_total
+            Collective::AllToAllBroadcast => {
+                let _ = p;
+                2.0 * cost.t_s * (sq - 1.0) + cost.t_w * m
+            }
+            // (2 t_s + t_w m p)(√p − 1) approximation
+            Collective::AllToAllPersonalized => {
+                (2.0 * cost.t_s + cost.t_w * m * p) * (sq - 1.0)
+            }
+            Collective::Broadcast | Collective::Reduce | Collective::Scan => {
+                2.0 * (cost.t_s + cost.t_w * m) * (sq - 1.0)
+            }
+        }
+    }
+}
+
+/// A `radix`-ary fat tree (the CM5 data network was a 4-ary fat tree).
+/// Hops between leaves = 2 × height of their lowest common ancestor.
+#[derive(Debug, Clone, Copy)]
+pub struct FatTree {
+    p: usize,
+    radix: usize,
+}
+
+impl FatTree {
+    /// A CM5-style 4-ary fat tree over `p` leaves.
+    pub fn cm5(p: usize) -> Self {
+        assert!(p > 0);
+        FatTree { p, radix: 4 }
+    }
+
+    pub fn new(p: usize, radix: usize) -> Self {
+        assert!(p > 0 && radix >= 2);
+        FatTree { p, radix }
+    }
+}
+
+impl Topology for FatTree {
+    fn p(&self) -> usize {
+        self.p
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        if a == b {
+            return 0;
+        }
+        let (mut a, mut b) = (a, b);
+        let mut h = 0;
+        while a != b {
+            a /= self.radix;
+            b /= self.radix;
+            h += 1;
+        }
+        2 * h
+    }
+
+    fn name(&self) -> &'static str {
+        "fat-tree"
+    }
+}
+
+/// An idealized full crossbar: every pair one hop apart. Useful as the
+/// "communication is cheap" control in topology ablations.
+#[derive(Debug, Clone, Copy)]
+pub struct Crossbar {
+    p: usize,
+}
+
+impl Crossbar {
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0);
+        Crossbar { p }
+    }
+}
+
+impl Topology for Crossbar {
+    fn p(&self) -> usize {
+        self.p
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        u32::from(a != b)
+    }
+
+    fn name(&self) -> &'static str {
+        "crossbar"
+    }
+
+    fn diameter(&self) -> u32 {
+        u32::from(self.p > 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_hops_and_diameter() {
+        let h = Hypercube::new(16);
+        assert_eq!(h.p(), 16);
+        assert_eq!(h.hops(0b0000, 0b1111), 4);
+        assert_eq!(h.hops(5, 5), 0);
+        assert_eq!(h.hops(0b0001, 0b0011), 1);
+        assert_eq!(h.diameter(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn hypercube_rejects_non_power() {
+        let _ = Hypercube::new(12);
+    }
+
+    #[test]
+    fn mesh_hops() {
+        let m = Mesh2D::new(4, 4, false);
+        assert_eq!(m.hops(0, 15), 6); // (0,0) -> (3,3)
+        assert_eq!(m.hops(0, 3), 3);
+        let t = Mesh2D::new(4, 4, true);
+        assert_eq!(t.hops(0, 3), 1); // wraps
+        assert_eq!(t.hops(0, 15), 2);
+    }
+
+    #[test]
+    fn fat_tree_hops() {
+        let f = FatTree::cm5(256);
+        assert_eq!(f.hops(0, 0), 0);
+        assert_eq!(f.hops(0, 1), 2); // same leaf switch
+        assert_eq!(f.hops(0, 4), 4); // one level up
+        assert_eq!(f.hops(0, 255), 8); // root
+        // symmetry
+        for (a, b) in [(3, 77), (100, 200), (0, 255)] {
+            assert_eq!(f.hops(a, b), f.hops(b, a));
+        }
+    }
+
+    #[test]
+    fn crossbar_is_flat() {
+        let c = Crossbar::new(7);
+        assert_eq!(c.hops(1, 2), 1);
+        assert_eq!(c.hops(3, 3), 0);
+        assert_eq!(c.diameter(), 1);
+    }
+
+    #[test]
+    fn collective_costs_scale_sanely() {
+        let cost = CostModel::ncube2();
+        let small = Hypercube::new(16);
+        let large = Hypercube::new(256);
+        for op in [
+            Collective::AllToAllBroadcast,
+            Collective::AllToAllPersonalized,
+            Collective::Broadcast,
+            Collective::Reduce,
+            Collective::Scan,
+        ] {
+            let t_small = small.collective_time(op, 64, &cost);
+            let t_large = large.collective_time(op, 64, &cost);
+            assert!(t_small > 0.0);
+            assert!(t_large > t_small, "{op:?} must cost more at larger p");
+            // More data costs more.
+            assert!(small.collective_time(op, 128, &cost) > t_small);
+        }
+    }
+
+    #[test]
+    fn mesh_collectives_cost_more_than_hypercube() {
+        let cost = CostModel::ncube2();
+        let h = Hypercube::new(64);
+        let m = Mesh2D::new(8, 8, false);
+        let th = h.collective_time(Collective::Broadcast, 16, &cost);
+        let tm = m.collective_time(Collective::Broadcast, 16, &cost);
+        assert!(tm > th, "mesh bcast {tm} should exceed hypercube {th}");
+    }
+}

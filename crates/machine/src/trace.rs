@@ -1,0 +1,103 @@
+//! Execution tracing: per-processor busy intervals from a BSP run.
+//!
+//! A [`Trace`] records one span per (processor, superstep) with the virtual
+//! start/end clocks and the messages sent, enough to draw the classic
+//! processor–time Gantt chart of a parallel run (the picture behind the
+//! paper's Table 3 phase discussion). Serializes to JSON for external
+//! plotting.
+
+use serde::{Deserialize, Serialize};
+
+/// One busy interval of one virtual processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    pub rank: usize,
+    pub superstep: u64,
+    /// Virtual clock when the step began (after message-arrival waits).
+    pub start: f64,
+    /// Virtual clock when the step ended.
+    pub end: f64,
+    /// Messages sent during the step.
+    pub sent: u64,
+}
+
+/// A whole run's spans, in execution order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    pub fn record(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// Total busy time of one processor.
+    pub fn busy(&self, rank: usize) -> f64 {
+        self.spans.iter().filter(|s| s.rank == rank).map(|s| s.end - s.start).sum()
+    }
+
+    /// Idle time of `rank` relative to the global makespan.
+    pub fn idle(&self, rank: usize) -> f64 {
+        self.makespan() - self.busy(rank)
+    }
+
+    /// The run's end time.
+    pub fn makespan(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Machine utilization: Σ busy / (p · makespan).
+    pub fn utilization(&self, p: usize) -> f64 {
+        let total: f64 = self.spans.iter().map(|s| s.end - s.start).sum();
+        let denom = p as f64 * self.makespan();
+        if denom == 0.0 {
+            1.0
+        } else {
+            total / denom
+        }
+    }
+
+    /// JSON for external plotting.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Trace {
+        let mut t = Trace::default();
+        t.record(Span { rank: 0, superstep: 0, start: 0.0, end: 2.0, sent: 1 });
+        t.record(Span { rank: 1, superstep: 0, start: 0.0, end: 1.0, sent: 0 });
+        t.record(Span { rank: 1, superstep: 1, start: 2.5, end: 4.0, sent: 0 });
+        t
+    }
+
+    #[test]
+    fn busy_idle_makespan() {
+        let t = demo();
+        assert_eq!(t.makespan(), 4.0);
+        assert_eq!(t.busy(0), 2.0);
+        assert_eq!(t.busy(1), 2.5);
+        assert_eq!(t.idle(0), 2.0);
+        assert!((t.utilization(2) - 4.5 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = demo();
+        let j = t.to_json();
+        let back: Trace = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.spans, t.spans);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.utilization(4), 1.0);
+    }
+}

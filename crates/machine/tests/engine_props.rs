@@ -1,0 +1,109 @@
+//! Property tests of the BSP engine: message conservation, clock causality,
+//! and determinism for randomized communication patterns.
+
+use bhut_machine::{CostModel, Ctx, Hypercube, Machine, Program, Status};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Each processor sends its (rank, seq) tags per a random schedule and
+/// records everything it receives.
+struct Chatter {
+    plan: Vec<usize>, // destinations, sent one per superstep
+    cursor: usize,
+    received: Rc<RefCell<Vec<(usize, usize, u64)>>>, // (src, dst, tag)
+}
+
+impl Program for Chatter {
+    type Msg = u64;
+    fn step(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+        for env in ctx.inbox() {
+            self.received.borrow_mut().push((env.src, ctx.rank(), env.payload));
+        }
+        if self.cursor < self.plan.len() {
+            let dst = self.plan[self.cursor];
+            let tag = (ctx.rank() as u64) << 32 | self.cursor as u64;
+            ctx.send(dst, 1, tag);
+            self.cursor += 1;
+            Status::Ready
+        } else {
+            Status::Blocked
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every message sent is delivered exactly once (no Done-dropping in
+    /// this protocol because everyone stays Blocked at the end).
+    #[test]
+    fn messages_are_conserved(
+        plans in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 0..12), 8),
+    ) {
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let programs: Vec<Chatter> = plans
+            .iter()
+            .map(|plan| Chatter { plan: plan.clone(), cursor: 0, received: received.clone() })
+            .collect();
+        let machine = Machine::new(Hypercube::new(8), CostModel::unit());
+        let report = machine.run(programs);
+        let total_sent: usize = plans.iter().map(Vec::len).sum();
+        prop_assert_eq!(report.messages as usize, total_sent);
+        let got = received.borrow();
+        prop_assert_eq!(got.len(), total_sent);
+        // each (src, seq) tag arrives exactly once at its planned dst
+        let mut seen = HashSet::new();
+        for &(src, dst, tag) in got.iter() {
+            prop_assert!(seen.insert(tag), "duplicate delivery of {tag:x}");
+            let planned_dst = plans[src][(tag & 0xffff_ffff) as usize];
+            prop_assert_eq!(dst, planned_dst);
+        }
+    }
+
+    /// Clocks are non-negative, and pure compute costs exactly
+    /// flops × t_flop.
+    #[test]
+    fn compute_clock_exactness(work in proptest::collection::vec(0u64..100_000, 4)) {
+        struct W(u64, bool);
+        impl Program for W {
+            type Msg = ();
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Status {
+                if !self.1 {
+                    ctx.charge_flops(self.0);
+                    self.1 = true;
+                }
+                Status::Done
+            }
+        }
+        let machine = Machine::new(Hypercube::new(4), CostModel::ncube2());
+        let report = machine.run(work.iter().map(|&w| W(w, false)).collect());
+        for (c, &w) in report.clocks.iter().zip(&work) {
+            let want = CostModel::ncube2().t_flop * w as f64;
+            prop_assert!((c - want).abs() < 1e-12 * want.max(1.0));
+        }
+    }
+
+    /// Runs are bit-deterministic.
+    #[test]
+    fn runs_are_deterministic(
+        plans in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 0..8), 8),
+    ) {
+        let run = || {
+            let received = Rc::new(RefCell::new(Vec::new()));
+            let programs: Vec<Chatter> = plans
+                .iter()
+                .map(|p| Chatter { plan: p.clone(), cursor: 0, received: received.clone() })
+                .collect();
+            Machine::new(Hypercube::new(8), CostModel::cm5()).run(programs)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.clocks, b.clocks);
+        prop_assert_eq!(a.supersteps, b.supersteps);
+        prop_assert_eq!(a.words, b.words);
+    }
+}

@@ -1,0 +1,186 @@
+//! Peano–Hilbert ordering.
+//!
+//! The Costzones scheme of Singh et al. (the shared-memory ancestor of DPDA,
+//! §1 and §3.3.3) uses a Peano–Hilbert ordering; the paper's SPDA uses Morton
+//! instead. We provide Hilbert indices so the `bench_ordering` ablation can
+//! compare the two curve choices for cluster assignment: Hilbert has strictly
+//! better worst-case locality (no long Z jumps) at a slightly higher
+//! per-index cost.
+//!
+//! 2-D uses the classic rotation-based algorithm; 3-D uses Skilling's
+//! transpose construction (J. Skilling, "Programming the Hilbert curve",
+//! AIP Conf. Proc. 707, 2004).
+
+/// Hilbert index of cell `(x, y)` on a `2^order × 2^order` grid.
+pub fn hilbert_index_2d(mut x: u32, mut y: u32, order: u32) -> u64 {
+    debug_assert!(order <= 32 && (order == 32 || (x < (1 << order) && y < (1 << order))));
+    let mut rx: u32;
+    let mut ry: u32;
+    let mut d: u64 = 0;
+    let mut s: u32 = order;
+    while s > 0 {
+        s -= 1;
+        rx = (x >> s) & 1;
+        ry = (y >> s) & 1;
+        d += (((3 * rx) ^ ry) as u64) << (2 * s);
+        rot_2d(s, &mut x, &mut y, rx, ry);
+    }
+    d
+}
+
+/// `(x, y)` of the cell with Hilbert index `d` on a `2^order` grid
+/// (inverse of [`hilbert_index_2d`]).
+pub fn hilbert_xy_from_index_2d(d: u64, order: u32) -> (u32, u32) {
+    let (mut x, mut y) = (0u32, 0u32);
+    let mut t = d;
+    for s in 0..order {
+        let rx = (1 & (t / 2)) as u32;
+        let ry = (1 & (t ^ rx as u64)) as u32;
+        rot_2d(s, &mut x, &mut y, rx, ry);
+        x += rx << s;
+        y += ry << s;
+        t /= 4;
+    }
+    (x, y)
+}
+
+/// Rotate/flip the quadrant of a sub-square appropriately (standard helper).
+fn rot_2d(s: u32, x: &mut u32, y: &mut u32, rx: u32, ry: u32) {
+    if ry == 0 {
+        if rx == 1 {
+            let m = if s == 0 { 0 } else { (1u32 << s) - 1 };
+            *x = m.wrapping_sub(*x) & m;
+            *y = m.wrapping_sub(*y) & m;
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Hilbert index of cell `(x, y, z)` on a `2^order` cube, via Skilling's
+/// transpose algorithm: convert axes to transposed Hilbert form, then
+/// interleave.
+pub fn hilbert_index_3d(x: u32, y: u32, z: u32, order: u32) -> u64 {
+    debug_assert!(order <= 21);
+    let mut axes = [x, y, z];
+    axes_to_transpose(&mut axes, order);
+    // Interleave bit-planes: bit b of axes[i] becomes bit (3*b + (2 - i)).
+    let mut key: u64 = 0;
+    for b in 0..order {
+        for (i, &a) in axes.iter().enumerate() {
+            let bit = ((a >> b) & 1) as u64;
+            key |= bit << (3 * b + (2 - i as u32));
+        }
+    }
+    key
+}
+
+/// Skilling's AxestoTranspose for n=3 dimensions.
+fn axes_to_transpose(x: &mut [u32; 3], bits: u32) {
+    if bits == 0 {
+        return;
+    }
+    let n = 3;
+    let mut q: u32 = 1 << (bits - 1);
+    // Inverse undo
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t: u32 = 0;
+    q = 1 << (bits - 1);
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hilbert_2d_order1() {
+        // The order-1 curve visits (0,0), (0,1), (1,1), (1,0).
+        assert_eq!(hilbert_index_2d(0, 0, 1), 0);
+        assert_eq!(hilbert_index_2d(0, 1, 1), 1);
+        assert_eq!(hilbert_index_2d(1, 1, 1), 2);
+        assert_eq!(hilbert_index_2d(1, 0, 1), 3);
+    }
+
+    #[test]
+    fn hilbert_2d_is_a_permutation_and_adjacent() {
+        let order = 4;
+        let n = 1u32 << order;
+        let mut cells: Vec<(u32, u32)> =
+            (0..n).flat_map(|y| (0..n).map(move |x| (x, y))).collect();
+        cells.sort_by_key(|&(x, y)| hilbert_index_2d(x, y, order));
+        // Consecutive cells along the curve are grid neighbors — the key
+        // locality property Morton lacks.
+        for w in cells.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            let d = (x0 as i64 - x1 as i64).abs() + (y0 as i64 - y1 as i64).abs();
+            assert_eq!(d, 1, "non-adjacent step {:?} -> {:?}", w[0], w[1]);
+        }
+        // Permutation: indices are 0..n².
+        let idx: Vec<u64> =
+            cells.iter().map(|&(x, y)| hilbert_index_2d(x, y, order)).collect();
+        assert_eq!(idx, (0..(n as u64 * n as u64)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hilbert_3d_is_a_permutation_and_adjacent() {
+        let order = 3;
+        let n = 1u32 << order;
+        let mut cells: Vec<(u32, u32, u32)> = (0..n)
+            .flat_map(|z| (0..n).flat_map(move |y| (0..n).map(move |x| (x, y, z))))
+            .collect();
+        cells.sort_by_key(|&(x, y, z)| hilbert_index_3d(x, y, z, order));
+        for w in cells.windows(2) {
+            let ((x0, y0, z0), (x1, y1, z1)) = (w[0], w[1]);
+            let d = (x0 as i64 - x1 as i64).abs()
+                + (y0 as i64 - y1 as i64).abs()
+                + (z0 as i64 - z1 as i64).abs();
+            assert_eq!(d, 1, "non-adjacent 3d step {:?} -> {:?}", w[0], w[1]);
+        }
+        let idx: Vec<u64> =
+            cells.iter().map(|&(x, y, z)| hilbert_index_3d(x, y, z, order)).collect();
+        assert_eq!(idx, (0..(n as u64).pow(3)).collect::<Vec<_>>());
+    }
+
+    proptest! {
+        #[test]
+        fn hilbert_2d_roundtrip(x in 0u32..(1<<10), y in 0u32..(1<<10)) {
+            let d = hilbert_index_2d(x, y, 10);
+            prop_assert_eq!(hilbert_xy_from_index_2d(d, 10), (x, y));
+        }
+
+        #[test]
+        fn hilbert_2d_in_range(x in 0u32..(1<<8), y in 0u32..(1<<8)) {
+            prop_assert!(hilbert_index_2d(x, y, 8) < (1u64 << 16));
+        }
+
+        #[test]
+        fn hilbert_3d_in_range(x in 0u32..(1<<7), y in 0u32..(1<<7), z in 0u32..(1<<7)) {
+            prop_assert!(hilbert_index_3d(x, y, z, 7) < (1u64 << 21));
+        }
+    }
+}

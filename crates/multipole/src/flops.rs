@@ -1,0 +1,65 @@
+//! The paper's floating-point cost model (§5.2.1).
+//!
+//! "In our code, each particle–cluster interaction requires `13 + k²·16`
+//! floating point instructions, where k is the degree of polynomial used.
+//! The MAC routine requires 14 floating point instructions. The square root
+//! instruction is assumed to be a single floating point instruction."
+//!
+//! The simulated machine (`bhut-machine`) charges these counts per event, so
+//! the reproduced tables use the *authors' own* work model rather than our
+//! host's instruction timings.
+
+/// Flops per multipole acceptance test.
+pub const MAC_FLOPS: u64 = 14;
+
+/// Flops per particle–cluster (or particle–particle, `degree = 0`)
+/// interaction at multipole degree `degree`.
+#[inline]
+pub fn interaction_flops(degree: u32) -> u64 {
+    13 + 16 * degree as u64 * degree as u64
+}
+
+/// Words (f64s) a *data-shipping* scheme transfers per fetched node at
+/// degree `k` in three dimensions (§4.2.1): the series is Θ(k²) complex
+/// numbers — "a 6 degree multipole expansion consists of 36 complex numbers
+/// or 72 floating point numbers" — plus the 3-word origin of the series.
+#[inline]
+pub fn series_words_3d(degree: u32) -> u64 {
+    2 * degree as u64 * degree as u64 + 3
+}
+
+/// Words a *function-shipping* scheme transfers per shipped particle: the
+/// three coordinates (§3.2) plus one key word identifying the target branch
+/// node.
+pub const FUNCTION_SHIP_WORDS: u64 = 4;
+
+/// Words per returned result (accumulated potential, or potential + 3 force
+/// components).
+pub const RESULT_WORDS: u64 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_constants() {
+        assert_eq!(interaction_flops(0), 13);
+        assert_eq!(interaction_flops(4), 13 + 16 * 16);
+        assert_eq!(interaction_flops(5), 13 + 16 * 25);
+        assert_eq!(MAC_FLOPS, 14);
+    }
+
+    #[test]
+    fn degree_6_series_is_72_words_plus_origin() {
+        assert_eq!(series_words_3d(6), 72 + 3);
+    }
+
+    #[test]
+    fn function_shipping_beats_data_shipping_for_k_ge_2() {
+        // §4.2.1: the advantage appears once the series outweighs the
+        // coordinates — from degree 2 upward in 3-D.
+        for k in 2..8 {
+            assert!(FUNCTION_SHIP_WORDS + RESULT_WORDS < series_words_3d(k));
+        }
+    }
+}

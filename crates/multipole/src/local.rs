@@ -1,0 +1,241 @@
+//! Local (Taylor) expansions and the FMM translation operators.
+//!
+//! §2 of the paper: "FMM computes the potential due to a cluster of
+//! particles at the center of well-separated clusters… FMM, therefore, uses
+//! cluster–cluster interactions in addition to particle–cluster
+//! interactions", and §6 notes the parallel formulations extend to FMM.
+//! This module supplies the missing algebra:
+//!
+//! * [`LocalExpansion`] — the potential of *distant* sources represented as
+//!   a polynomial around a center: `Φ(x) = Σ_b L_b (x − z)^b`.
+//! * **M2L** ([`LocalExpansion::from_multipole`]) — convert a distant multipole
+//!   into a local expansion:
+//!   `L_b = − Σ_a (−1)^{|a|} C(a+b, a) M_a T_{a+b}(z_L − z_M)`.
+//! * **L2L** ([`LocalExpansion::translate`]) — re-center a local expansion:
+//!   `L'_b = Σ_{c ≥ b} C(c, b) (z − z')^{c−b} L_c`.
+//! * **L2P** ([`LocalExpansion::eval`]) — evaluate potential and
+//!   acceleration at a target.
+
+use crate::expansion::Expansion;
+use crate::multiindex::{binomial, MultiIndexSet};
+use crate::taylor::taylor_tensors;
+use bhut_geom::Vec3;
+
+/// A degree-k local (Taylor) expansion of the far-field potential about
+/// `center`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalExpansion {
+    pub center: Vec3,
+    pub degree: u32,
+    /// Coefficients `L_b`, indexed per [`MultiIndexSet::new`]`(degree)`.
+    pub coeffs: Vec<f64>,
+}
+
+impl LocalExpansion {
+    /// The zero local expansion.
+    pub fn zero(center: Vec3, degree: u32) -> Self {
+        LocalExpansion { center, degree, coeffs: vec![0.0; MultiIndexSet::count(degree)] }
+    }
+
+    /// **M2L**: the local expansion (about `center`) of the potential of a
+    /// well-separated multipole cluster. Accuracy requires
+    /// `|center − m.center|` to exceed the sum of both cluster radii.
+    pub fn from_multipole(m: &Expansion, center: Vec3, degree: u32) -> Self {
+        let mset = MultiIndexSet::new(m.degree);
+        let lset = MultiIndexSet::new(degree);
+        // Need tensors to combined order |a| + |b| ≤ m.degree + degree.
+        let tset = MultiIndexSet::new(m.degree + degree);
+        let r = center - m.center;
+        let mut t = Vec::new();
+        taylor_tensors(&tset, r, &mut t);
+        let mut coeffs = vec![0.0; lset.len()];
+        for (bi, &(bx, by, bz)) in lset.indices.iter().enumerate() {
+            let mut acc = 0.0;
+            for (ai, &(ax, ay, az)) in mset.indices.iter().enumerate() {
+                let ma = m.moments[ai];
+                if ma == 0.0 {
+                    continue;
+                }
+                let sign = if (ax + ay + az) % 2 == 0 { 1.0 } else { -1.0 };
+                let c = binomial((ax + bx) as u32, ax as u32)
+                    * binomial((ay + by) as u32, ay as u32)
+                    * binomial((az + bz) as u32, az as u32);
+                acc += sign * ma * c * t[tset.pos(ax + bx, ay + by, az + bz)];
+            }
+            coeffs[bi] = -acc;
+        }
+        LocalExpansion { center, degree, coeffs }
+    }
+
+    /// **L2L**: the same field expanded about `new_center` (exact for
+    /// polynomials — no additional truncation error).
+    pub fn translate(&self, new_center: Vec3) -> LocalExpansion {
+        let set = MultiIndexSet::new(self.degree);
+        let s = new_center - self.center;
+        let mut out = vec![0.0; set.len()];
+        for (bi, &(bx, by, bz)) in set.indices.iter().enumerate() {
+            let mut acc = 0.0;
+            for (ci, &(cx, cy, cz)) in set.indices.iter().enumerate() {
+                if cx < bx || cy < by || cz < bz {
+                    continue;
+                }
+                let c = binomial(cx as u32, bx as u32)
+                    * binomial(cy as u32, by as u32)
+                    * binomial(cz as u32, bz as u32);
+                let shift = s.x.powi((cx - bx) as i32)
+                    * s.y.powi((cy - by) as i32)
+                    * s.z.powi((cz - bz) as i32);
+                acc += c * shift * self.coeffs[ci];
+            }
+            out[bi] = acc;
+        }
+        LocalExpansion { center: new_center, degree: self.degree, coeffs: out }
+    }
+
+    /// Accumulate another local expansion with the same center and degree.
+    pub fn add_assign(&mut self, other: &LocalExpansion) {
+        assert_eq!(self.degree, other.degree, "degree mismatch");
+        assert!(self.center.dist(other.center) == 0.0, "center mismatch");
+        for (a, b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a += b;
+        }
+    }
+
+    /// **L2P**: potential and acceleration at `x`.
+    pub fn eval(&self, x: Vec3) -> (f64, Vec3) {
+        let set = MultiIndexSet::new(self.degree);
+        let d = x - self.center;
+        let mut phi = 0.0;
+        let mut grad = Vec3::ZERO;
+        for (bi, &(bx, by, bz)) in set.indices.iter().enumerate() {
+            let l = self.coeffs[bi];
+            if l == 0.0 {
+                continue;
+            }
+            let px = d.x.powi(bx as i32);
+            let py = d.y.powi(by as i32);
+            let pz = d.z.powi(bz as i32);
+            phi += l * px * py * pz;
+            if bx > 0 {
+                grad.x += l * bx as f64 * d.x.powi(bx as i32 - 1) * py * pz;
+            }
+            if by > 0 {
+                grad.y += l * by as f64 * px * d.y.powi(by as i32 - 1) * pz;
+            }
+            if bz > 0 {
+                grad.z += l * bz as f64 * px * py * d.z.powi(bz as i32 - 1);
+            }
+        }
+        (phi, -grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhut_geom::{uniform_cube, Particle};
+
+    fn cluster(n: usize, seed: u64) -> Vec<Particle> {
+        uniform_cube(n, 1.0, seed).particles
+    }
+
+    fn direct_phi(ps: &[Particle], x: Vec3) -> f64 {
+        ps.iter().map(|p| -p.mass / p.pos.dist(x)).sum()
+    }
+
+    #[test]
+    fn m2l_matches_direct_when_well_separated() {
+        let ps = cluster(60, 1);
+        let m = Expansion::from_particles(Vec3::splat(0.5), 6, ps.iter().map(|p| (p.pos, p.mass)));
+        // local box far from the sources
+        let z = Vec3::new(8.0, 7.5, 8.5);
+        let l = LocalExpansion::from_multipole(&m, z, 6);
+        for dx in [-0.3, 0.0, 0.4] {
+            let x = z + Vec3::new(dx, 0.2, -0.1);
+            let want = direct_phi(&ps, x);
+            let (phi, _) = l.eval(x);
+            assert!(
+                (phi - want).abs() < 1e-6 * want.abs(),
+                "{phi} vs {want} at dx={dx}"
+            );
+        }
+    }
+
+    #[test]
+    fn m2l_error_decreases_with_degree() {
+        let ps = cluster(40, 2);
+        let z = Vec3::new(6.0, 6.0, 6.0);
+        let x = z + Vec3::splat(0.3);
+        let want = direct_phi(&ps, x);
+        let mut prev = f64::INFINITY;
+        for k in [0u32, 2, 4, 6] {
+            let m =
+                Expansion::from_particles(Vec3::splat(0.5), k, ps.iter().map(|p| (p.pos, p.mass)));
+            let l = LocalExpansion::from_multipole(&m, z, k);
+            let err = (l.eval(x).0 - want).abs();
+            assert!(err < prev, "k={k}: {err} !< {prev}");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn l2l_is_exact() {
+        let ps = cluster(50, 3);
+        let m = Expansion::from_particles(Vec3::splat(0.5), 5, ps.iter().map(|p| (p.pos, p.mass)));
+        let z = Vec3::new(7.0, 6.0, 8.0);
+        let l = LocalExpansion::from_multipole(&m, z, 5);
+        let z2 = z + Vec3::new(0.4, -0.2, 0.1);
+        let l2 = l.translate(z2);
+        // translation of a polynomial is exact: same values everywhere
+        for d in [Vec3::ZERO, Vec3::splat(0.2), Vec3::new(-0.3, 0.1, 0.2)] {
+            let x = z2 + d;
+            let (a, ga) = l.eval(x);
+            let (b, gb) = l2.eval(x);
+            assert!((a - b).abs() < 1e-10 * a.abs().max(1e-12), "{a} vs {b}");
+            assert!(ga.dist(gb) < 1e-9 * ga.norm().max(1e-12));
+        }
+    }
+
+    #[test]
+    fn l2p_gradient_is_negative_grad_phi() {
+        let ps = cluster(30, 4);
+        let m = Expansion::from_particles(Vec3::splat(0.5), 4, ps.iter().map(|p| (p.pos, p.mass)));
+        let z = Vec3::new(5.0, 5.0, 5.0);
+        let l = LocalExpansion::from_multipole(&m, z, 4);
+        let x = z + Vec3::new(0.2, -0.3, 0.15);
+        let (_, acc) = l.eval(x);
+        let h = 1e-6;
+        let g = Vec3::new(
+            (l.eval(x + Vec3::new(h, 0.0, 0.0)).0 - l.eval(x - Vec3::new(h, 0.0, 0.0)).0)
+                / (2.0 * h),
+            (l.eval(x + Vec3::new(0.0, h, 0.0)).0 - l.eval(x - Vec3::new(0.0, h, 0.0)).0)
+                / (2.0 * h),
+            (l.eval(x + Vec3::new(0.0, 0.0, h)).0 - l.eval(x - Vec3::new(0.0, 0.0, h)).0)
+                / (2.0 * h),
+        );
+        assert!(acc.dist(-g) < 1e-6 * g.norm().max(1e-12));
+    }
+
+    #[test]
+    fn add_assign_accumulates_fields() {
+        let ps = cluster(40, 5);
+        let (left, right) = ps.split_at(20);
+        let z = Vec3::new(6.5, 6.0, 7.0);
+        let ml = Expansion::from_particles(Vec3::splat(0.4), 4, left.iter().map(|p| (p.pos, p.mass)));
+        let mr =
+            Expansion::from_particles(Vec3::splat(0.6), 4, right.iter().map(|p| (p.pos, p.mass)));
+        let mut l = LocalExpansion::from_multipole(&ml, z, 4);
+        l.add_assign(&LocalExpansion::from_multipole(&mr, z, 4));
+        let x = z + Vec3::splat(0.1);
+        let want = direct_phi(&ps, x);
+        assert!((l.eval(x).0 - want).abs() < 1e-4 * want.abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "center mismatch")]
+    fn add_assign_rejects_center_mismatch() {
+        let mut a = LocalExpansion::zero(Vec3::ZERO, 2);
+        let b = LocalExpansion::zero(Vec3::ONE, 2);
+        a.add_assign(&b);
+    }
+}

@@ -1,0 +1,18 @@
+//! Time integration and simulation diagnostics (system **S8**).
+//!
+//! §2: "one must discretize the system over time intervals and compute the
+//! forces between bodies at each snapshot." This crate supplies the
+//! discretization: a kick-drift-kick **leapfrog** integrator (symplectic,
+//! hence suitable for long gravitational runs), energy and momentum
+//! diagnostics against the direct-summation reference, and JSON snapshot
+//! I/O so long experiments are resumable and the figure data regenerable.
+
+pub mod diagnostics;
+pub mod leapfrog;
+pub mod simulation;
+pub mod snapshot;
+
+pub use diagnostics::{Diagnostics, EnergyReport};
+pub use leapfrog::{drift, kick, leapfrog_step};
+pub use simulation::{Simulation, SimulationConfig, StepReport};
+pub use snapshot::{load_snapshot, save_snapshot, write_positions_csv};

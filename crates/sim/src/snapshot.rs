@@ -1,0 +1,83 @@
+//! Snapshot and figure-data I/O.
+//!
+//! Snapshots are self-describing JSON (particle set + time), so experiment
+//! records in `EXPERIMENTS.md` are regenerable and diffable. Position dumps
+//! are CSV for plotting (Fig. 8 emits one of these).
+
+use bhut_geom::ParticleSet;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// A saved simulation state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub time: f64,
+    pub particles: ParticleSet,
+}
+
+/// Write a snapshot as JSON.
+pub fn save_snapshot(path: &Path, time: f64, particles: &ParticleSet) -> io::Result<()> {
+    let file = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(file, &Snapshot { time, particles: particles.clone() })
+        .map_err(io::Error::other)
+}
+
+/// Read a snapshot back.
+pub fn load_snapshot(path: &Path) -> io::Result<Snapshot> {
+    let file = BufReader::new(File::open(path)?);
+    serde_json::from_reader(file).map_err(io::Error::other)
+}
+
+/// Dump particle positions as `x,y,z` CSV (with header) for plotting.
+pub fn write_positions_csv(out: &mut impl Write, particles: &ParticleSet) -> io::Result<()> {
+    writeln!(out, "x,y,z")?;
+    for p in particles.iter() {
+        writeln!(out, "{},{},{}", p.pos.x, p.pos.y, p.pos.z)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhut_geom::{plummer, PlummerSpec};
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let set = plummer(PlummerSpec { n: 50, seed: 3, ..Default::default() });
+        let dir = std::env::temp_dir().join("bhut_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        save_snapshot(&path, 1.25, &set).unwrap();
+        let snap = load_snapshot(&path).unwrap();
+        assert_eq!(snap.time, 1.25);
+        assert_eq!(snap.particles.len(), set.len());
+        // JSON float formatting can differ by an ULP; demand near-identity.
+        for (a, b) in snap.particles.iter().zip(set.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.mass, b.mass);
+            assert!(a.pos.dist(b.pos) < 1e-12 * (1.0 + b.pos.norm()));
+            assert!(a.vel.dist(b.vel) < 1e-12 * (1.0 + b.vel.norm()));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_snapshot(Path::new("/definitely/not/here.json")).is_err());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let set = plummer(PlummerSpec { n: 5, seed: 1, ..Default::default() });
+        let mut buf = Vec::new();
+        write_positions_csv(&mut buf, &set).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0], "x,y,z");
+        assert_eq!(lines[1].split(',').count(), 3);
+    }
+}

@@ -1,0 +1,351 @@
+//! The shared-memory force executor.
+
+use crate::pool::{fork_join, BlockScheduler};
+use bhut_geom::{Particle, Vec3};
+use bhut_multipole::MultipoleTree;
+use bhut_tree::build::{build, BuildParams};
+use bhut_tree::traverse::TraversalStats;
+use bhut_tree::{BarnesHutMac, Tree};
+use parking_lot::Mutex;
+
+/// How particles are distributed over threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Equal contiguous index blocks (no load intelligence).
+    StaticBlocks,
+    /// Costzones over the Morton-ordered sequence, weighted by the previous
+    /// step's measured per-particle interaction counts.
+    MortonZones,
+    /// Dynamic block self-scheduling from a shared counter.
+    SelfScheduling {
+        /// Particles per grabbed block.
+        block: usize,
+    },
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadConfig {
+    pub threads: usize,
+    pub alpha: f64,
+    /// Multipole degree (0 = monopole).
+    pub degree: u32,
+    pub eps: f64,
+    pub leaf_capacity: usize,
+    pub partitioning: Partitioning,
+}
+
+impl Default for ThreadConfig {
+    fn default() -> Self {
+        ThreadConfig {
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            alpha: 0.67,
+            degree: 0,
+            eps: 1e-4,
+            leaf_capacity: 8,
+            partitioning: Partitioning::MortonZones,
+        }
+    }
+}
+
+/// One force computation's output.
+#[derive(Debug, Clone, Default)]
+pub struct ForceResult {
+    pub accels: Vec<Vec3>,
+    pub potentials: Vec<f64>,
+    pub stats: TraversalStats,
+    /// Interactions performed by each thread (load balance diagnostic).
+    pub per_thread_interactions: Vec<u64>,
+}
+
+impl ForceResult {
+    /// max/mean interactions across threads (1.0 = perfect balance).
+    pub fn imbalance(&self) -> f64 {
+        if self.per_thread_interactions.is_empty() {
+            return 1.0;
+        }
+        let max = *self.per_thread_interactions.iter().max().unwrap() as f64;
+        let mean = self.per_thread_interactions.iter().sum::<u64>() as f64
+            / self.per_thread_interactions.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// A reusable shared-memory simulator; carries per-particle work weights
+/// across steps for [`Partitioning::MortonZones`].
+pub struct ThreadSim {
+    pub config: ThreadConfig,
+    prev_work: Option<Vec<u64>>,
+}
+
+impl ThreadSim {
+    pub fn new(config: ThreadConfig) -> Self {
+        assert!(config.threads > 0);
+        ThreadSim { config, prev_work: None }
+    }
+
+    /// Drop carried load state.
+    pub fn reset(&mut self) {
+        self.prev_work = None;
+    }
+
+    /// Build the tree (and expansions if degree > 0) and compute the force
+    /// and potential on every particle, in parallel.
+    pub fn compute_forces(&mut self, particles: &[Particle]) -> ForceResult {
+        let cfg = self.config;
+        let params = BuildParams::with_leaf_capacity(cfg.leaf_capacity);
+        let tree = if cfg.threads > 1 && !particles.is_empty() {
+            let cell = bhut_geom::Aabb::bounding_cube(particles.iter().map(|p| p.pos), 0.0)
+                .expect("non-empty");
+            crate::ptree::par_build_in_cell(particles, cell, params)
+        } else {
+            build(particles, params)
+        };
+        let mtree =
+            (cfg.degree > 0).then(|| MultipoleTree::new(&tree, particles, cfg.degree));
+        let mac = BarnesHutMac::new(cfg.alpha);
+        let n = particles.len();
+
+        // Evaluation targets in Morton order so contiguous zones are
+        // spatially compact (cache locality + balanced tails).
+        let order: Vec<u32> = tree.order.clone();
+        let eval_one = |pi: u32| -> (f64, Vec3, TraversalStats) {
+            let p = &particles[pi as usize];
+            match &mtree {
+                Some(mt) => {
+                    let (phi, acc, st) =
+                        mt.eval(&tree, particles, p.pos, Some(p.id), &mac, cfg.eps);
+                    (phi, acc, st)
+                }
+                None => {
+                    let (phi, st) = bhut_tree::potential_at(
+                        &tree, particles, p.pos, Some(p.id), &mac, cfg.eps,
+                    );
+                    let (acc, _) =
+                        bhut_tree::accel_on(&tree, particles, p.pos, Some(p.id), &mac, cfg.eps);
+                    (phi, acc, st)
+                }
+            }
+        };
+
+        let accels = Mutex::new(vec![Vec3::ZERO; n]);
+        let potentials = Mutex::new(vec![0.0f64; n]);
+        let work = Mutex::new(vec![0u64; n]);
+
+        let run_range = |positions: &[u32]| -> (u64, TraversalStats) {
+            let mut local: Vec<(u32, f64, Vec3, u64)> = Vec::with_capacity(positions.len());
+            let mut stats = TraversalStats::default();
+            let mut inter = 0;
+            for &pi in positions {
+                let (phi, acc, st) = eval_one(pi);
+                stats.merge(st);
+                inter += st.interactions();
+                local.push((pi, phi, acc, st.interactions()));
+            }
+            // one locked flush per thread-range, not per particle
+            {
+                let mut a = accels.lock();
+                let mut f = potentials.lock();
+                let mut w = work.lock();
+                for (pi, phi, acc, it) in local {
+                    a[pi as usize] = acc;
+                    f[pi as usize] = phi;
+                    w[pi as usize] = it;
+                }
+            }
+            (inter, stats)
+        };
+
+        let per_thread: Vec<(u64, TraversalStats)> = match cfg.partitioning {
+            Partitioning::StaticBlocks => {
+                let bounds = equal_bounds(n, cfg.threads);
+                fork_join(cfg.threads, |t| run_range(&order[bounds[t]..bounds[t + 1]]))
+            }
+            Partitioning::MortonZones => {
+                // Carried weights are only valid while the particle set has
+                // the same cardinality (ids are positional).
+                let bounds = match &self.prev_work {
+                    Some(w) if w.len() == n => weighted_bounds(&order, w, cfg.threads),
+                    _ => equal_bounds(n, cfg.threads),
+                };
+                fork_join(cfg.threads, |t| run_range(&order[bounds[t]..bounds[t + 1]]))
+            }
+            Partitioning::SelfScheduling { block } => {
+                let sched = BlockScheduler::new(n, block);
+                fork_join(cfg.threads, |_| {
+                    let mut inter = 0;
+                    let mut stats = TraversalStats::default();
+                    while let Some((a, b)) = sched.grab() {
+                        let (i, s) = run_range(&order[a..b]);
+                        inter += i;
+                        stats.merge(s);
+                    }
+                    (inter, stats)
+                })
+            }
+        };
+
+        let mut total = TraversalStats::default();
+        let mut per_thread_interactions = Vec::with_capacity(per_thread.len());
+        for (i, s) in per_thread {
+            per_thread_interactions.push(i);
+            total.merge(s);
+        }
+        self.prev_work = Some(work.into_inner());
+        ForceResult {
+            accels: accels.into_inner(),
+            potentials: potentials.into_inner(),
+            stats: total,
+            per_thread_interactions,
+        }
+    }
+
+    /// Access the tree the last force computation would build (for tests and
+    /// diagnostics).
+    pub fn build_tree(&self, particles: &[Particle]) -> Tree {
+        build(particles, BuildParams::with_leaf_capacity(self.config.leaf_capacity))
+    }
+}
+
+/// `threads + 1` equal-count boundaries over `n` items.
+fn equal_bounds(n: usize, threads: usize) -> Vec<usize> {
+    (0..=threads).map(|t| n * t / threads).collect()
+}
+
+/// Costzones boundaries: split the in-order sequence so each zone carries
+/// ≈ equal measured work.
+fn weighted_bounds(order: &[u32], work: &[u64], threads: usize) -> Vec<usize> {
+    let total: u64 = order.iter().map(|&pi| work[pi as usize] + 1).sum();
+    let per = total as f64 / threads as f64;
+    let mut bounds = vec![0usize];
+    let mut acc = 0u64;
+    for (t, &pi) in order.iter().enumerate() {
+        if acc as f64 >= per * bounds.len() as f64 && bounds.len() < threads {
+            bounds.push(t);
+        }
+        acc += work[pi as usize] + 1;
+    }
+    while bounds.len() < threads {
+        bounds.push(order.len());
+    }
+    bounds.push(order.len());
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhut_geom::{plummer, uniform_cube, PlummerSpec};
+    use bhut_tree::direct;
+
+    fn config(threads: usize, partitioning: Partitioning) -> ThreadConfig {
+        ThreadConfig { threads, partitioning, ..Default::default() }
+    }
+
+    #[test]
+    fn matches_direct_summation_closely() {
+        let set = uniform_cube(600, 1.0, 3);
+        let mut sim = ThreadSim::new(ThreadConfig {
+            alpha: 0.3,
+            ..config(3, Partitioning::MortonZones)
+        });
+        let out = sim.compute_forces(&set.particles);
+        let exact = direct::all_accels_direct(&set.particles, sim.config.eps);
+        let err = direct::fractional_error_vec(&out.accels, &exact);
+        assert!(err < 5e-3, "force error {err}");
+    }
+
+    #[test]
+    fn partitionings_agree_exactly() {
+        let set = plummer(PlummerSpec { n: 800, seed: 2, ..Default::default() });
+        let mut results = Vec::new();
+        for part in [
+            Partitioning::StaticBlocks,
+            Partitioning::MortonZones,
+            Partitioning::SelfScheduling { block: 16 },
+        ] {
+            let mut sim = ThreadSim::new(config(4, part));
+            results.push(sim.compute_forces(&set.particles));
+        }
+        for r in &results[1..] {
+            assert_eq!(r.stats.interactions(), results[0].stats.interactions());
+            for i in 0..set.len() {
+                assert!((r.potentials[i] - results[0].potentials[i]).abs() < 1e-12);
+                assert!(r.accels[i].dist(results[0].accels[i]) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let set = uniform_cube(400, 1.0, 5);
+        let one = ThreadSim::new(config(1, Partitioning::StaticBlocks))
+            .compute_forces(&set.particles);
+        let four = ThreadSim::new(config(4, Partitioning::StaticBlocks))
+            .compute_forces(&set.particles);
+        for i in 0..set.len() {
+            assert_eq!(one.potentials[i], four.potentials[i]);
+            assert_eq!(one.accels[i], four.accels[i]);
+        }
+    }
+
+    #[test]
+    fn morton_zones_balance_clustered_load() {
+        // A Plummer core concentrates work; after one warm-up step, the
+        // weighted zones should beat static blocks on imbalance.
+        let set = plummer(PlummerSpec { n: 4000, seed: 7, ..Default::default() });
+        let mut zones = ThreadSim::new(config(4, Partitioning::MortonZones));
+        let _ = zones.compute_forces(&set.particles); // warm-up: measure work
+        let balanced = zones.compute_forces(&set.particles);
+
+        let mut naive = ThreadSim::new(config(4, Partitioning::StaticBlocks));
+        let unbalanced = naive.compute_forces(&set.particles);
+
+        assert!(
+            balanced.imbalance() <= unbalanced.imbalance() + 0.02,
+            "zones {} vs static {}",
+            balanced.imbalance(),
+            unbalanced.imbalance()
+        );
+        assert!(balanced.imbalance() < 1.25, "zones imbalance {}", balanced.imbalance());
+    }
+
+    #[test]
+    fn self_scheduling_balances_without_history() {
+        let set = plummer(PlummerSpec { n: 3000, seed: 8, ..Default::default() });
+        let mut sim = ThreadSim::new(config(4, Partitioning::SelfScheduling { block: 32 }));
+        let out = sim.compute_forces(&set.particles);
+        assert!(out.imbalance() < 1.5, "imbalance {}", out.imbalance());
+    }
+
+    #[test]
+    fn multipole_degree_improves_accuracy() {
+        let set = uniform_cube(500, 1.0, 9);
+        let exact = direct::all_potentials_direct(&set.particles, 1e-4);
+        let err_at = |degree: u32| {
+            let mut sim = ThreadSim::new(ThreadConfig {
+                degree,
+                alpha: 0.9,
+                ..config(2, Partitioning::StaticBlocks)
+            });
+            let out = sim.compute_forces(&set.particles);
+            direct::fractional_error(&out.potentials, &exact)
+        };
+        assert!(err_at(4) < err_at(0));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let mut sim = ThreadSim::new(config(4, Partitioning::MortonZones));
+        let out = sim.compute_forces(&[]);
+        assert!(out.accels.is_empty());
+        let one = uniform_cube(1, 1.0, 1);
+        let out = sim.compute_forces(&one.particles);
+        assert_eq!(out.accels.len(), 1);
+        assert_eq!(out.accels[0], Vec3::ZERO);
+    }
+}

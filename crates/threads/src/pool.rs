@@ -1,0 +1,142 @@
+//! Minimal fork-join helpers over crossbeam scoped threads.
+//!
+//! We deliberately avoid a global thread pool: each parallel region spawns
+//! scoped workers, which keeps lifetimes simple (borrows of the particle
+//! arrays flow straight in) and matches the bulk-synchronous structure of a
+//! treecode time-step. Thread counts are small (≤ cores), so spawn cost is
+//! negligible next to a force phase.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f(thread_index)` on `threads` scoped workers and collect results in
+/// thread order.
+pub fn fork_join<R: Send>(threads: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    assert!(threads > 0);
+    if threads == 1 {
+        return vec![f(0)];
+    }
+    let f = &f;
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..threads).map(|t| s.spawn(move |_| f(t))).collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope panicked")
+}
+
+/// Partition `&mut [T]` into `parts` contiguous chunks with the given
+/// boundaries (`bounds[i]..bounds[i+1]`), handing each to a worker.
+pub fn for_each_zone<T: Send, R: Send>(
+    data: &mut [T],
+    bounds: &[usize],
+    f: impl Fn(usize, &mut [T]) -> R + Sync,
+) -> Vec<R> {
+    let parts = bounds.len() - 1;
+    assert!(parts > 0 && bounds[parts] == data.len());
+    if parts == 1 {
+        return vec![f(0, data)];
+    }
+    // Split the slice along the boundaries, then run scoped workers.
+    let mut chunks: Vec<&mut [T]> = Vec::with_capacity(parts);
+    let mut rest = data;
+    let mut prev = 0;
+    for &b in &bounds[1..] {
+        let (head, tail) = rest.split_at_mut(b - prev);
+        chunks.push(head);
+        rest = tail;
+        prev = b;
+    }
+    let f = &f;
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(t, chunk)| s.spawn(move |_| f(t, chunk)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope panicked")
+}
+
+/// A shared work counter for block self-scheduling: each call hands out the
+/// next block of `block` indices below `total`.
+pub struct BlockScheduler {
+    next: AtomicUsize,
+    total: usize,
+    block: usize,
+}
+
+impl BlockScheduler {
+    pub fn new(total: usize, block: usize) -> Self {
+        BlockScheduler { next: AtomicUsize::new(0), total, block: block.max(1) }
+    }
+
+    /// The next `[start, end)` block, or `None` when exhausted.
+    pub fn grab(&self) -> Option<(usize, usize)> {
+        let start = self.next.fetch_add(self.block, Ordering::Relaxed);
+        if start >= self.total {
+            return None;
+        }
+        Some((start, (start + self.block).min(self.total)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn fork_join_collects_in_order() {
+        let out = fork_join(4, |t| t * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn fork_join_single_thread_runs_inline() {
+        let out = fork_join(1, |t| t + 7);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn zones_cover_disjoint_slices() {
+        let mut data: Vec<u32> = (0..100).collect();
+        let bounds = vec![0, 30, 30, 77, 100];
+        let lens = for_each_zone(&mut data, &bounds, |t, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1000 * (t as u32 + 1);
+            }
+            chunk.len()
+        });
+        assert_eq!(lens, vec![30, 0, 47, 23]);
+        assert_eq!(data[0], 1000);
+        assert_eq!(data[30], 3030);
+        assert_eq!(data[99], 4099);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zones_require_full_coverage() {
+        let mut data = [0u8; 10];
+        let _ = for_each_zone(&mut data, &[0, 5], |_, _| ());
+    }
+
+    #[test]
+    fn scheduler_hands_out_every_index_once() {
+        let sched = BlockScheduler::new(1000, 7);
+        let seen = AtomicU64::new(0);
+        fork_join(4, |_| {
+            let mut local = 0u64;
+            while let Some((a, b)) = sched.grab() {
+                local += (a..b).map(|i| i as u64).sum::<u64>();
+            }
+            seen.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), (0..1000u64).sum());
+    }
+
+    #[test]
+    fn scheduler_empty() {
+        let sched = BlockScheduler::new(0, 8);
+        assert_eq!(sched.grab(), None);
+    }
+}

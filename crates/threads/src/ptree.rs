@@ -1,0 +1,190 @@
+//! Parallel tree construction for shared memory.
+//!
+//! The distributed construction of §3.1 has each processor build the
+//! subtrees of its own subdomains and then merge tops. The shared-memory
+//! rendition: split the root cell into its eight octants, build each
+//! octant's subtree on its own thread with the sequential bulk builder,
+//! then splice the arenas together under a fresh root. The result is
+//! structurally identical to a sequential [`bhut_tree::build::build_in_cell`]
+//! with the same parameters (modulo empty-octant ordering, which the
+//! sequential builder also skips).
+
+use crate::pool::fork_join;
+use bhut_geom::{Aabb, Particle, Vec3};
+use bhut_morton::NodeKey;
+use bhut_tree::build::{build_in_cell, BuildParams};
+use bhut_tree::{Node, Tree, NIL};
+
+/// Build a tree over `particles` in `cell`, with the eight top-level
+/// octant subtrees constructed in parallel.
+pub fn par_build_in_cell(particles: &[Particle], cell: Aabb, params: BuildParams) -> Tree {
+    let n = particles.len();
+    // Tiny inputs and forced-split configurations fall back to the
+    // sequential builder (forced splits interact with the root split in
+    // ways not worth parallelizing).
+    if n <= params.leaf_capacity || params.min_split_level > 0 {
+        return build_in_cell(particles, cell, params);
+    }
+
+    // Bin particles by top-level octant.
+    let mut octant_members: [Vec<u32>; 8] = Default::default();
+    for (i, p) in particles.iter().enumerate() {
+        octant_members[cell.octant_of(p.pos.min(cell.max).max(cell.min))].push(i as u32);
+    }
+
+    // Build the eight subtrees in parallel. Each worker gets an owned copy
+    // of its octant's particles (indices remapped on splice).
+    let subtrees: Vec<Option<(usize, Tree, Vec<u32>)>> = fork_join(8, |oct| {
+        let members = &octant_members[oct];
+        if members.is_empty() {
+            return None;
+        }
+        let local: Vec<Particle> =
+            members.iter().map(|&i| particles[i as usize]).collect();
+        let sub = build_in_cell(&local, cell.octant(oct), params);
+        Some((oct, sub, members.clone()))
+    });
+
+    // Splice: new arena = [root] ++ subtree arenas (ids offset), order =
+    // concatenation with indices mapped back to the global slice, keys
+    // re-prefixed under the root.
+    let mut nodes: Vec<Node> = Vec::with_capacity(1 + n / params.leaf_capacity.max(1));
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut root_children = [NIL; 8];
+    let mut mass = 0.0;
+    let mut weighted = Vec3::ZERO;
+    nodes.push(Node {
+        cell,
+        key: NodeKey::ROOT,
+        mass: 0.0,
+        com: Vec3::ZERO,
+        children: [NIL; 8],
+        start: 0,
+        end: n as u32,
+    });
+    for entry in subtrees.into_iter().flatten() {
+        let (oct, sub, members) = entry;
+        if sub.is_empty() {
+            continue;
+        }
+        let id_offset = nodes.len() as u32;
+        let pos_offset = order.len() as u32;
+        root_children[oct] = id_offset;
+        for node in &sub.nodes {
+            let mut children = node.children;
+            for c in children.iter_mut() {
+                if *c != NIL {
+                    *c += id_offset;
+                }
+            }
+            // Re-prefix the key: subtree keys start at ROOT; the subtree
+            // root actually sits at ROOT.child(oct) (possibly deeper after
+            // collapsing — preserved by path splicing).
+            let key = NodeKey::from_path(
+                &std::iter::once(oct as u8)
+                    .chain(node.key.path())
+                    .collect::<Vec<u8>>(),
+            );
+            nodes.push(Node {
+                cell: node.cell,
+                key,
+                mass: node.mass,
+                com: node.com,
+                children,
+                start: node.start + pos_offset,
+                end: node.end + pos_offset,
+            });
+        }
+        order.extend(sub.order.iter().map(|&local_i| members[local_i as usize]));
+        let sub_root = &sub.nodes[0];
+        mass += sub_root.mass;
+        weighted += sub_root.com * sub_root.mass;
+    }
+    nodes[0].children = root_children;
+    nodes[0].mass = mass;
+    nodes[0].com = if mass > 0.0 {
+        weighted / mass
+    } else {
+        cell.center()
+    };
+    Tree { nodes, order, root_cell: cell }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhut_geom::{plummer, uniform_cube, PlummerSpec};
+    use bhut_tree::BarnesHutMac;
+
+    #[test]
+    fn parallel_build_is_valid() {
+        let set = uniform_cube(3000, 1.0, 5);
+        let cell = set.bounding_cube().unwrap();
+        let t = par_build_in_cell(&set.particles, cell, BuildParams::default());
+        t.check_invariants(set.len()).unwrap();
+        assert_eq!(t.root().count() as usize, set.len());
+        assert!((t.root().mass - set.total_mass()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_sequential_physics() {
+        let set = plummer(PlummerSpec { n: 2000, seed: 3, ..Default::default() });
+        let cell = set.bounding_cube().unwrap();
+        let par = par_build_in_cell(&set.particles, cell, BuildParams::default());
+        let seq = build_in_cell(&set.particles, cell, BuildParams::default());
+        let mac = BarnesHutMac::new(0.6);
+        for p in set.iter().take(100) {
+            let (a, _) = bhut_tree::potential_at(&par, &set.particles, p.pos, Some(p.id), &mac, 1e-4);
+            let (b, _) = bhut_tree::potential_at(&seq, &set.particles, p.pos, Some(p.id), &mac, 1e-4);
+            assert!((a - b).abs() < 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_structure() {
+        // Same multiset of (key, particle set) leaves.
+        let set = uniform_cube(800, 1.0, 9);
+        let cell = set.bounding_cube().unwrap();
+        let par = par_build_in_cell(&set.particles, cell, BuildParams::default());
+        let seq = build_in_cell(&set.particles, cell, BuildParams::default());
+        let leaves = |t: &Tree| {
+            let mut v: Vec<(u64, Vec<u32>)> = t
+                .nodes
+                .iter()
+                .filter(|n| n.is_leaf())
+                .map(|n| {
+                    let mut ps = t.order[n.start as usize..n.end as usize].to_vec();
+                    ps.sort_unstable();
+                    (n.key.raw(), ps)
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(leaves(&par), leaves(&seq));
+    }
+
+    #[test]
+    fn small_inputs_fall_back() {
+        let set = uniform_cube(4, 1.0, 1);
+        let cell = set.bounding_cube().unwrap();
+        let t = par_build_in_cell(&set.particles, cell, BuildParams::default());
+        t.check_invariants(4).unwrap();
+        assert!(t.root().is_leaf());
+    }
+
+    #[test]
+    fn empty_octants_are_fine() {
+        // All particles crammed in one octant.
+        let set = uniform_cube(500, 1.0, 2);
+        let mut clustered = set.clone();
+        for p in &mut clustered.particles {
+            p.pos *= 0.25; // everything in the low octant
+        }
+        let cell = Aabb::origin_cube(1.0);
+        let t = par_build_in_cell(&clustered.particles, cell, BuildParams::default());
+        t.check_invariants(500).unwrap();
+        let children: Vec<_> = t.children_of(0).collect();
+        assert_eq!(children.len(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Exact `O(n²)` direct summation.
+//!
+//! §2: "an accurate formulation of the n-body problem has a Θ(n²) complexity
+//! for an n particle system". Direct summation is both the baseline the
+//! hierarchical method is measured against (complexity) and the accuracy
+//! reference for the fractional-error metric of §5.2.2:
+//! `‖x_k − x‖ / ‖x‖` where `x` is the exact potential vector.
+
+use crate::traverse::{accel_kernel, potential_kernel};
+use bhut_geom::{Particle, Vec3};
+
+/// Exact acceleration at `point`, excluding particle `skip_id` if given.
+pub fn accel_direct(particles: &[Particle], point: Vec3, skip_id: Option<u32>, eps: f64) -> Vec3 {
+    let mut acc = Vec3::ZERO;
+    for p in particles {
+        if Some(p.id) == skip_id {
+            continue;
+        }
+        acc += accel_kernel(point, p.pos, p.mass, eps);
+    }
+    acc
+}
+
+/// Exact potential at `point`, excluding particle `skip_id` if given.
+pub fn potential_direct(particles: &[Particle], point: Vec3, skip_id: Option<u32>, eps: f64) -> f64 {
+    let mut phi = 0.0;
+    for p in particles {
+        if Some(p.id) == skip_id {
+            continue;
+        }
+        phi += potential_kernel(point, p.pos, p.mass, eps);
+    }
+    phi
+}
+
+/// Exact accelerations for every particle (each excluding itself).
+pub fn all_accels_direct(particles: &[Particle], eps: f64) -> Vec<Vec3> {
+    particles
+        .iter()
+        .map(|p| accel_direct(particles, p.pos, Some(p.id), eps))
+        .collect()
+}
+
+/// Exact potentials for every particle (each excluding itself).
+pub fn all_potentials_direct(particles: &[Particle], eps: f64) -> Vec<f64> {
+    particles
+        .iter()
+        .map(|p| potential_direct(particles, p.pos, Some(p.id), eps))
+        .collect()
+}
+
+/// The fractional error of §5.2.2: `‖approx − exact‖ / ‖exact‖` over a
+/// vector of per-particle scalars (potentials).
+///
+/// # Panics
+/// If the slices differ in length or the exact vector is all-zero.
+pub fn fractional_error(approx: &[f64], exact: &[f64]) -> f64 {
+    assert_eq!(approx.len(), exact.len());
+    let num: f64 = approx.iter().zip(exact).map(|(a, e)| (a - e) * (a - e)).sum();
+    let den: f64 = exact.iter().map(|e| e * e).sum();
+    assert!(den > 0.0, "exact vector is zero");
+    (num / den).sqrt()
+}
+
+/// Fractional error over per-particle vectors (forces/accelerations).
+pub fn fractional_error_vec(approx: &[Vec3], exact: &[Vec3]) -> f64 {
+    assert_eq!(approx.len(), exact.len());
+    let num: f64 = approx.iter().zip(exact).map(|(a, e)| a.dist_sq(*e)).sum();
+    let den: f64 = exact.iter().map(|e| e.norm_sq()).sum();
+    assert!(den > 0.0, "exact vector is zero");
+    (num / den).sqrt()
+}
+
+/// Total gravitational potential energy `Σ_{i<j} -m_i m_j / r_ij` (softened).
+/// Used for the energy-conservation diagnostics in `bhut-sim`.
+pub fn potential_energy(particles: &[Particle], eps: f64) -> f64 {
+    let mut e = 0.0;
+    for (i, a) in particles.iter().enumerate() {
+        for b in &particles[i + 1..] {
+            e += a.mass * potential_kernel(a.pos, b.pos, b.mass, eps);
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhut_geom::uniform_cube;
+
+    #[test]
+    fn two_body_inverse_square() {
+        let particles = [
+            Particle::new(0, 2.0, Vec3::ZERO, Vec3::ZERO),
+            Particle::new(1, 1.0, Vec3::new(2.0, 0.0, 0.0), Vec3::ZERO),
+        ];
+        // Force per unit mass on particle 1 from mass 2 at distance 2:
+        // a = m/r² = 0.5 toward the origin.
+        let a = accel_direct(&particles, particles[1].pos, Some(1), 0.0);
+        assert!((a.x + 0.5).abs() < 1e-14);
+        assert!(a.y.abs() < 1e-14 && a.z.abs() < 1e-14);
+        // Potential at particle 1: -2/2 = -1.
+        let phi = potential_direct(&particles, particles[1].pos, Some(1), 0.0);
+        assert!((phi + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn newton_third_law() {
+        let set = uniform_cube(30, 1.0, 5);
+        let accels = all_accels_direct(&set.particles, 1e-3);
+        // Total momentum change Σ m·a = 0 for internal forces.
+        let total: Vec3 = set
+            .particles
+            .iter()
+            .zip(&accels)
+            .map(|(p, a)| *a * p.mass)
+            .sum();
+        assert!(total.norm() < 1e-10, "net internal force {total:?}");
+    }
+
+    #[test]
+    fn softening_regularizes_coincident_points() {
+        let particles = [
+            Particle::new(0, 1.0, Vec3::ZERO, Vec3::ZERO),
+            Particle::new(1, 1.0, Vec3::ZERO, Vec3::ZERO),
+        ];
+        let a = accel_direct(&particles, Vec3::ZERO, Some(0), 1e-3);
+        assert!(a.is_finite());
+        let a0 = accel_direct(&particles, Vec3::ZERO, Some(0), 0.0);
+        assert_eq!(a0, Vec3::ZERO); // kernel guards r=0 even unsoftened
+    }
+
+    #[test]
+    fn fractional_error_basics() {
+        assert_eq!(fractional_error(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        let e = fractional_error(&[1.1, 0.0], &[1.0, 0.0]);
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact vector is zero")]
+    fn fractional_error_zero_reference_panics() {
+        let _ = fractional_error(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn potential_energy_pairwise() {
+        let particles = [
+            Particle::new(0, 1.0, Vec3::ZERO, Vec3::ZERO),
+            Particle::new(1, 1.0, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO),
+            Particle::new(2, 1.0, Vec3::new(0.0, 1.0, 0.0), Vec3::ZERO),
+        ];
+        // pairs: (0,1) r=1, (0,2) r=1, (1,2) r=√2
+        let expect = -1.0 - 1.0 - 1.0 / 2f64.sqrt();
+        assert!((potential_energy(&particles, 0.0) - expect).abs() < 1e-12);
+    }
+}

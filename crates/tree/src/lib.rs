@@ -1,0 +1,34 @@
+//! The sequential Barnes–Hut treecode (substrate **S3**).
+//!
+//! §2 of the paper: the method "works in two phases: the tree construction
+//! phase and the force computation phase". This crate implements both for a
+//! single address space, plus the `O(n²)` direct-summation baseline that
+//! defines the accuracy reference for the fractional-error experiments
+//! (Tables 6 and 7).
+//!
+//! * [`build`] — oct-tree construction: a cache-friendly bulk build over
+//!   Morton-sorted particles (with *box collapsing*, which restores the
+//!   `O(n log n)` bound for adversarial inputs) and an incremental
+//!   insertion build (the "particle injection" formulation of §3.1 used by
+//!   the distributed construction).
+//! * [`mac`] — multipole acceptance criteria: the Barnes–Hut α-criterion and
+//!   the minimum-distance variant of Warren & Salmon with a bounded
+//!   worst-case error.
+//! * [`traverse`] — force/potential evaluation with per-node interaction
+//!   counting (the unit of load for the paper's balancing schemes, §3.3).
+//! * [`direct`] — exact `O(n²)` summation.
+//! * [`binary`] — the median-split binary treecode variant §2 cites
+//!   (fewer nodes, controlled aspect ratios).
+
+pub mod binary;
+pub mod build;
+pub mod direct;
+pub mod mac;
+pub mod node;
+pub mod traverse;
+
+pub use binary::BinaryTree;
+pub use build::BuildParams;
+pub use mac::{BarnesHutMac, Mac, MinDistMac};
+pub use node::{Node, NodeId, Tree, NIL};
+pub use traverse::{accel_on, potential_at, Interaction, TraversalStats};

@@ -1,0 +1,207 @@
+//! Multipole acceptance criteria (MACs).
+//!
+//! §2: "The multipole acceptance criterion for the Barnes–Hut method computes
+//! the ratio of the dimension of the box to the distance of the point from
+//! the center of mass of the box. If this ratio is less than some constant,
+//! α, an interaction can be computed." Larger α accepts boxes at shorter
+//! range — fewer expansions, faster, less accurate (Table 7 sweeps α over
+//! {0.67, 0.80, 1.0}).
+//!
+//! [`MinDistMac`] is the variant attributed to Warren & Salmon (§2) that
+//! measures distance to the *nearest point of the box*, trading a few more
+//! expansions for a bounded worst-case error (the plain criterion can accept
+//! a box that still contains the evaluation point's near field when the
+//! center of mass sits far off-center).
+
+use bhut_geom::{Aabb, Vec3};
+
+/// Decides whether a particle–node interaction may be approximated by the
+/// node's multipole expansion.
+pub trait Mac {
+    /// `true` if the node `(cell, com)` is acceptable for evaluation at
+    /// `point`.
+    fn accept(&self, cell: &Aabb, com: Vec3, point: Vec3) -> bool;
+
+    /// Number of floating-point operations one acceptance test costs in the
+    /// paper's machine model (§5.2.1: "The MAC routine requires 14 floating
+    /// point instructions").
+    fn flops(&self) -> u64 {
+        14
+    }
+}
+
+/// The classic Barnes–Hut α-criterion: accept iff `side / dist(com) < α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BarnesHutMac {
+    pub alpha: f64,
+}
+
+impl BarnesHutMac {
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        BarnesHutMac { alpha }
+    }
+}
+
+impl Mac for BarnesHutMac {
+    #[inline]
+    fn accept(&self, cell: &Aabb, com: Vec3, point: Vec3) -> bool {
+        // side/dist < alpha  ⇔  side² < α² · dist²  (avoids the sqrt)
+        let side = cell.side();
+        let d2 = com.dist_sq(point);
+        side * side < self.alpha * self.alpha * d2
+    }
+}
+
+/// Warren–Salmon style minimum-distance criterion: accept iff
+/// `side / dist(nearest box point) < α`. Strictly more conservative than
+/// [`BarnesHutMac`] at equal α.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinDistMac {
+    pub alpha: f64,
+}
+
+impl MinDistMac {
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        MinDistMac { alpha }
+    }
+}
+
+impl Mac for MinDistMac {
+    #[inline]
+    fn accept(&self, cell: &Aabb, _com: Vec3, point: Vec3) -> bool {
+        let side = cell.side();
+        let d2 = cell.dist_sq_to(point);
+        side * side < self.alpha * self.alpha * d2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_cell() -> Aabb {
+        Aabb::origin_cube(1.0)
+    }
+
+    #[test]
+    fn bh_accepts_far_rejects_near() {
+        let mac = BarnesHutMac::new(1.0);
+        let com = unit_cell().center();
+        // dist 10 ≫ side 1 → accept
+        assert!(mac.accept(&unit_cell(), com, Vec3::new(10.0, 0.5, 0.5)));
+        // dist 0.6 < side 1 → reject
+        assert!(!mac.accept(&unit_cell(), com, Vec3::new(1.1, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn smaller_alpha_is_stricter() {
+        let loose = BarnesHutMac::new(1.0);
+        let strict = BarnesHutMac::new(0.5);
+        let com = unit_cell().center();
+        let p = Vec3::new(2.0, 0.5, 0.5); // dist 1.5, side 1: ratio 0.67
+        assert!(loose.accept(&unit_cell(), com, p));
+        assert!(!strict.accept(&unit_cell(), com, p));
+    }
+
+    #[test]
+    fn threshold_is_strict_inequality() {
+        // ratio exactly α must NOT accept ("less than some constant α").
+        let mac = BarnesHutMac::new(0.5);
+        let com = unit_cell().center();
+        let p = Vec3::new(0.5 + 2.0, 0.5, 0.5); // dist = 2.0, side 1 → ratio 0.5
+        assert!(!mac.accept(&unit_cell(), com, p));
+    }
+
+    #[test]
+    fn min_dist_is_more_conservative() {
+        let a = 0.9;
+        let bh = BarnesHutMac::new(a);
+        let md = MinDistMac::new(a);
+        // A point whose distance to the COM passes but whose distance to the
+        // box surface fails.
+        let com = Vec3::new(0.1, 0.1, 0.1); // off-center COM
+        let p = Vec3::new(-1.1, 0.5, 0.5); // 1.26 from com, 1.1 from box
+        assert!(bh.accept(&unit_cell(), com, p));
+        assert!(!md.accept(&unit_cell(), com, p));
+        // Generally: md accepting implies bh would accept at the same α for
+        // any com inside the cell (dist-to-box ≤ dist-to-com)… spot check:
+        for i in 0..20 {
+            let p = Vec3::new(1.0 + 0.2 * i as f64, 0.3, 0.7);
+            if md.accept(&unit_cell(), unit_cell().center(), p) {
+                assert!(bh.accept(&unit_cell(), unit_cell().center(), p));
+            }
+        }
+    }
+
+    #[test]
+    fn point_inside_box_never_accepted_by_min_dist() {
+        let md = MinDistMac::new(10.0);
+        assert!(!md.accept(&unit_cell(), unit_cell().center(), Vec3::splat(0.4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_rejected() {
+        let _ = BarnesHutMac::new(0.0);
+    }
+
+    #[test]
+    fn mac_flop_cost_matches_paper() {
+        assert_eq!(BarnesHutMac::new(1.0).flops(), 14);
+    }
+}
+
+#[cfg(test)]
+mod comparison_tests {
+    use super::*;
+    use crate::build::{build, BuildParams};
+    use crate::direct;
+    use crate::traverse::potential_at;
+    use bhut_geom::{plummer, PlummerSpec};
+
+    /// The Warren–Salmon min-distance criterion buys better worst-case
+    /// accuracy for more interactions at the same α (§2's discussion of
+    /// MAC variants).
+    #[test]
+    fn min_dist_trades_work_for_accuracy() {
+        let set = plummer(PlummerSpec { n: 2000, seed: 12, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::default());
+        let eps = 1e-4;
+        let run = |use_min_dist: bool| -> (u64, f64) {
+            let mut inter = 0;
+            let mut approx = Vec::new();
+            let mut exact = Vec::new();
+            for p in set.iter().take(300) {
+                let (phi, st) = if use_min_dist {
+                    potential_at(&tree, &set.particles, p.pos, Some(p.id), &MinDistMac::new(0.8), eps)
+                } else {
+                    potential_at(&tree, &set.particles, p.pos, Some(p.id), &BarnesHutMac::new(0.8), eps)
+                };
+                inter += st.interactions();
+                approx.push(phi);
+                exact.push(direct::potential_direct(&set.particles, p.pos, Some(p.id), eps));
+            }
+            (inter, direct::fractional_error(&approx, &exact))
+        };
+        let (work_bh, err_bh) = run(false);
+        let (work_md, err_md) = run(true);
+        assert!(work_md > work_bh, "min-dist must do more interactions: {work_md} vs {work_bh}");
+        assert!(err_md < err_bh, "min-dist must be more accurate: {err_md} vs {err_bh}");
+    }
+
+    /// Worst-case guard: an off-center center of mass near the evaluation
+    /// point. BH-MAC can accept the box; min-dist never accepts a box the
+    /// point is close to.
+    #[test]
+    fn min_dist_rejects_near_boxes_regardless_of_com() {
+        use bhut_geom::{Aabb, Vec3};
+        let cell = Aabb::origin_cube(1.0);
+        let md = MinDistMac::new(2.0); // very loose
+        // point touching the box surface
+        for p in [Vec3::new(1.0001, 0.5, 0.5), Vec3::new(0.5, -0.0001, 0.5)] {
+            assert!(!md.accept(&cell, cell.center(), p), "{p:?}");
+        }
+    }
+}

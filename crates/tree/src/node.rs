@@ -1,0 +1,246 @@
+//! Arena-based oct-tree storage.
+//!
+//! Nodes live in one flat `Vec`; children are looked up through a
+//! `[NodeId; 8]` table indexed by octant (0 = absent, valid because slot 0
+//! always holds the root). Every node — internal or leaf — covers a
+//! contiguous range of `Tree::order`, the Morton-permuted particle index
+//! array, so "the particles under node X" is always a slice. That property
+//! is load-bearing for the DPDA costzones scheme, which carves the in-order
+//! particle sequence at load boundaries.
+
+use bhut_geom::{Aabb, Vec3};
+use bhut_morton::NodeKey;
+
+/// Index of a node in [`Tree::nodes`].
+pub type NodeId = u32;
+
+/// Absent-child sentinel. Slot 0 of the arena is the root, which is never
+/// anybody's child, so 0 is free to mean "no child".
+pub const NIL: NodeId = 0;
+
+/// One oct-tree node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The (cubic, axis-aligned) cell this node covers. With box collapsing
+    /// this can be a strict descendant cell of the parent's octant.
+    pub cell: Aabb,
+    /// Warren–Salmon path key of this node (see `bhut_morton::keys`).
+    pub key: NodeKey,
+    /// Total mass of the subtree.
+    pub mass: f64,
+    /// Center of mass of the subtree.
+    pub com: Vec3,
+    /// Children by octant; `NIL` where the octant is empty. All-`NIL` for
+    /// leaves.
+    pub children: [NodeId; 8],
+    /// Range `[start, end)` into [`Tree::order`] of the particles below this
+    /// node.
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Node {
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.iter().all(|&c| c == NIL)
+    }
+
+    /// Number of particles in the subtree.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.end - self.start
+    }
+}
+
+/// An immutable Barnes–Hut oct-tree over a borrowed particle slice.
+///
+/// The tree stores particle *indices* only; traversals take the particle
+/// slice as an argument so one tree can serve several derived arrays
+/// (positions at different half-steps, etc.).
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// Node arena; slot 0 is the root.
+    pub nodes: Vec<Node>,
+    /// Morton-permuted particle indices; each node covers a contiguous
+    /// range.
+    pub order: Vec<u32>,
+    /// The root cell used for the build.
+    pub root_cell: Aabb,
+}
+
+impl Tree {
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> &Node {
+        &self.nodes[0]
+    }
+
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of the present children of `id`, in octant (Z-curve) order.
+    pub fn children_of(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(id).children.iter().copied().filter(|&c| c != NIL)
+    }
+
+    /// Indices (into the original particle slice) of the particles under
+    /// node `id`, in Morton order.
+    #[inline]
+    pub fn particles_under(&self, id: NodeId) -> &[u32] {
+        let n = self.node(id);
+        &self.order[n.start as usize..n.end as usize]
+    }
+
+    /// Depth of the tree (root = depth 1; empty tree = 0).
+    pub fn depth(&self) -> u32 {
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let mut max = 0;
+        let mut stack = vec![(0 as NodeId, 1u32)];
+        while let Some((id, d)) = stack.pop() {
+            max = max.max(d);
+            for c in self.children_of(id) {
+                stack.push((c, d + 1));
+            }
+        }
+        max
+    }
+
+    /// Count of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Walk the tree depth-first in octant order, calling `f(id, level)` on
+    /// every node. This is the "in-order" (left-to-right) order the DPDA
+    /// load-boundary search uses — with Morton child ordering it enumerates
+    /// particles along the Z-curve.
+    pub fn walk(&self, mut f: impl FnMut(NodeId, u32)) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        // Recursion via explicit stack; children pushed in reverse so they
+        // pop in octant order.
+        let mut stack = vec![(0 as NodeId, 0u32)];
+        while let Some((id, level)) = stack.pop() {
+            f(id, level);
+            let n = self.node(id);
+            for &c in n.children.iter().rev() {
+                if c != NIL {
+                    stack.push((c, level + 1));
+                }
+            }
+        }
+    }
+
+    /// Find the deepest node whose cell contains `p`, starting from the
+    /// root. Returns `None` for an empty tree or a point outside the root
+    /// cell.
+    pub fn locate(&self, p: Vec3) -> Option<NodeId> {
+        if self.nodes.is_empty() || !self.root_cell.contains(p) {
+            return None;
+        }
+        let mut id: NodeId = 0;
+        loop {
+            let n = self.node(id);
+            if !n.cell.contains(p) {
+                // box collapsing can shrink a child cell away from p
+                return Some(id);
+            }
+            let oct = n.cell.octant_of(p);
+            let c = n.children[oct];
+            if c == NIL {
+                return Some(id);
+            }
+            id = c;
+        }
+    }
+
+    /// Sanity-check structural invariants; returns a description of the
+    /// first violation. Used by tests and debug assertions, not hot paths.
+    pub fn check_invariants(&self, particles_len: usize) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return if self.order.is_empty() {
+                Ok(())
+            } else {
+                Err("empty arena but non-empty order".into())
+            };
+        }
+        if self.order.len() != particles_len {
+            return Err(format!(
+                "order len {} != particles {}",
+                self.order.len(),
+                particles_len
+            ));
+        }
+        // order is a permutation
+        let mut seen = vec![false; particles_len];
+        for &i in &self.order {
+            let i = i as usize;
+            if i >= particles_len || seen[i] {
+                return Err(format!("order not a permutation at {i}"));
+            }
+            seen[i] = true;
+        }
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![0 as NodeId];
+        while let Some(id) = stack.pop() {
+            if visited[id as usize] {
+                return Err(format!("node {id} reached twice"));
+            }
+            visited[id as usize] = true;
+            let n = self.node(id);
+            if n.start > n.end || n.end as usize > particles_len {
+                return Err(format!("node {id} bad range {}..{}", n.start, n.end));
+            }
+            if !n.is_leaf() {
+                // children ranges tile the parent range in octant order
+                let mut cursor = n.start;
+                let mut child_total = 0;
+                for &c in &n.children {
+                    if c == NIL {
+                        continue;
+                    }
+                    let ch = self.node(c);
+                    if ch.start != cursor {
+                        return Err(format!(
+                            "node {id}: child {c} starts at {} expected {cursor}",
+                            ch.start
+                        ));
+                    }
+                    cursor = ch.end;
+                    child_total += ch.count();
+                    if !n.cell.contains_box(&ch.cell) {
+                        return Err(format!("node {id}: child {c} cell escapes parent"));
+                    }
+                    stack.push(c);
+                }
+                if child_total != n.count() || cursor != n.end {
+                    return Err(format!("node {id}: children don't tile range"));
+                }
+            }
+            // mass/com consistency is checked by build tests against
+            // particle data; here check only finiteness.
+            if !n.com.is_finite() || !n.mass.is_finite() {
+                return Err(format!("node {id}: non-finite mass/com"));
+            }
+        }
+        if visited.iter().any(|&v| !v) {
+            return Err("unreachable nodes in arena".into());
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,71 @@
+//! FMM vs Barnes–Hut: the extension §2/§6 of the paper points to. Compares
+//! work counts and accuracy of the two hierarchical methods on the same
+//! tree, plus direct summation as ground truth.
+//!
+//! ```text
+//! cargo run --release --example fmm_vs_barnes_hut -- [n]
+//! ```
+
+use barnes_hut::fmm::{Fmm, FmmConfig};
+use barnes_hut::geom::{plummer, PlummerSpec};
+use barnes_hut::multipole::MultipoleTree;
+use barnes_hut::tree::{build, direct, BarnesHutMac, BuildParams};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5_000);
+    let set = plummer(PlummerSpec { n, seed: 11, ..Default::default() });
+    let tree = build::build(&set.particles, BuildParams::default());
+    println!("{n} particles, {} tree nodes\n", tree.len());
+
+    let exact = direct::all_potentials_direct(&set.particles, 0.0);
+
+    println!(
+        "{:<22} {:>14} {:>14} {:>12}",
+        "method", "p2n / m2l", "p2p", "error %"
+    );
+
+    // Barnes–Hut at matching accuracy parameters.
+    for degree in [2u32, 4] {
+        let mac = BarnesHutMac::new(0.7);
+        let mt = MultipoleTree::new(&tree, &set.particles, degree);
+        let mut p2n = 0;
+        let mut p2p = 0;
+        let phis: Vec<f64> = set
+            .particles
+            .iter()
+            .map(|p| {
+                let (phi, _, st) =
+                    mt.eval(&tree, &set.particles, p.pos, Some(p.id), &mac, 0.0);
+                p2n += st.p2n;
+                p2p += st.p2p;
+                phi
+            })
+            .collect();
+        let err = direct::fractional_error(&phis, &exact);
+        println!(
+            "{:<22} {p2n:>14} {p2p:>14} {:>12.5}",
+            format!("Barnes-Hut k={degree}"),
+            100.0 * err
+        );
+    }
+
+    // FMM at the same degrees.
+    for degree in [2u32, 4] {
+        let fmm = Fmm::new(&tree, &set.particles, FmmConfig { degree, theta: 0.7, eps: 0.0 });
+        let (phis, _) = fmm.potentials_and_accels(&tree, &set.particles);
+        let err = direct::fractional_error(&phis, &exact);
+        println!(
+            "{:<22} {:>14} {:>14} {:>12.5}",
+            format!("FMM k={degree}"),
+            fmm.stats.m2l,
+            fmm.stats.p2p,
+            100.0 * err
+        );
+    }
+
+    println!(
+        "\nBarnes-Hut does O(n log n) particle-node interactions; FMM replaces them \
+         with O(n) cluster-cluster (M2L) translations - \"cluster-cluster interactions \
+         in addition to particle-cluster interactions\" (paper, §2)."
+    );
+}

@@ -1,0 +1,53 @@
+//! The paper's core experiment as an example: run the three parallel
+//! formulations (SPSA, SPDA, DPDA) on a simulated 16–256-processor nCUBE2
+//! and print runtimes, speedups and phase breakdowns.
+//!
+//! ```text
+//! cargo run --release --example parallel_machines -- [dataset] [scale]
+//! ```
+//! e.g. `cargo run --release --example parallel_machines -- g_326214 0.02`
+
+use barnes_hut::core::balance::Scheme;
+use barnes_hut::core::{ParallelSim, SimConfig};
+use barnes_hut::geom::dataset_scaled;
+use barnes_hut::machine::{CostModel, Hypercube, Machine};
+
+fn main() {
+    let dataset = std::env::args().nth(1).unwrap_or_else(|| "g_160535".into());
+    let scale: f64 =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let set = dataset_scaled(&dataset, scale);
+    println!("dataset {dataset} at scale {scale}: {} particles\n", set.len());
+    println!(
+        "{:<6} {:>5} {:>10} {:>9} {:>6} {:>8} | {:>9} {:>9} {:>9}",
+        "scheme", "p", "time (s)", "speedup", "eff", "ship", "force", "merge+bc", "balance"
+    );
+
+    for scheme in [Scheme::Spsa, Scheme::Spda, Scheme::Dpda] {
+        for p in [16usize, 64, 256] {
+            let machine = Machine::new(Hypercube::new(p), CostModel::ncube2());
+            let mut sim = ParallelSim::new(
+                machine,
+                SimConfig { scheme, clusters_per_axis: 32, ..Default::default() },
+            );
+            // two warm-up steps let the dynamic assignments settle (§5.1)
+            let _ = sim.run_iteration(&set.particles);
+            let _ = sim.run_iteration(&set.particles);
+            let out = sim.run_iteration(&set.particles);
+            println!(
+                "{:<6} {:>5} {:>10.3} {:>9.1} {:>6.2} {:>8} | {:>9.3} {:>9.3} {:>9.4}",
+                scheme.name(),
+                p,
+                out.phases.total,
+                out.speedup,
+                out.efficiency,
+                out.requests,
+                out.phases.force,
+                out.phases.tree_merge + out.phases.broadcast,
+                out.phases.load_balance,
+            );
+        }
+        println!();
+    }
+    println!("(simulated nCUBE2 seconds; 'ship' = particles shipped to remote subtrees)");
+}

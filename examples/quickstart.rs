@@ -1,0 +1,68 @@
+//! Quickstart: build a Barnes–Hut tree over a Plummer sphere, evaluate
+//! forces, and check accuracy against direct summation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use barnes_hut::geom::{plummer, PlummerSpec};
+use barnes_hut::multipole::MultipoleTree;
+use barnes_hut::tree::{build, direct, BarnesHutMac, BuildParams};
+
+fn main() {
+    // 1. A seeded 10k-particle Plummer sphere (the classic astrophysical
+    //    test case; Fig. 8 of the paper shows one).
+    let set = plummer(PlummerSpec { n: 10_000, seed: 42, ..Default::default() });
+    println!("particles: {}", set.len());
+
+    // 2. Build the oct-tree (leaf bucket s = 8, box collapsing on).
+    let tree = build::build(&set.particles, BuildParams::default());
+    println!("tree: {} nodes, depth {}", tree.len(), tree.depth());
+
+    // 3. Evaluate the potential on every particle with the Barnes–Hut
+    //    α-criterion at α = 0.67 (the paper's default).
+    let mac = BarnesHutMac::new(0.67);
+    let eps = 1e-4;
+    let mut stats_total = 0u64;
+    let phis: Vec<f64> = set
+        .particles
+        .iter()
+        .map(|p| {
+            let (phi, stats) =
+                barnes_hut::tree::potential_at(&tree, &set.particles, p.pos, Some(p.id), &mac, eps);
+            stats_total += stats.interactions();
+            phi
+        })
+        .collect();
+    println!(
+        "monopole: {} interactions total ({:.1} per particle; direct would need {})",
+        stats_total,
+        stats_total as f64 / set.len() as f64,
+        set.len() * (set.len() - 1),
+    );
+
+    // 4. Accuracy versus exact summation, sampled on 500 particles.
+    let sample: Vec<usize> = (0..set.len()).step_by(set.len() / 500).collect();
+    let exact: Vec<f64> = sample
+        .iter()
+        .map(|&i| direct::potential_direct(&set.particles, set.particles[i].pos, Some(i as u32), eps))
+        .collect();
+    let approx: Vec<f64> = sample.iter().map(|&i| phis[i]).collect();
+    println!(
+        "monopole fractional error: {:.3}%",
+        100.0 * direct::fractional_error(&approx, &exact)
+    );
+
+    // 5. Raise the accuracy with a degree-4 multipole expansion (§5.2).
+    let mt = MultipoleTree::new(&tree, &set.particles, 4);
+    let approx4: Vec<f64> = sample
+        .iter()
+        .map(|&i| {
+            mt.eval(&tree, &set.particles, set.particles[i].pos, Some(i as u32), &mac, eps).0
+        })
+        .collect();
+    println!(
+        "degree-4 fractional error: {:.4}%",
+        100.0 * direct::fractional_error(&approx4, &exact)
+    );
+}

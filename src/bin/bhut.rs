@@ -1,0 +1,201 @@
+//! `bhut` — command-line front end for the Barnes–Hut reproduction.
+//!
+//! ```text
+//! bhut simulate  --dataset p_5000 --steps 100 --dt 0.002 [--threads N] [--snapshot out.json]
+//! bhut forces    --dataset g_160535 --scale 0.02 [--alpha 0.67] [--degree 0] [--check]
+//! bhut schemes   --dataset g_326214 --scale 0.02 --p 16,64 [--clusters 32]
+//! bhut datasets
+//! ```
+
+use barnes_hut::core::balance::Scheme;
+use barnes_hut::core::{ParallelSim, SimConfig};
+use barnes_hut::geom::{dataset_domain, dataset_scaled, PAPER_DATASETS};
+use barnes_hut::machine::{CostModel, Hypercube, Machine};
+use barnes_hut::sim::{save_snapshot, EnergyReport, Simulation, SimulationConfig};
+use barnes_hut::threads::{ThreadConfig, ThreadSim};
+use barnes_hut::tree::direct;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  bhut simulate --dataset NAME [--scale F] [--steps N] [--dt F] \
+         [--threads N] [--alpha F] [--snapshot FILE]\n  bhut forces --dataset NAME \
+         [--scale F] [--alpha F] [--degree K] [--threads N] [--check]\n  bhut schemes \
+         --dataset NAME [--scale F] [--p LIST] [--clusters C] [--alpha F]\n  bhut datasets"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument {a:?}");
+            usage();
+        };
+        // boolean flags (--check) take no value
+        let val = match it.peek() {
+            Some(next) if !next.starts_with("--") => it.next().cloned().unwrap(),
+            _ => "true".to_string(),
+        };
+        flags.insert(key.to_string(), val);
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --{key}: {v:?}");
+            usage()
+        }),
+        None => default,
+    }
+}
+
+fn load(flags: &HashMap<String, String>) -> (String, barnes_hut::geom::ParticleSet) {
+    let name = flags.get("dataset").cloned().unwrap_or_else(|| usage());
+    let scale: f64 = get(flags, "scale", 1.0);
+    (name.clone(), dataset_scaled(&name, scale))
+}
+
+fn cmd_datasets() {
+    println!("{:<12} {:>10}  kind", "name", "n (full)");
+    for d in PAPER_DATASETS {
+        println!("{:<12} {:>10}  {:?}", d.name, d.n, d.kind);
+    }
+}
+
+fn cmd_simulate(flags: HashMap<String, String>) {
+    let (name, set) = load(&flags);
+    let steps: usize = get(&flags, "steps", 100);
+    let cfg = SimulationConfig {
+        dt: get(&flags, "dt", 1e-3),
+        alpha: get(&flags, "alpha", 0.67),
+        degree: get(&flags, "degree", 0),
+        eps: get(&flags, "eps", 1e-2),
+        threads: get(
+            &flags,
+            "threads",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        ),
+        diag_every: get(&flags, "diag-every", 0),
+        ..Default::default()
+    };
+    println!("simulating {name}: {} particles, {steps} steps at dt = {}", set.len(), cfg.dt);
+    let diag = cfg.diag_every > 0;
+    let e0 = diag.then(|| EnergyReport::measure(&set, cfg.eps));
+    let mut sim = Simulation::new(set, cfg);
+    let t0 = std::time::Instant::now();
+    let report = sim.run(steps);
+    println!(
+        "t = {:.4}: last step {} interactions, imbalance {:.2}, wall {:.2}s",
+        sim.time,
+        report.interactions,
+        report.imbalance,
+        t0.elapsed().as_secs_f64()
+    );
+    if let Some(e0) = e0 {
+        let e1 = EnergyReport::measure(&sim.particles, sim.config.eps);
+        println!("energy drift: {:.4}%", 100.0 * e1.drift_from(&e0));
+    }
+    if let Some(path) = flags.get("snapshot") {
+        save_snapshot(&PathBuf::from(path), sim.time, &sim.particles).expect("write snapshot");
+        println!("snapshot written to {path}");
+    }
+}
+
+fn cmd_forces(flags: HashMap<String, String>) {
+    let (name, set) = load(&flags);
+    let mut sim = ThreadSim::new(ThreadConfig {
+        threads: get(
+            &flags,
+            "threads",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        ),
+        alpha: get(&flags, "alpha", 0.67),
+        degree: get(&flags, "degree", 0),
+        eps: get(&flags, "eps", 1e-4),
+        ..Default::default()
+    });
+    let t0 = std::time::Instant::now();
+    let out = sim.compute_forces(&set.particles);
+    println!(
+        "{name}: {} particles, {} interactions, imbalance {:.2}, wall {:.3}s",
+        set.len(),
+        out.stats.interactions(),
+        out.imbalance(),
+        t0.elapsed().as_secs_f64()
+    );
+    if flags.contains_key("check") {
+        let sample: Vec<usize> = (0..set.len()).step_by((set.len() / 200).max(1)).collect();
+        let exact: Vec<f64> = sample
+            .iter()
+            .map(|&i| {
+                direct::potential_direct(&set.particles, set.particles[i].pos, Some(i as u32), sim.config.eps)
+            })
+            .collect();
+        let approx: Vec<f64> = sample.iter().map(|&i| out.potentials[i]).collect();
+        println!(
+            "fractional error vs direct (sampled): {:.4}%",
+            100.0 * direct::fractional_error(&approx, &exact)
+        );
+    }
+}
+
+fn cmd_schemes(flags: HashMap<String, String>) {
+    let (name, set) = load(&flags);
+    let ps: Vec<usize> = flags
+        .get("p")
+        .map(|v| v.split(',').map(|s| s.parse().expect("bad p")).collect())
+        .unwrap_or_else(|| vec![16, 64]);
+    let clusters: u32 = get(&flags, "clusters", 32);
+    let alpha: f64 = get(&flags, "alpha", 0.67);
+    println!(
+        "{name}: {} particles on a simulated nCUBE2 (clusters {clusters}x{clusters}, alpha {alpha})\n",
+        set.len()
+    );
+    println!("{:<6} {:>5} {:>10} {:>9} {:>6}", "scheme", "p", "time (s)", "speedup", "eff");
+    for scheme in [Scheme::Spsa, Scheme::Spda, Scheme::Dpda] {
+        for &p in &ps {
+            let machine = Machine::new(Hypercube::new(p), CostModel::ncube2());
+            let mut sim = ParallelSim::new(
+                machine,
+                SimConfig {
+                    scheme,
+                    clusters_per_axis: clusters,
+                    alpha,
+                    domain: dataset_domain(&name),
+                    ..Default::default()
+                },
+            );
+            let _ = sim.run_iteration(&set.particles);
+            let _ = sim.run_iteration(&set.particles);
+            let out = sim.run_iteration(&set.particles);
+            println!(
+                "{:<6} {:>5} {:>10.3} {:>9.1} {:>6.2}",
+                scheme.name(),
+                p,
+                out.phases.total,
+                out.speedup,
+                out.efficiency
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(flags),
+        "forces" => cmd_forces(flags),
+        "schemes" => cmd_schemes(flags),
+        "datasets" => cmd_datasets(),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration: the simulated message-passing formulations, the
+//! real shared-memory executor, and the sequential treecode must all tell
+//! the same physical story.
+
+use barnes_hut::core::balance::Scheme;
+use barnes_hut::core::{ParallelSim, SimConfig};
+use barnes_hut::geom::{dataset_scaled, plummer, PlummerSpec};
+use barnes_hut::machine::{CostModel, FatTree, Hypercube, Machine};
+use barnes_hut::threads::{Partitioning, ThreadConfig, ThreadSim};
+use barnes_hut::tree::{build, direct, BarnesHutMac, BuildParams};
+
+/// The simulated-machine force phase and the real-thread executor compute
+/// the same potentials (identical traversal decisions on cluster-scheme
+/// trees is not guaranteed — different roots — so compare against direct
+/// summation instead).
+#[test]
+fn simulated_and_threaded_executors_agree_with_direct() {
+    let set = plummer(PlummerSpec { n: 1_200, seed: 33, ..Default::default() });
+    let eps = 1e-4;
+    let exact = direct::all_potentials_direct(&set.particles, eps);
+
+    // Simulated 16-processor machine, SPDA.
+    let machine = Machine::new(Hypercube::new(16), CostModel::ncube2());
+    let mut sim = ParallelSim::new(
+        machine,
+        SimConfig { scheme: Scheme::Spda, alpha: 0.5, ..Default::default() },
+    );
+    let out = sim.run_iteration(&set.particles);
+    let err_sim = direct::fractional_error(&out.potentials, &exact);
+    assert!(err_sim < 0.01, "simulated-machine error {err_sim}");
+
+    // Real threads.
+    let mut threads = ThreadSim::new(ThreadConfig {
+        threads: 3,
+        alpha: 0.5,
+        partitioning: Partitioning::MortonZones,
+        ..Default::default()
+    });
+    let forces = threads.compute_forces(&set.particles);
+    let err_thr = direct::fractional_error(&forces.potentials, &exact);
+    assert!(err_thr < 0.01, "threaded error {err_thr}");
+}
+
+/// All three schemes on both simulated machines produce accurate physics
+/// and consistent interaction counts.
+#[test]
+fn schemes_and_machines_cross_product() {
+    let set = dataset_scaled("s_10g_b", 0.04);
+    let eps = 1e-4;
+    let exact = direct::all_potentials_direct(&set.particles, eps);
+    for scheme in [Scheme::Spsa, Scheme::Spda, Scheme::Dpda] {
+        for fat_tree in [false, true] {
+            let config = SimConfig { scheme, clusters_per_axis: 16, ..Default::default() };
+            let out = if fat_tree {
+                let m = Machine::new(FatTree::cm5(16), CostModel::cm5());
+                ParallelSim::new(m, config).run_iteration(&set.particles)
+            } else {
+                let m = Machine::new(Hypercube::new(16), CostModel::ncube2());
+                ParallelSim::new(m, config).run_iteration(&set.particles)
+            };
+            let err = direct::fractional_error(&out.potentials, &exact);
+            assert!(err < 0.05, "{scheme:?} fat_tree={fat_tree}: error {err}");
+            assert!(out.interactions > set.len() as u64);
+            assert!(out.phases.total > 0.0);
+        }
+    }
+}
+
+/// Multi-timestep simulation with treecode forces conserves energy.
+#[test]
+fn treecode_simulation_conserves_energy() {
+    use barnes_hut::sim::{Simulation, SimulationConfig};
+    let set = plummer(PlummerSpec { n: 300, seed: 9, ..Default::default() });
+    let mut sim = Simulation::new(
+        set,
+        SimulationConfig {
+            dt: 2e-3,
+            alpha: 0.3,
+            eps: 0.05,
+            diag_every: 20,
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    sim.run(60);
+    let drift = sim.diagnostics.max_drift();
+    assert!(drift < 1e-2, "energy drift {drift}");
+}
+
+/// Tree invariants hold on every paper dataset (small scale).
+#[test]
+fn all_paper_datasets_build_valid_trees() {
+    for spec in barnes_hut::geom::PAPER_DATASETS {
+        let set = dataset_scaled(spec.name, 0.01);
+        let tree = build::build(&set.particles, BuildParams::default());
+        tree.check_invariants(set.len()).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        // a quick force sanity check on one particle
+        let mac = BarnesHutMac::new(0.7);
+        let p = &set.particles[set.len() / 2];
+        let (acc, stats) =
+            barnes_hut::tree::accel_on(&tree, &set.particles, p.pos, Some(p.id), &mac, 1e-4);
+        assert!(acc.is_finite(), "{}", spec.name);
+        assert!(stats.interactions() > 0, "{}", spec.name);
+    }
+}
+
+/// Snapshots round-trip through the facade.
+#[test]
+fn snapshot_roundtrip_via_facade() {
+    use barnes_hut::sim::{load_snapshot, save_snapshot};
+    let set = plummer(PlummerSpec { n: 64, seed: 5, ..Default::default() });
+    let path = std::env::temp_dir().join("bhut_e2e_snap.json");
+    save_snapshot(&path, 0.5, &set).unwrap();
+    let snap = load_snapshot(&path).unwrap();
+    assert_eq!(snap.particles.len(), 64);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,149 @@
+//! Property-based cross-crate equivalences: the parallel decompositions are
+//! *exact* reformulations of the sequential treecode, for arbitrary particle
+//! configurations and machine shapes.
+
+use barnes_hut::core::balance::{spda_initial, spsa_assignment, Curve};
+use barnes_hut::core::domain::ClusterGrid;
+use barnes_hut::core::evalcore::{eval_from, eval_owned, EvalEnv};
+use barnes_hut::core::funcship::{run_force_phase, ForceConfig};
+use barnes_hut::core::partition::Partition;
+use barnes_hut::geom::{Aabb, Particle, ParticleSet, Vec3};
+use barnes_hut::machine::{CostModel, Hypercube, Machine};
+use barnes_hut::tree::build::{build_in_cell, BuildParams};
+use barnes_hut::tree::BarnesHutMac;
+use proptest::prelude::*;
+
+fn arb_particles(max_n: usize) -> impl Strategy<Value = ParticleSet> {
+    proptest::collection::vec(
+        (0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0, 0.1f64..2.0),
+        2..max_n,
+    )
+    .prop_map(|points| {
+        ParticleSet::new(
+            points
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, z, m))| {
+                    Particle::new(i as u32, m, Vec3::new(x, y, z), Vec3::ZERO)
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// local + shipped == sequential, for random particles, α, p, and s.
+    #[test]
+    fn function_shipping_is_exact(
+        set in arb_particles(150),
+        alpha in 0.3f64..1.5,
+        log_p in 0u32..4,
+        s in 1usize..8,
+    ) {
+        let p = 1usize << log_p;
+        let cell = Aabb::origin_cube(100.0);
+        let grid = ClusterGrid::new(8, cell);
+        let tree = build_in_cell(
+            &set.particles,
+            cell,
+            BuildParams { leaf_capacity: s, collapse: true, min_split_level: grid.level() },
+        );
+        let owners = spsa_assignment(&grid, p);
+        let part = Partition::from_clusters(&tree, &grid, &owners, p);
+        let mac = BarnesHutMac::new(alpha);
+        let env = EvalEnv {
+            tree: &tree,
+            particles: &set.particles,
+            mtree: None,
+            mac: &mac,
+            eps: 1e-6,
+            degree: 0,
+        };
+        for particle in set.iter().take(20) {
+            let me = part.owner_of_particle[particle.id as usize];
+            let mut remote = Vec::new();
+            let mut total = eval_owned(
+                &env, particle.pos, Some(particle.id), me, &part.owner_of_node, None, &mut remote,
+            );
+            for &(owner, branch) in &remote {
+                prop_assert_ne!(owner, me);
+                let served = eval_from(&env, branch, particle.pos, Some(particle.id), None);
+                total.merge(&served);
+            }
+            let (want, _) = barnes_hut::tree::potential_at(
+                &tree, &set.particles, particle.pos, Some(particle.id), &mac, 1e-6,
+            );
+            prop_assert!(
+                (total.phi - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "phi {} vs {}", total.phi, want
+            );
+        }
+    }
+
+    /// The full BSP protocol delivers the same potentials as the sequential
+    /// evaluation, for random bin sizes and batches.
+    #[test]
+    fn bsp_protocol_is_exact(
+        set in arb_particles(120),
+        bin_size in 1usize..40,
+        batch in 1usize..16,
+    ) {
+        let p = 8;
+        let cell = Aabb::origin_cube(100.0);
+        let grid = ClusterGrid::new(8, cell);
+        let tree = build_in_cell(
+            &set.particles,
+            cell,
+            BuildParams { leaf_capacity: 4, collapse: true, min_split_level: grid.level() },
+        );
+        let owners = spda_initial(&grid, p, Curve::Morton);
+        let part = Partition::from_clusters(&tree, &grid, &owners, p);
+        let mac = BarnesHutMac::new(0.7);
+        let env = EvalEnv {
+            tree: &tree,
+            particles: &set.particles,
+            mtree: None,
+            mac: &mac,
+            eps: 1e-6,
+            degree: 0,
+        };
+        let machine = Machine::new(Hypercube::new(p), CostModel::ncube2());
+        let run = run_force_phase(
+            &machine, &env, &part, None, 0, false, ForceConfig { bin_size, batch, ..Default::default() },
+        );
+        for particle in set.iter() {
+            let (want, _) = barnes_hut::tree::potential_at(
+                &tree, &set.particles, particle.pos, Some(particle.id), &mac, 1e-6,
+            );
+            let got = run.potentials[particle.id as usize];
+            prop_assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "particle {}: {} vs {}", particle.id, got, want
+            );
+        }
+    }
+
+    /// Costzones partitions cover every particle exactly once, whatever the
+    /// weights.
+    #[test]
+    fn costzones_is_a_partition(
+        set in arb_particles(150),
+        p in 1usize..12,
+        heavy in 0usize..100,
+    ) {
+        let cell = Aabb::origin_cube(100.0);
+        let tree = build_in_cell(&set.particles, cell, BuildParams::default());
+        let mut weights = vec![1.0; set.len()];
+        if !weights.is_empty() {
+            let idx = heavy % weights.len();
+            weights[idx] = 1e6; // one pathologically heavy particle
+        }
+        let part = Partition::costzones_weighted(&tree, &weights, p);
+        prop_assert!(part.check(&tree).is_ok());
+        let lists = part.particles_by_owner();
+        let total: usize = lists.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, set.len());
+    }
+}

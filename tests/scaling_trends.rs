@@ -1,0 +1,161 @@
+//! Trend tests: the qualitative results of the paper's evaluation, asserted
+//! as directions rather than absolute numbers, at test-friendly scales.
+
+use barnes_hut::core::balance::Scheme;
+use barnes_hut::core::{ParallelSim, SimConfig};
+use barnes_hut::geom::{dataset_domain, dataset_scaled};
+use barnes_hut::machine::{CostModel, FatTree, Hypercube, Machine};
+
+fn run(
+    dataset: &str,
+    scale: f64,
+    scheme: Scheme,
+    p: usize,
+    degree: u32,
+    alpha: f64,
+    warmup: usize,
+) -> barnes_hut::core::IterationOutcome {
+    let set = dataset_scaled(dataset, scale);
+    let config = SimConfig {
+        scheme,
+        clusters_per_axis: 16,
+        alpha,
+        degree,
+        domain: dataset_domain(dataset),
+        ..Default::default()
+    };
+    let machine = Machine::new(Hypercube::new(p), CostModel::ncube2());
+    let mut sim = ParallelSim::new(machine, config);
+    for _ in 0..warmup {
+        let _ = sim.run_iteration(&set.particles);
+    }
+    sim.run_iteration(&set.particles)
+}
+
+/// Table 1's core claim: runtime decreases with processor count.
+#[test]
+fn more_processors_less_time() {
+    let t4 = run("g_160535", 0.02, Scheme::Spda, 4, 0, 0.67, 1).phases.total;
+    let t16 = run("g_160535", 0.02, Scheme::Spda, 16, 0, 0.67, 1).phases.total;
+    let t64 = run("g_160535", 0.02, Scheme::Spda, 64, 0, 0.67, 1).phases.total;
+    assert!(t16 < t4, "p=4 {t4} vs p=16 {t16}");
+    assert!(t64 < t16, "p=16 {t16} vs p=64 {t64}");
+}
+
+/// Table 1: SPDA beats SPSA on irregular data (after warm-up).
+#[test]
+fn spda_beats_spsa_on_irregular_data() {
+    let spsa = run("g_326214", 0.02, Scheme::Spsa, 16, 0, 1.0, 2);
+    let spda = run("g_326214", 0.02, Scheme::Spda, 16, 0, 1.0, 2);
+    assert!(
+        spda.phases.total < spsa.phases.total,
+        "SPDA {} !< SPSA {}",
+        spda.phases.total,
+        spsa.phases.total
+    );
+}
+
+/// Table 3: SPSA spends nothing on load balancing, SPDA a little; SPDA's
+/// force phase is cheaper.
+#[test]
+fn phase_breakdown_trends() {
+    let spsa = run("g_326214", 0.02, Scheme::Spsa, 16, 0, 1.0, 2);
+    let spda = run("g_326214", 0.02, Scheme::Spda, 16, 0, 1.0, 2);
+    assert_eq!(spsa.phases.load_balance, 0.0);
+    assert!(spda.phases.load_balance > 0.0);
+    assert!(spda.phases.force < spsa.phases.force);
+}
+
+/// §5.2.2 / Table 6: raising the multipole degree raises runtime but also
+/// parallel efficiency (function shipping's key property).
+#[test]
+fn degree_raises_time_and_efficiency() {
+    let d0 = run("g_160535", 0.02, Scheme::Dpda, 16, 0, 0.67, 2);
+    let d4 = run("g_160535", 0.02, Scheme::Dpda, 16, 4, 0.67, 2);
+    assert!(d4.phases.total > d0.phases.total);
+    assert!(
+        d4.efficiency > d0.efficiency,
+        "efficiency {} -> {}",
+        d0.efficiency,
+        d4.efficiency
+    );
+}
+
+/// Table 7: raising α lowers runtime and communication.
+#[test]
+fn alpha_lowers_time_and_communication() {
+    let tight = run("g_160535", 0.02, Scheme::Dpda, 16, 0, 0.5, 2);
+    let loose = run("g_160535", 0.02, Scheme::Dpda, 16, 0, 1.0, 2);
+    assert!(loose.phases.total < tight.phases.total);
+    assert!(loose.requests < tight.requests, "{} !< {}", loose.requests, tight.requests);
+    assert!(loose.interactions < tight.interactions);
+}
+
+/// §6: the same run is faster on a machine with a better
+/// compute/communication ratio.
+#[test]
+fn modern_machine_is_faster() {
+    let set = dataset_scaled("g_160535", 0.02);
+    let mk = |cost: CostModel| {
+        let machine = Machine::new(FatTree::cm5(16), cost);
+        let mut sim = ParallelSim::new(machine, SimConfig::default());
+        sim.run_iteration(&set.particles).phases.total
+    };
+    let cm5 = mk(CostModel::cm5());
+    let modern = mk(CostModel::modern());
+    assert!(modern < cm5 / 50.0, "cm5 {cm5} vs modern {modern}");
+}
+
+/// §4.1: more clusters improve SPSA's load balance (up to overheads).
+#[test]
+fn more_clusters_balance_spsa() {
+    let set = dataset_scaled("g_326214", 0.02);
+    let imbalance_at = |c: u32| {
+        let machine = Machine::new(Hypercube::new(16), CostModel::ncube2());
+        let mut sim = ParallelSim::new(
+            machine,
+            SimConfig {
+                scheme: Scheme::Spsa,
+                clusters_per_axis: c,
+                alpha: 1.0,
+                domain: dataset_domain("g_326214"),
+                ..Default::default()
+            },
+        );
+        sim.run_iteration(&set.particles).imbalance
+    };
+    let coarse = imbalance_at(8);
+    let fine = imbalance_at(32);
+    assert!(fine < coarse, "imbalance {coarse} -> {fine}");
+}
+
+/// §3.3's easy case: "In many applications such as protein synthesis,
+/// particle densities are largely uniform across the domain… the
+/// variability in particle densities is less than 15–20%." For such data
+/// the static SPSA scheme alone achieves good balance — no dynamic
+/// assignment needed.
+#[test]
+fn uniform_densities_need_no_dynamic_balancing() {
+    use barnes_hut::geom::uniform_cube;
+    let set = uniform_cube(4000, 100.0, 77);
+    let run = |scheme: Scheme| {
+        let machine = Machine::new(Hypercube::new(16), CostModel::ncube2());
+        let mut sim = ParallelSim::new(
+            machine,
+            SimConfig { scheme, clusters_per_axis: 16, ..Default::default() },
+        );
+        let _ = sim.run_iteration(&set.particles);
+        sim.run_iteration(&set.particles)
+    };
+    let spsa = run(Scheme::Spsa);
+    let spda = run(Scheme::Spda);
+    // SPSA is already well balanced on uniform data…
+    assert!(spsa.imbalance < 1.35, "uniform SPSA imbalance {}", spsa.imbalance);
+    // …so SPDA's dynamic assignment buys little here (within 15%).
+    assert!(
+        spda.phases.total > spsa.phases.total * 0.85,
+        "SPDA {} vs SPSA {}",
+        spda.phases.total,
+        spsa.phases.total
+    );
+}
