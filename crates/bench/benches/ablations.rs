@@ -141,7 +141,8 @@ fn bench_tree_variants(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for p in set.particles.iter().take(100) {
-                acc += bhut_tree::potential_at(&oct, &set.particles, p.pos, Some(p.id), &mac, 1e-4).0;
+                acc +=
+                    bhut_tree::potential_at(&oct, &set.particles, p.pos, Some(p.id), &mac, 1e-4).0;
             }
             acc
         })

@@ -10,7 +10,8 @@ use bhut_machine::{Collectives, CostModel, Hypercube};
 use bhut_morton::{encode_3d, hilbert_index_3d, NodeKey};
 use bhut_multipole::{Expansion, MultipoleTree};
 use bhut_tree::build::{build, BuildParams};
-use bhut_tree::{accel_on, BarnesHutMac};
+use bhut_tree::group::{eval_group_monopole, leaf_schedule, InteractionBuffers};
+use bhut_tree::{accel_on, potential_at, BarnesHutMac};
 
 fn bench_morton(c: &mut Criterion) {
     let mut g = c.benchmark_group("ordering");
@@ -67,20 +68,62 @@ fn bench_force_eval(c: &mut Criterion) {
     });
     for degree in [2u32, 4] {
         let mt = MultipoleTree::new(&tree, &set.particles, degree);
-        g.bench_with_input(
-            BenchmarkId::new("multipole_eval_100_targets", degree),
-            &mt,
-            |b, mt| {
-                b.iter(|| {
-                    let mut acc = 0.0;
-                    for p in set.particles.iter().take(100) {
-                        acc +=
-                            mt.eval(&tree, &set.particles, p.pos, Some(p.id), &mac, 1e-4).0;
-                    }
-                    acc
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("multipole_eval_100_targets", degree), &mt, |b, mt| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for p in set.particles.iter().take(100) {
+                    acc += mt.eval(&tree, &set.particles, p.pos, Some(p.id), &mac, 1e-4).0;
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_group_walk(c: &mut Criterion) {
+    // The tentpole comparison: full-sweep potential+acceleration for every
+    // particle, per-particle walks vs grouped walks + batched kernels.
+    // Single-threaded so the ratio is the kernel-level speedup; the numbers
+    // in results/group_walk.json come from the same pair of loops.
+    let mut g = c.benchmark_group("group_walk");
+    g.sample_size(10);
+    let mac = BarnesHutMac::new(0.67);
+    let eps = 1e-4;
+    for &n in &[10_000usize, 100_000] {
+        let set = plummer(PlummerSpec { n, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        g.bench_with_input(BenchmarkId::new("per_particle", n), &set, |b, set| {
+            b.iter(|| {
+                let mut sum = 0.0;
+                for p in set.particles.iter() {
+                    let (phi, _) =
+                        potential_at(&tree, &set.particles, p.pos, Some(p.id), &mac, eps);
+                    let (acc, _) = accel_on(&tree, &set.particles, p.pos, Some(p.id), &mac, eps);
+                    sum += phi + acc.x;
+                }
+                sum
+            })
+        });
+        let leaves = leaf_schedule(&tree);
+        let mut buf = InteractionBuffers::new();
+        g.bench_with_input(BenchmarkId::new("grouped", n), &set, |b, set| {
+            b.iter(|| {
+                let mut sum = 0.0;
+                for &leaf in &leaves {
+                    eval_group_monopole(
+                        &tree,
+                        &set.particles,
+                        leaf,
+                        &mac,
+                        eps,
+                        &mut buf,
+                        |_, phi, acc, _| sum += phi + acc.x,
+                    );
+                }
+                sum
+            })
+        });
     }
     g.finish();
 }
@@ -176,6 +219,7 @@ criterion_group!(
     targets = bench_morton,
         bench_tree_build,
         bench_force_eval,
+        bench_group_walk,
         bench_multipole_ops,
         bench_collectives,
         bench_branch_lookup

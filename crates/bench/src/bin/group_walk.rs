@@ -1,0 +1,127 @@
+//! Measure grouped vs per-particle full-sweep force evaluation and write
+//! the numbers to a JSON report.
+//!
+//! ```text
+//! cargo run --release -p bhut-bench --bin group_walk -- [--out results/group_walk.json]
+//! ```
+//!
+//! Single-threaded, Plummer distribution, α = 0.67, leaf capacity 8 — the
+//! configuration the repo's acceptance numbers quote. "Per-particle" is the
+//! reference path (one potential walk plus one acceleration walk per
+//! particle); "grouped" is one shared walk per leaf bucket feeding the SoA
+//! batched kernels, producing both quantities in a single pass.
+
+use bhut_geom::{plummer, PlummerSpec};
+use bhut_tree::build::{build, BuildParams};
+use bhut_tree::group::{eval_group_monopole, leaf_schedule, InteractionBuffers};
+use bhut_tree::{accel_on, potential_at, BarnesHutMac};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    n: usize,
+    alpha: f64,
+    leaf_capacity: usize,
+    reps: usize,
+    per_particle_ms: f64,
+    grouped_ms: f64,
+    speedup: f64,
+    interactions: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    benchmark: String,
+    distribution: String,
+    threads: usize,
+    rows: Vec<Row>,
+}
+
+fn measure(n: usize, reps: usize) -> Row {
+    let alpha = 0.67;
+    let leaf_capacity = 8;
+    let eps = 1e-4;
+    let set = plummer(PlummerSpec { n, ..Default::default() });
+    let tree = build(&set.particles, BuildParams::with_leaf_capacity(leaf_capacity));
+    let mac = BarnesHutMac::new(alpha);
+
+    // Best-of-`reps` full sweeps, per-particle reference path.
+    let mut sink = 0.0f64;
+    let mut per_particle = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for p in set.particles.iter() {
+            let (phi, _) = potential_at(&tree, &set.particles, p.pos, Some(p.id), &mac, eps);
+            let (acc, _) = accel_on(&tree, &set.particles, p.pos, Some(p.id), &mac, eps);
+            sink += phi + acc.x;
+        }
+        per_particle = per_particle.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Best-of-`reps` full sweeps, grouped path with reused buffers.
+    let leaves = leaf_schedule(&tree);
+    let mut buf = InteractionBuffers::new();
+    let mut grouped = f64::INFINITY;
+    let mut interactions = 0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut total = 0u64;
+        for &leaf in &leaves {
+            let st = eval_group_monopole(
+                &tree,
+                &set.particles,
+                leaf,
+                &mac,
+                eps,
+                &mut buf,
+                |_, phi, acc, _| sink += phi + acc.x,
+            );
+            total += st.interactions();
+        }
+        grouped = grouped.min(t0.elapsed().as_secs_f64() * 1e3);
+        interactions = total;
+    }
+    std::hint::black_box(sink);
+
+    eprintln!(
+        "n = {n:>7}: per-particle {per_particle:>9.1} ms, grouped {grouped:>8.1} ms, \
+         speedup {:.2}x",
+        per_particle / grouped
+    );
+    Row {
+        n,
+        alpha,
+        leaf_capacity,
+        reps,
+        per_particle_ms: per_particle,
+        grouped_ms: grouped,
+        speedup: per_particle / grouped,
+        interactions,
+    }
+}
+
+fn main() {
+    let mut out = PathBuf::from("results/group_walk.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(it.next().expect("missing value")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let rows = vec![measure(10_000, 5), measure(100_000, 3)];
+    let report = Report {
+        benchmark: "group_walk_full_sweep".to_string(),
+        distribution: "plummer".to_string(),
+        threads: 1,
+        rows,
+    };
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&out, &json).expect("write report");
+    println!("wrote {}", out.display());
+}

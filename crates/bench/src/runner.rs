@@ -173,7 +173,8 @@ mod tests {
 
     #[test]
     fn cm5_and_ncube2_differ_in_time() {
-        let base = RunSpec { dataset: "s_10g_b", scale: 0.05, p: 16, warmup: 0, ..Default::default() };
+        let base =
+            RunSpec { dataset: "s_10g_b", scale: 0.05, p: 16, warmup: 0, ..Default::default() };
         let a = run_once(RunSpec { machine: TargetMachine::Ncube2, ..base.clone() });
         let b = run_once(RunSpec { machine: TargetMachine::Cm5, ..base });
         // CM5 constants are faster across the board.
@@ -192,16 +193,10 @@ mod tests {
             error_sample: 30,
             ..Default::default()
         });
-        let e1 = sampled_fractional_error(
-            &dataset_scaled("s_1g_a", 0.04),
-            &rec.outcome.potentials,
-            30,
-        );
-        let e2 = sampled_fractional_error(
-            &dataset_scaled("s_1g_a", 0.04),
-            &rec.outcome.potentials,
-            30,
-        );
+        let e1 =
+            sampled_fractional_error(&dataset_scaled("s_1g_a", 0.04), &rec.outcome.potentials, 30);
+        let e2 =
+            sampled_fractional_error(&dataset_scaled("s_1g_a", 0.04), &rec.outcome.potentials, 30);
         assert_eq!(e1, e2);
     }
 }

@@ -101,7 +101,16 @@ pub fn table2(scale: f64) -> Table {
 pub fn table3(scale: f64) -> Table {
     let mut t = Table::new(
         "Table 3 — time (s) per phase, p = 256, nCUBE2",
-        &["problem", "scheme", "local tree", "tree merge", "bcast", "force+traversal", "load bal", "total"],
+        &[
+            "problem",
+            "scheme",
+            "local tree",
+            "tree merge",
+            "bcast",
+            "force+traversal",
+            "load bal",
+            "total",
+        ],
     );
     for name in ["g_1192768", "g_326214"] {
         for scheme in [Scheme::Spsa, Scheme::Spda] {
@@ -200,7 +209,10 @@ pub fn table5(scale: f64) -> Table {
 pub fn table6(scale: f64) -> Table {
     let mut t = Table::new(
         "Table 6 — degree 3/4/5: time (s), efficiency, fractional % error (alpha 0.67, CM5, DPDA)",
-        &["problem", "p", "k=3 time", "k=3 eff", "k=3 err%", "k=4 time", "k=4 eff", "k=4 err%", "k=5 time", "k=5 eff", "k=5 err%"],
+        &[
+            "problem", "p", "k=3 time", "k=3 eff", "k=3 err%", "k=4 time", "k=4 eff", "k=4 err%",
+            "k=5 time", "k=5 eff", "k=5 err%",
+        ],
     );
     let cases: &[(&str, usize)] =
         &[("p_63192", 64), ("g_160535", 64), ("g_326214", 64), ("p_353992", 256)];
@@ -258,7 +270,9 @@ pub fn table7(scale: f64) -> Table {
         }
         t.row(cells);
     }
-    t.note("paper: larger alpha => faster, less accurate; efficiency often rises (less communication)");
+    t.note(
+        "paper: larger alpha => faster, less accurate; efficiency often rises (less communication)",
+    );
     t
 }
 
@@ -302,12 +316,7 @@ pub fn figure9(scale: f64) -> Table {
                 error_sample: 200,
                 ..Default::default()
             });
-            t.row(vec![
-                name.into(),
-                degree.to_string(),
-                secs(rec.time()),
-                pct(rec.error.unwrap()),
-            ]);
+            t.row(vec![name.into(), degree.to_string(), secs(rec.time()), pct(rec.error.unwrap())]);
         }
     }
     t.note("paper: error decays roughly geometrically in k while runtime grows ~k^2");
@@ -338,7 +347,14 @@ fn analysis_setup(
 pub fn analysis_kruskal(scale: f64) -> Table {
     let mut t = Table::new(
         "Analysis A1 — Kruskal-Weiss cluster model (g_160535, p=64, alpha 0.67)",
-        &["clusters r", "mean load (flops)", "std", "predicted eff", "measured force imbalance", "r >= p log p?"],
+        &[
+            "clusters r",
+            "mean load (flops)",
+            "std",
+            "predicted eff",
+            "measured force imbalance",
+            "r >= p log p?",
+        ],
     );
     let p = 64;
     for c in [8u32, 16, 32, 64] {
@@ -471,8 +487,7 @@ mod tests {
         let t = analysis_shipping(0.01);
         assert_eq!(t.rows.len(), 4);
         // data/function ratio strictly grows with degree
-        let ratios: Vec<f64> =
-            t.rows.iter().map(|r| r.last().unwrap().parse().unwrap()).collect();
+        let ratios: Vec<f64> = t.rows.iter().map(|r| r.last().unwrap().parse().unwrap()).collect();
         assert!(ratios.windows(2).all(|w| w[0] < w[1]), "{ratios:?}");
     }
 

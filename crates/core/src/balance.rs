@@ -146,12 +146,7 @@ pub fn movement_cost<T: Topology>(
 /// Count items that change owner between two assignments, as a `p×p`
 /// movement matrix. `weight[i]` is how many items entry `i` represents
 /// (particles per cluster, or 1 per particle).
-pub fn movement_matrix(
-    old: &[usize],
-    new: &[usize],
-    weight: &[u64],
-    p: usize,
-) -> Vec<Vec<u64>> {
+pub fn movement_matrix(old: &[usize], new: &[usize], weight: &[u64], p: usize) -> Vec<Vec<u64>> {
     assert_eq!(old.len(), new.len());
     assert_eq!(old.len(), weight.len());
     let mut m = vec![vec![0u64; p]; p];

@@ -63,10 +63,7 @@ impl SortedLookup {
 impl BranchLookup for SortedLookup {
     #[inline]
     fn find(&self, key_raw: u64) -> Option<NodeId> {
-        self.table
-            .binary_search_by_key(&key_raw, |&(k, _)| k)
-            .ok()
-            .map(|i| self.table[i].1)
+        self.table.binary_search_by_key(&key_raw, |&(k, _)| k).ok().map(|i| self.table[i].1)
     }
 
     fn len(&self) -> usize {

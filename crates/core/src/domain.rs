@@ -140,7 +140,10 @@ mod tests {
         assert_eq!(g.coords_of(Vec3::new(25.1, 0.0, 0.0)), (1, 0));
         assert_eq!(g.coords_of(Vec3::new(99.9, 99.9, 0.0)), (3, 3));
         // z is ignored: clusters are columns
-        assert_eq!(g.cluster_of(Vec3::new(10.0, 10.0, 1.0)), g.cluster_of(Vec3::new(10.0, 10.0, 99.0)));
+        assert_eq!(
+            g.cluster_of(Vec3::new(10.0, 10.0, 1.0)),
+            g.cluster_of(Vec3::new(10.0, 10.0, 99.0))
+        );
         // out-of-domain points clamp
         assert_eq!(g.coords_of(Vec3::new(-5.0, 200.0, 0.0)), (0, 3));
     }

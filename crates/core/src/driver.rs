@@ -18,8 +18,8 @@ use crate::funcship::{run_force_phase, ForceConfig, ForceRun};
 use crate::merge::{broadcast_top, expansion_cost, hierarchical_merge, local_tree_cost};
 use crate::partition::{particle_weights_from_node_loads, Partition};
 use bhut_geom::{Particle, Vec3};
-use bhut_machine::{Collectives, Machine, Topology};
 use bhut_machine::topology::Collective;
+use bhut_machine::{Collectives, Machine, Topology};
 use bhut_multipole::{interaction_flops, MultipoleTree, MAC_FLOPS};
 use bhut_tree::build::{build_in_cell, BuildParams};
 use bhut_tree::BarnesHutMac;
@@ -313,10 +313,8 @@ impl<T: Topology> ParallelSim<T> {
                 let mut max_pair = 0u64;
                 {
                     let mut pairs = vec![vec![0u64; p]; p];
-                    for (o, n) in partition
-                        .owner_of_particle
-                        .iter()
-                        .zip(&new_part.owner_of_particle)
+                    for (o, n) in
+                        partition.owner_of_particle.iter().zip(&new_part.owner_of_particle)
                     {
                         if o != n {
                             pairs[*o][*n] += 1;
@@ -393,10 +391,7 @@ mod tests {
 
     fn sim(scheme: Scheme, p: usize, c: u32) -> ParallelSim<Hypercube> {
         let machine = Machine::new(Hypercube::new(p), CostModel::ncube2());
-        ParallelSim::new(
-            machine,
-            SimConfig { scheme, clusters_per_axis: c, ..Default::default() },
-        )
+        ParallelSim::new(machine, SimConfig { scheme, clusters_per_axis: c, ..Default::default() })
     }
 
     #[test]
@@ -431,13 +426,8 @@ mod tests {
         let mut s = sim(Scheme::Spda, 8, 8);
         let out = s.run_iteration(&set.particles);
         let ph = out.phases;
-        let sum =
-            ph.local_tree + ph.tree_merge + ph.broadcast + ph.force + ph.load_balance;
-        assert!(
-            (sum - ph.total).abs() < 1e-6 * ph.total,
-            "phases {sum} vs total {}",
-            ph.total
-        );
+        let sum = ph.local_tree + ph.tree_merge + ph.broadcast + ph.force + ph.load_balance;
+        assert!((sum - ph.total).abs() < 1e-6 * ph.total, "phases {sum} vs total {}", ph.total);
         assert!(ph.force > ph.local_tree, "force dominates");
         assert!(out.efficiency > 0.0 && out.efficiency <= 1.2);
     }

@@ -234,28 +234,15 @@ mod tests {
         for p in set.iter().take(50) {
             let me = part.owner_of_particle[p.id as usize];
             let mut remote = Vec::new();
-            let mut total = eval_owned(
-                &env,
-                p.pos,
-                Some(p.id),
-                me,
-                &part.owner_of_node,
-                None,
-                &mut remote,
-            );
+            let mut total =
+                eval_owned(&env, p.pos, Some(p.id), me, &part.owner_of_node, None, &mut remote);
             for &(owner, branch) in &remote {
                 assert_ne!(owner, me);
                 let served = eval_from(&env, branch, p.pos, Some(p.id), None);
                 total.merge(&served);
             }
-            let (want_phi, _) = bhut_tree::potential_at(
-                &tree,
-                &set.particles,
-                p.pos,
-                Some(p.id),
-                &mac,
-                EPS,
-            );
+            let (want_phi, _) =
+                bhut_tree::potential_at(&tree, &set.particles, p.pos, Some(p.id), &mac, EPS);
             let (want_acc, _) =
                 bhut_tree::accel_on(&tree, &set.particles, p.pos, Some(p.id), &mac, EPS);
             assert!(
@@ -304,15 +291,8 @@ mod tests {
             for p in set.iter() {
                 let me = part.owner_of_particle[p.id as usize];
                 let mut remote = Vec::new();
-                let _ = eval_owned(
-                    &env,
-                    p.pos,
-                    Some(p.id),
-                    me,
-                    &part.owner_of_node,
-                    None,
-                    &mut remote,
-                );
+                let _ =
+                    eval_owned(&env, p.pos, Some(p.id), me, &part.owner_of_node, None, &mut remote);
                 total += remote.len();
             }
             total
@@ -338,10 +318,7 @@ mod tests {
         let me = part.owner_of_particle[42];
         let mut remote = Vec::new();
         let r = eval_owned(&env, p.pos, Some(p.id), me, &part.owner_of_node, None, &mut remote);
-        assert_eq!(
-            r.flops,
-            r.mac_tests * MAC_FLOPS + (r.p2n + r.p2p) * interaction_flops(0)
-        );
+        assert_eq!(r.flops, r.mac_tests * MAC_FLOPS + (r.p2n + r.p2p) * interaction_flops(0));
     }
 
     #[test]

@@ -162,10 +162,7 @@ impl<'a, M: Mac> ForceProgram<'a, M> {
 
     /// True if some bin is full but cannot be sent (flow-control stall).
     fn stalled(&self) -> bool {
-        self.bins
-            .iter()
-            .zip(&self.outstanding)
-            .any(|(b, &o)| b.len() >= self.cfg.bin_size && o > 0)
+        self.bins.iter().zip(&self.outstanding).any(|(b, &o)| b.len() >= self.cfg.bin_size && o > 0)
     }
 
     fn locally_complete(&self) -> bool {
@@ -314,8 +311,7 @@ pub fn run_force_phase<T: Topology, M: Mac>(
 ) -> ForceRun {
     let p = machine.p();
     assert_eq!(partition.p, p, "partition built for a different machine size");
-    let node_loads = track_node_loads
-        .then(|| Rc::new(RefCell::new(vec![0u64; env.tree.len()])));
+    let node_loads = track_node_loads.then(|| Rc::new(RefCell::new(vec![0u64; env.tree.len()])));
     let cluster_of_branch: HashMap<NodeId, u32> = partition
         .branches
         .iter()
@@ -328,11 +324,7 @@ pub fn run_force_phase<T: Topology, M: Mac>(
         .map(|me| {
             let mine = by_owner[me].clone();
             let lookup = SortedLookup::new(
-                partition
-                    .branches
-                    .iter()
-                    .filter(|b| b.owner == me)
-                    .map(|b| (b.key.raw(), b.node)),
+                partition.branches.iter().filter(|b| b.owner == me).map(|b| (b.key.raw(), b.node)),
             );
             ForceProgram {
                 me,
@@ -351,7 +343,10 @@ pub fn run_force_phase<T: Topology, M: Mac>(
                 outstanding: vec![0; p],
                 scratch_remote: Vec::new(),
                 out: ProcOutcome {
-                    cluster_flops: vec![0; if cluster_of_particle.is_some() { num_clusters } else { 0 }],
+                    cluster_flops: vec![
+                        0;
+                        if cluster_of_particle.is_some() { num_clusters } else { 0 }
+                    ],
                     ..Default::default()
                 },
             }

@@ -153,11 +153,7 @@ pub fn expansion_cost(
     let mut per_proc = vec![0u64; clocks.len()];
     let mut top_flops = 0u64;
     for (id, node) in tree.nodes.iter().enumerate() {
-        let flops = if node.is_leaf() {
-            4 * coeffs * node.count() as u64
-        } else {
-            8 * coeffs
-        };
+        let flops = if node.is_leaf() { 4 * coeffs * node.count() as u64 } else { 8 * coeffs };
         match partition.owner_of_node[id] {
             -1 => top_flops += flops,
             q => per_proc[q as usize] += flops,
@@ -224,7 +220,8 @@ mod tests {
         let topo = Hypercube::new(p);
         let cost = CostModel::ncube2();
         // Irregular distribution exaggerates the asymmetry.
-        let set = multi_gaussian(GaussianSpec { n: 3000, clusters: 4, seed: 5, ..Default::default() });
+        let set =
+            multi_gaussian(GaussianSpec { n: 3000, clusters: 4, seed: 5, ..Default::default() });
         let cell = Aabb::origin_cube(100.0);
         let grid = ClusterGrid::new(8, cell);
         let params =

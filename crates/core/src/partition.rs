@@ -95,9 +95,7 @@ impl Partition {
         }
         branches.sort_by_key(|b| tree.node(b.node).start);
         // Particles are driven by the owner of their cluster.
-        let owner_of_particle = (0..tree.order.len())
-            .map(|_| 0)
-            .collect::<Vec<_>>();
+        let owner_of_particle = (0..tree.order.len()).map(|_| 0).collect::<Vec<_>>();
         let mut part = Partition { p, branches, owner_of_node, owner_of_particle, top_nodes };
         for b in &part.branches {
             for &pi in tree.particles_under(b.node) {
@@ -136,11 +134,8 @@ impl Partition {
         }
         // Weight per in-order position (epsilon keeps all-zero loads
         // count-based).
-        let weight: Vec<f64> = tree
-            .order
-            .iter()
-            .map(|&pi| particle_weight[pi as usize] + 1e-12)
-            .collect();
+        let weight: Vec<f64> =
+            tree.order.iter().map(|&pi| particle_weight[pi as usize] + 1e-12).collect();
         let total: f64 = weight.iter().sum();
         // zone_of_position[t] = which processor owns in-order position t.
         let mut zone_of_position = vec![0usize; n];
@@ -173,12 +168,7 @@ impl Partition {
                 // owner is the zone of its first particle (particle owners
                 // stay per the zone map — driving and serving may differ).
                 let owner = z0;
-                branches.push(BranchInfo {
-                    node: id,
-                    key: node.key,
-                    owner,
-                    cluster: u32::MAX,
-                });
+                branches.push(BranchInfo { node: id, key: node.key, owner, cluster: u32::MAX });
                 mark_subtree(tree, id, owner as i32, &mut owner_of_node);
             } else {
                 top_nodes.push(id);
@@ -223,10 +213,7 @@ impl Partition {
             }
         }
         if covered as usize != tree.order.len() {
-            return Err(format!(
-                "branches cover {covered} of {} particles",
-                tree.order.len()
-            ));
+            return Err(format!("branches cover {covered} of {} particles", tree.order.len()));
         }
         for &t in &self.top_nodes {
             if self.owner_of_node[t as usize] != -1 {
@@ -293,11 +280,8 @@ mod tests {
         let set = uniform_cube(n, 100.0, 7);
         let cell = Aabb::origin_cube(100.0);
         let grid = ClusterGrid::new(c, cell);
-        let params = BuildParams {
-            leaf_capacity: 8,
-            collapse: true,
-            min_split_level: grid.level(),
-        };
+        let params =
+            BuildParams { leaf_capacity: 8, collapse: true, min_split_level: grid.level() };
         let tree = build_in_cell(&set.particles, cell, params);
         (tree, grid, set)
     }
@@ -384,11 +368,8 @@ mod tests {
         let (tree, _, _) = setup(4, 600);
         let loads = vec![1u64; tree.len()];
         let part = Partition::costzones(&tree, &loads, 8);
-        let zones: Vec<usize> = tree
-            .order
-            .iter()
-            .map(|&pi| part.owner_of_particle[pi as usize])
-            .collect();
+        let zones: Vec<usize> =
+            tree.order.iter().map(|&pi| part.owner_of_particle[pi as usize]).collect();
         // non-decreasing along the Z-curve
         assert!(zones.windows(2).all(|w| w[0] <= w[1]));
     }

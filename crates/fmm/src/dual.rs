@@ -72,12 +72,7 @@ pub fn dual_traversal(tree: &Tree, crit: SeparationCriterion) -> InteractionList
             continue;
         }
         // Not separated: split the larger cell (by side, then by count).
-        let split_a = match na
-            .cell
-            .side()
-            .partial_cmp(&nb.cell.side())
-            .expect("finite sides")
-        {
+        let split_a = match na.cell.side().partial_cmp(&nb.cell.side()).expect("finite sides") {
             std::cmp::Ordering::Greater => true,
             std::cmp::Ordering::Less => false,
             std::cmp::Ordering::Equal => na.count() >= nb.count(),
@@ -137,8 +132,7 @@ mod tests {
         // count coverage of ordered particle pairs (i, j), i != j
         let n = set.len();
         let mut covered = vec![0u8; n * n];
-        let particles_under =
-            |id: NodeId| -> Vec<u32> { t.particles_under(id).to_vec() };
+        let particles_under = |id: NodeId| -> Vec<u32> { t.particles_under(id).to_vec() };
         for &(ta, sb) in &lists.m2l {
             for &i in &particles_under(ta) {
                 for &j in &particles_under(sb) {

@@ -161,6 +161,41 @@ impl Aabb {
         let dz = (self.min.z - p.z).max(0.0).max(p.z - self.max.z);
         dx * dx + dy * dy + dz * dz
     }
+
+    /// Squared distance from `p` to the *farthest* point of the box. Together
+    /// with [`Aabb::dist_sq_to`] this brackets the distance from `p` to any
+    /// point inside the box — the bracket the grouped multipole acceptance
+    /// test needs.
+    pub fn max_dist_sq_to(&self, p: Vec3) -> f64 {
+        let dx = (p.x - self.min.x).abs().max((self.max.x - p.x).abs());
+        let dy = (p.y - self.min.y).abs().max((self.max.y - p.y).abs());
+        let dz = (p.z - self.min.z).abs().max((self.max.z - p.z).abs());
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Squared distance between the nearest points of two boxes (0 if they
+    /// touch or overlap).
+    pub fn dist_sq_to_box(&self, other: &Aabb) -> f64 {
+        let gap = |amin: f64, amax: f64, bmin: f64, bmax: f64| -> f64 {
+            (bmin - amax).max(0.0).max(amin - bmax)
+        };
+        let dx = gap(self.min.x, self.max.x, other.min.x, other.max.x);
+        let dy = gap(self.min.y, self.max.y, other.min.y, other.max.y);
+        let dz = gap(self.min.z, self.max.z, other.min.z, other.max.z);
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Corner `i` (0..8), with bit 0/1/2 selecting max on the x/y/z axis —
+    /// the same bit convention as [`Aabb::octant`].
+    #[inline]
+    pub fn corner(&self, i: usize) -> Vec3 {
+        debug_assert!(i < 8);
+        Vec3::new(
+            if i & 1 == 1 { self.max.x } else { self.min.x },
+            if i & 2 == 2 { self.max.y } else { self.min.y },
+            if i & 4 == 4 { self.max.z } else { self.min.z },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -245,8 +280,7 @@ mod tests {
         // Two points crammed into a tiny corner of a huge cube: the collapsed
         // cell must contain them and be much smaller than the root.
         let root = Aabb::origin_cube(1024.0);
-        let tight =
-            Aabb::bounding([Vec3::new(0.5, 0.5, 0.5), Vec3::new(1.0, 1.0, 1.0)]).unwrap();
+        let tight = Aabb::bounding([Vec3::new(0.5, 0.5, 0.5), Vec3::new(1.0, 1.0, 1.0)]).unwrap();
         let c = root.collapse_to(&tight);
         assert!(c.contains_box(&tight));
         assert!(c.side() <= 2.0);
@@ -268,5 +302,43 @@ mod tests {
         assert_eq!(b.dist_sq_to(Vec3::splat(0.5)), 0.0);
         assert_eq!(b.dist_sq_to(Vec3::new(2.0, 0.5, 0.5)), 1.0);
         assert_eq!(b.dist_sq_to(Vec3::new(2.0, 2.0, 0.5)), 2.0);
+    }
+
+    #[test]
+    fn max_dist_reaches_farthest_corner() {
+        let b = unit();
+        // From the origin corner, the farthest point is (1,1,1).
+        assert_eq!(b.max_dist_sq_to(Vec3::ZERO), 3.0);
+        // From outside along +x, the farthest point is the min-x face.
+        assert_eq!(b.max_dist_sq_to(Vec3::new(2.0, 0.0, 0.0)), 4.0 + 1.0 + 1.0);
+        // Brackets dist_sq_to for arbitrary points.
+        for i in 0..8 {
+            let p = Vec3::new(0.3 * i as f64 - 1.0, 0.7, 1.9);
+            assert!(b.dist_sq_to(p) <= b.max_dist_sq_to(p));
+        }
+    }
+
+    #[test]
+    fn box_box_distance() {
+        let a = unit();
+        assert_eq!(a.dist_sq_to_box(&Aabb::cube(Vec3::splat(0.5), 0.2)), 0.0); // contained
+        assert_eq!(a.dist_sq_to_box(&unit()), 0.0); // identical
+        let b = Aabb::new(Vec3::new(3.0, 0.0, 0.0), Vec3::new(4.0, 1.0, 1.0));
+        assert_eq!(a.dist_sq_to_box(&b), 4.0);
+        let c = Aabb::new(Vec3::new(2.0, 3.0, 0.0), Vec3::new(3.0, 4.0, 1.0));
+        assert_eq!(a.dist_sq_to_box(&c), 1.0 + 4.0);
+        // Consistent with the pointwise minimum over one box's corners.
+        for i in 0..8 {
+            assert!(a.dist_sq_to_box(&b) <= b.dist_sq_to(a.corner(i)));
+        }
+    }
+
+    #[test]
+    fn corners_enumerate_extremes() {
+        let b = unit();
+        assert_eq!(b.corner(0), Vec3::ZERO);
+        assert_eq!(b.corner(7), Vec3::splat(1.0));
+        assert_eq!(b.corner(1), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(b.corner(6), Vec3::new(0.0, 1.0, 1.0));
     }
 }

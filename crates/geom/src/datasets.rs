@@ -70,7 +70,12 @@ pub const PAPER_DATASETS: &[DatasetSpec] = &[
         seed: 0xa0761d6478bd642f,
     },
     // Table 5/6/7 Plummer instances.
-    DatasetSpec { name: "p_63192", n: 63_192, kind: DatasetKind::Plummer, seed: 0xe7037ed1a0b428db },
+    DatasetSpec {
+        name: "p_63192",
+        n: 63_192,
+        kind: DatasetKind::Plummer,
+        seed: 0xe7037ed1a0b428db,
+    },
     DatasetSpec {
         name: "p_353992",
         n: 353_992,
@@ -146,14 +151,16 @@ pub fn dataset_scaled(name: &str, scale: f64) -> ParticleSet {
 
 fn generate(d: &DatasetSpec, n: usize) -> ParticleSet {
     match d.kind {
-        DatasetKind::Gaussian { clusters, concentration_side_tenths } => multi_gaussian(GaussianSpec {
-            n,
-            clusters,
-            domain_side: 100.0,
-            concentration_side: concentration_side_tenths as f64 / 10.0,
-            total_mass: 1.0,
-            seed: d.seed,
-        }),
+        DatasetKind::Gaussian { clusters, concentration_side_tenths } => {
+            multi_gaussian(GaussianSpec {
+                n,
+                clusters,
+                domain_side: 100.0,
+                concentration_side: concentration_side_tenths as f64 / 10.0,
+                total_mass: 1.0,
+                seed: d.seed,
+            })
+        }
         DatasetKind::Plummer => plummer(PlummerSpec {
             n,
             total_mass: 1.0,

@@ -135,11 +135,7 @@ pub fn multi_gaussian(spec: GaussianSpec) -> ParticleSet {
     let extra = spec.n % spec.clusters;
     let mut id = 0u32;
     for c in 0..spec.clusters {
-        let center = Vec3::new(
-            rng.gen_range(lo..hi),
-            rng.gen_range(lo..hi),
-            rng.gen_range(lo..hi),
-        );
+        let center = Vec3::new(rng.gen_range(lo..hi), rng.gen_range(lo..hi), rng.gen_range(lo..hi));
         let count = base + usize::from(c < extra);
         for _ in 0..count {
             let pos = loop {
@@ -272,10 +268,8 @@ mod tests {
         let com = s.center_of_mass().unwrap();
         // ≈ 99.7% of particles within the 2×2×2 box around the blob center;
         // demand at least 95% within 1.2× of it to allow sampling noise.
-        let inside = s
-            .iter()
-            .filter(|p| (p.pos - com).to_array().iter().all(|d| d.abs() <= 1.2))
-            .count();
+        let inside =
+            s.iter().filter(|p| (p.pos - com).to_array().iter().all(|d| d.abs() <= 1.2)).count();
         assert!(inside as f64 / s.len() as f64 > 0.95, "only {inside} inside");
     }
 

@@ -45,11 +45,8 @@ impl ParticleSet {
     /// Build from positions with unit masses and zero velocities, assigning
     /// sequential ids.
     pub fn from_positions(positions: impl IntoIterator<Item = Vec3>) -> Self {
-        let particles = positions
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| Particle::at(i as u32, p))
-            .collect();
+        let particles =
+            positions.into_iter().enumerate().map(|(i, p)| Particle::at(i as u32, p)).collect();
         ParticleSet { particles }
     }
 
@@ -84,21 +81,13 @@ impl ParticleSet {
     /// Smallest cube containing all particle positions (padded slightly), the
     /// canonical root cell for tree construction. `None` when empty.
     pub fn bounding_cube(&self) -> Option<Aabb> {
-        let pad = 1e-9
-            * self
-                .particles
-                .iter()
-                .map(|p| p.pos.norm())
-                .fold(1.0, f64::max);
+        let pad = 1e-9 * self.particles.iter().map(|p| p.pos.norm()).fold(1.0, f64::max);
         Aabb::bounding_cube(self.particles.iter().map(|p| p.pos), pad)
     }
 
     /// Total kinetic energy `Σ ½ m v²`.
     pub fn kinetic_energy(&self) -> f64 {
-        self.particles
-            .iter()
-            .map(|p| 0.5 * p.mass * p.vel.norm_sq())
-            .sum()
+        self.particles.iter().map(|p| 0.5 * p.mass * p.vel.norm_sq()).sum()
     }
 
     /// Translate every particle so the center of mass sits at the origin and

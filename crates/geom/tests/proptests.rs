@@ -5,8 +5,7 @@ use bhut_geom::{Aabb, Vec3};
 use proptest::prelude::*;
 
 fn arb_point() -> impl Strategy<Value = Vec3> {
-    (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0)
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 fn arb_cube() -> impl Strategy<Value = Aabb> {

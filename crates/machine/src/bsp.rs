@@ -193,8 +193,7 @@ impl<T: Topology> Machine<T> {
                 if status[rank] == Status::Blocked
                     && pending[rank].iter().all(|m| m.0 > clocks[rank])
                 {
-                    let earliest =
-                        pending[rank].iter().map(|m| m.0).fold(f64::INFINITY, f64::min);
+                    let earliest = pending[rank].iter().map(|m| m.0).fold(f64::INFINITY, f64::min);
                     clocks[rank] = clocks[rank].max(earliest);
                 }
                 let now = clocks[rank];
@@ -262,13 +261,8 @@ impl<T: Topology> Machine<T> {
             }
         }
 
-        let report = RunReport {
-            clocks,
-            flops,
-            messages: total_msgs,
-            words: total_words,
-            supersteps,
-        };
+        let report =
+            RunReport { clocks, flops, messages: total_msgs, words: total_words, supersteps };
         (report, programs, trace)
     }
 }
@@ -436,8 +430,11 @@ mod tests {
     #[test]
     fn late_mail_to_done_processors_is_dropped() {
         let m = Machine::new(Crossbar::new(3), CostModel::unit());
-        let report =
-            m.run(vec![FireAndForget { fired: false }, FireAndForget { fired: false }, FireAndForget { fired: false }]);
+        let report = m.run(vec![
+            FireAndForget { fired: false },
+            FireAndForget { fired: false },
+            FireAndForget { fired: false },
+        ]);
         assert_eq!(report.messages, 3);
     }
 

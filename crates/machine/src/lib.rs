@@ -38,5 +38,5 @@ pub use bsp::{Ctx, Envelope, Machine, Program, Status};
 pub use collectives::Collectives;
 pub use cost::CostModel;
 pub use stats::RunReport;
-pub use trace::{Span, Trace};
 pub use topology::{Crossbar, FatTree, Hypercube, Mesh2D, Topology};
+pub use trace::{Span, Trace};

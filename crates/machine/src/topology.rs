@@ -154,9 +154,7 @@ impl Topology for Mesh2D {
                 2.0 * cost.t_s * (sq - 1.0) + cost.t_w * m
             }
             // (2 t_s + t_w m p)(√p − 1) approximation
-            Collective::AllToAllPersonalized => {
-                (2.0 * cost.t_s + cost.t_w * m * p) * (sq - 1.0)
-            }
+            Collective::AllToAllPersonalized => (2.0 * cost.t_s + cost.t_w * m * p) * (sq - 1.0),
             Collective::Broadcast | Collective::Reduce | Collective::Scan => {
                 2.0 * (cost.t_s + cost.t_w * m) * (sq - 1.0)
             }
@@ -278,7 +276,7 @@ mod tests {
         assert_eq!(f.hops(0, 1), 2); // same leaf switch
         assert_eq!(f.hops(0, 4), 4); // one level up
         assert_eq!(f.hops(0, 255), 8); // root
-        // symmetry
+                                       // symmetry
         for (a, b) in [(3, 77), (100, 200), (0, 255)] {
             assert_eq!(f.hops(a, b), f.hops(b, a));
         }

@@ -130,8 +130,7 @@ mod tests {
     fn hilbert_2d_is_a_permutation_and_adjacent() {
         let order = 4;
         let n = 1u32 << order;
-        let mut cells: Vec<(u32, u32)> =
-            (0..n).flat_map(|y| (0..n).map(move |x| (x, y))).collect();
+        let mut cells: Vec<(u32, u32)> = (0..n).flat_map(|y| (0..n).map(move |x| (x, y))).collect();
         cells.sort_by_key(|&(x, y)| hilbert_index_2d(x, y, order));
         // Consecutive cells along the curve are grid neighbors — the key
         // locality property Morton lacks.
@@ -141,8 +140,7 @@ mod tests {
             assert_eq!(d, 1, "non-adjacent step {:?} -> {:?}", w[0], w[1]);
         }
         // Permutation: indices are 0..n².
-        let idx: Vec<u64> =
-            cells.iter().map(|&(x, y)| hilbert_index_2d(x, y, order)).collect();
+        let idx: Vec<u64> = cells.iter().map(|&(x, y)| hilbert_index_2d(x, y, order)).collect();
         assert_eq!(idx, (0..(n as u64 * n as u64)).collect::<Vec<_>>());
     }
 
@@ -150,9 +148,8 @@ mod tests {
     fn hilbert_3d_is_a_permutation_and_adjacent() {
         let order = 3;
         let n = 1u32 << order;
-        let mut cells: Vec<(u32, u32, u32)> = (0..n)
-            .flat_map(|z| (0..n).flat_map(move |y| (0..n).map(move |x| (x, y, z))))
-            .collect();
+        let mut cells: Vec<(u32, u32, u32)> =
+            (0..n).flat_map(|z| (0..n).flat_map(move |y| (0..n).map(move |x| (x, y, z)))).collect();
         cells.sort_by_key(|&(x, y, z)| hilbert_index_3d(x, y, z, order));
         for w in cells.windows(2) {
             let ((x0, y0, z0), (x1, y1, z1)) = (w[0], w[1]);

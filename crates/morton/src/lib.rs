@@ -19,7 +19,9 @@ pub mod hilbert;
 pub mod keys;
 pub mod morton;
 
-pub use gray::{gray_code, gray_code_inverse, subdomain_to_processor_2d, subdomain_to_processor_3d};
+pub use gray::{
+    gray_code, gray_code_inverse, subdomain_to_processor_2d, subdomain_to_processor_3d,
+};
 pub use hilbert::{hilbert_index_2d, hilbert_index_3d, hilbert_xy_from_index_2d};
 pub use keys::NodeKey;
 pub use morton::{decode_2d, decode_3d, encode_2d, encode_3d, morton_order_2d, morton_order_3d};

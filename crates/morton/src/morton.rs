@@ -100,9 +100,8 @@ pub fn morton_order_2d(n: u32) -> Vec<(u32, u32)> {
 
 /// The permutation of an `n×n×n` 3-D cluster grid in Morton order.
 pub fn morton_order_3d(n: u32) -> Vec<(u32, u32, u32)> {
-    let mut cells: Vec<(u32, u32, u32)> = (0..n)
-        .flat_map(|z| (0..n).flat_map(move |y| (0..n).map(move |x| (x, y, z))))
-        .collect();
+    let mut cells: Vec<(u32, u32, u32)> =
+        (0..n).flat_map(|z| (0..n).flat_map(move |y| (0..n).map(move |x| (x, y, z)))).collect();
     cells.sort_by_key(|&(x, y, z)| encode_3d(x, y, z));
     cells
 }

@@ -178,8 +178,8 @@ mod tests {
     #[test]
     fn monopole_matches_point_mass() {
         let ps = cluster(50, 1);
-        let com: Vec3 =
-            ps.iter().map(|p| p.pos * p.mass).sum::<Vec3>() / ps.iter().map(|p| p.mass).sum::<f64>();
+        let com: Vec3 = ps.iter().map(|p| p.pos * p.mass).sum::<Vec3>()
+            / ps.iter().map(|p| p.mass).sum::<f64>();
         let e = Expansion::from_particles(com, 0, ps.iter().map(|p| (p.pos, p.mass)));
         let x = Vec3::new(10.0, 3.0, -4.0);
         let (phi, acc) = e.eval(x);
@@ -248,8 +248,7 @@ mod tests {
         let ps = cluster(80, 5);
         let e1 = Expansion::from_particles(Vec3::splat(0.4), 4, ps.iter().map(|p| (p.pos, p.mass)));
         let e2 = e1.translate(Vec3::new(1.0, -0.3, 0.2));
-        let direct2 =
-            Expansion::from_particles(e2.center, 4, ps.iter().map(|p| (p.pos, p.mass)));
+        let direct2 = Expansion::from_particles(e2.center, 4, ps.iter().map(|p| (p.pos, p.mass)));
         for (a, b) in e2.moments.iter().zip(&direct2.moments) {
             assert!((a - b).abs() < 1e-10 * (1.0 + b.abs()), "{a} vs {b}");
         }

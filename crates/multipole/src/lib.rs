@@ -27,7 +27,7 @@ pub mod taylor;
 pub mod tree_ext;
 
 pub use expansion::Expansion;
-pub use local::LocalExpansion;
 pub use flops::{interaction_flops, series_words_3d, MAC_FLOPS};
+pub use local::LocalExpansion;
 pub use multiindex::MultiIndexSet;
 pub use tree_ext::MultipoleTree;

@@ -154,10 +154,7 @@ mod tests {
             let x = z + Vec3::new(dx, 0.2, -0.1);
             let want = direct_phi(&ps, x);
             let (phi, _) = l.eval(x);
-            assert!(
-                (phi - want).abs() < 1e-6 * want.abs(),
-                "{phi} vs {want} at dx={dx}"
-            );
+            assert!((phi - want).abs() < 1e-6 * want.abs(), "{phi} vs {want} at dx={dx}");
         }
     }
 
@@ -221,7 +218,8 @@ mod tests {
         let ps = cluster(40, 5);
         let (left, right) = ps.split_at(20);
         let z = Vec3::new(6.5, 6.0, 7.0);
-        let ml = Expansion::from_particles(Vec3::splat(0.4), 4, left.iter().map(|p| (p.pos, p.mass)));
+        let ml =
+            Expansion::from_particles(Vec3::splat(0.4), 4, left.iter().map(|p| (p.pos, p.mass)));
         let mr =
             Expansion::from_particles(Vec3::splat(0.6), 4, right.iter().map(|p| (p.pos, p.mass)));
         let mut l = LocalExpansion::from_multipole(&ml, z, 4);

@@ -113,10 +113,7 @@ mod tests {
             let num = numeric_t((x, y, z), r);
             let ana = t[set.pos(x, y, z)];
             let tol = 1e-4 * (1.0 + ana.abs());
-            assert!(
-                (num - ana).abs() < tol,
-                "T_({x},{y},{z}) analytic {ana} vs numeric {num}"
-            );
+            assert!((num - ana).abs() < tol, "T_({x},{y},{z}) analytic {ana} vs numeric {num}");
         }
     }
 

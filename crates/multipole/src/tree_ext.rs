@@ -9,8 +9,12 @@
 
 use crate::expansion::Expansion;
 use bhut_geom::{Particle, Vec3};
-use bhut_tree::traverse::{accel_kernel, for_each_interaction, potential_kernel, Interaction, TraversalStats};
-use bhut_tree::{Mac, Tree};
+use bhut_tree::group::{accel_batch_p2p, gather_group, InteractionBuffers};
+use bhut_tree::traverse::{
+    accel_kernel, for_each_interaction, for_each_interaction_from, potential_kernel, Interaction,
+    TraversalStats,
+};
+use bhut_tree::{GroupMac, Mac, NodeId, Tree};
 
 /// A tree plus per-node multipole expansions of a fixed degree.
 #[derive(Debug, Clone)]
@@ -39,9 +43,8 @@ impl MultipoleTree {
             } else {
                 let mut acc = Expansion::zero(node.com, degree);
                 for c in tree.children_of(id as u32) {
-                    let child = expansions[c as usize]
-                        .as_ref()
-                        .expect("children processed before parent");
+                    let child =
+                        expansions[c as usize].as_ref().expect("children processed before parent");
                     acc.add_assign(&child.translate(node.com));
                 }
                 acc
@@ -77,6 +80,70 @@ impl MultipoleTree {
             }
         });
         (phi, acc, stats)
+    }
+
+    /// Degree-k grouped evaluation for every particle under `leaf`, via one
+    /// shared walk (see [`bhut_tree::group`]). MAC-accepted nodes are
+    /// evaluated through their expansions from the shared slab; direct
+    /// interactions go through the batched P2P kernel; boundary-straddling
+    /// subtrees are replayed per member. Interaction-for-interaction
+    /// identical to [`MultipoleTree::eval`] — same stats, same terms, only
+    /// the summation order differs.
+    #[allow(clippy::too_many_arguments)] // mirrors eval_group_monopole's signature
+    pub fn eval_group(
+        &self,
+        tree: &Tree,
+        particles: &[Particle],
+        leaf: NodeId,
+        mac: &impl GroupMac,
+        eps: f64,
+        buf: &mut InteractionBuffers,
+        mut emit: impl FnMut(u32, f64, Vec3, u64),
+    ) -> TraversalStats {
+        let n_members = gather_group(tree, particles, leaf, mac, buf);
+        let mut stats = TraversalStats::default();
+        if n_members == 0 {
+            return stats;
+        }
+        let shared_p2n = buf.node_ids.len() as u64;
+        let shared_p2p = buf.px.len() as u64 - buf.self_in_p2p as u64;
+        for k in 0..n_members {
+            let pi = tree.particles_under(leaf)[k];
+            let p = &particles[pi as usize];
+            let (mut acc, mut phi) =
+                accel_batch_p2p(p.pos, p.id, &buf.px, &buf.py, &buf.pz, &buf.pmass, &buf.pid, eps);
+            for &id in &buf.node_ids {
+                let (ph, a) = self.expansions[id as usize].eval(p.pos);
+                phi += ph;
+                acc += a;
+            }
+            let mut member = TraversalStats {
+                p2n: shared_p2n,
+                p2p: shared_p2p,
+                mac_tests: buf.shared_mac_tests,
+            };
+            for &root in &buf.mixed {
+                let st =
+                    for_each_interaction_from(tree, root, particles, p.pos, Some(p.id), mac, |i| {
+                        match i {
+                            Interaction::Node(id) => {
+                                let (ph, a) = self.expansions[id as usize].eval(p.pos);
+                                phi += ph;
+                                acc += a;
+                            }
+                            Interaction::Particle(qi) => {
+                                let q = &particles[qi as usize];
+                                phi += potential_kernel(p.pos, q.pos, q.mass, eps);
+                                acc += accel_kernel(p.pos, q.pos, q.mass, eps);
+                            }
+                        }
+                    });
+                member.merge(st);
+            }
+            emit(pi, phi, acc, member.interactions());
+            stats.merge(member);
+        }
+        stats
     }
 
     /// Potentials for every particle in the set (each excluding itself) —
@@ -176,6 +243,50 @@ mod tests {
             .collect();
         let err = direct::fractional_error_vec(&accels, &exact);
         assert!(err < 5e-3, "force error {err}");
+    }
+
+    #[test]
+    fn grouped_eval_matches_per_particle_eval() {
+        use bhut_tree::group::leaf_schedule;
+        let set = plummer(PlummerSpec { n: 600, seed: 21, ..Default::default() });
+        let eps = 1e-4;
+        for degree in [0u32, 3] {
+            for alpha in [0.67, 1.0] {
+                let t = build::build(&set.particles, BuildParams::with_leaf_capacity(8));
+                let mt = MultipoleTree::new(&t, &set.particles, degree);
+                let mac = BarnesHutMac::new(alpha);
+                let mut buf = InteractionBuffers::new();
+                let mut grouped = TraversalStats::default();
+                let mut covered = 0usize;
+                for leaf in leaf_schedule(&t) {
+                    let st = mt.eval_group(
+                        &t,
+                        &set.particles,
+                        leaf,
+                        &mac,
+                        eps,
+                        &mut buf,
+                        |pi, phi, acc, inter| {
+                            covered += 1;
+                            let p = &set.particles[pi as usize];
+                            let (phi_ref, acc_ref, st_ref) =
+                                mt.eval(&t, &set.particles, p.pos, Some(p.id), &mac, eps);
+                            assert_eq!(inter, st_ref.interactions());
+                            assert!((phi - phi_ref).abs() <= 1e-12 * phi_ref.abs().max(1.0));
+                            assert!(acc.dist(acc_ref) <= 1e-12 * acc_ref.norm().max(1.0));
+                        },
+                    );
+                    grouped.merge(st);
+                }
+                assert_eq!(covered, set.len());
+                let mut reference = TraversalStats::default();
+                for p in set.iter() {
+                    let (_, _, st) = mt.eval(&t, &set.particles, p.pos, Some(p.id), &mac, eps);
+                    reference.merge(st);
+                }
+                assert_eq!(grouped, reference, "degree {degree} alpha {alpha}");
+            }
+        }
     }
 
     #[test]

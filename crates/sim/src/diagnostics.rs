@@ -25,8 +25,7 @@ impl EnergyReport {
         let kinetic = set.kinetic_energy();
         let potential = direct::potential_energy(&set.particles, eps);
         let momentum = set.particles.iter().map(|p| p.vel * p.mass).sum();
-        let angular_momentum =
-            set.particles.iter().map(|p| p.pos.cross(p.vel) * p.mass).sum();
+        let angular_momentum = set.particles.iter().map(|p| p.pos.cross(p.vel) * p.mass).sum();
         EnergyReport { kinetic, potential, total: kinetic + potential, momentum, angular_momentum }
     }
 
@@ -50,10 +49,7 @@ impl Diagnostics {
     /// Worst relative energy drift over the whole run.
     pub fn max_drift(&self) -> f64 {
         let Some((_, first)) = self.reports.first() else { return 0.0 };
-        self.reports
-            .iter()
-            .map(|(_, r)| r.drift_from(first))
-            .fold(0.0, f64::max)
+        self.reports.iter().map(|(_, r)| r.drift_from(first)).fold(0.0, f64::max)
     }
 
     pub fn is_empty(&self) -> bool {

@@ -24,6 +24,9 @@ pub struct SimulationConfig {
     /// Record an `O(n²)` energy report every this many steps (0 = never —
     /// the default for large runs).
     pub diag_every: usize,
+    /// Evaluate forces with grouped tree walks and batched kernels (the
+    /// default); `false` switches back to the per-particle reference path.
+    pub grouped: bool,
 }
 
 impl Default for SimulationConfig {
@@ -36,6 +39,7 @@ impl Default for SimulationConfig {
             leaf_capacity: 8,
             threads: 1,
             diag_every: 0,
+            grouped: true,
         }
     }
 }
@@ -69,6 +73,11 @@ impl Simulation {
             eps: config.eps,
             leaf_capacity: config.leaf_capacity,
             partitioning: bhut_threads::Partitioning::MortonZones,
+            eval_mode: if config.grouped {
+                bhut_threads::EvalMode::Grouped
+            } else {
+                bhut_threads::EvalMode::PerParticle
+            },
         });
         Simulation {
             config,

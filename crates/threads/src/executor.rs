@@ -4,9 +4,10 @@ use crate::pool::{fork_join, BlockScheduler};
 use bhut_geom::{Particle, Vec3};
 use bhut_multipole::MultipoleTree;
 use bhut_tree::build::{build, BuildParams};
+use bhut_tree::group::{eval_group_monopole, leaf_schedule, InteractionBuffers};
 use bhut_tree::traverse::TraversalStats;
-use bhut_tree::{BarnesHutMac, Tree};
-use parking_lot::Mutex;
+use bhut_tree::{BarnesHutMac, NodeId, Tree};
+use std::sync::Mutex;
 
 /// How particles are distributed over threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +24,18 @@ pub enum Partitioning {
     },
 }
 
+/// How forces are evaluated once the tree is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// One tree walk per leaf bucket feeding SoA batched kernels
+    /// ([`bhut_tree::group`]). Interaction-for-interaction identical to
+    /// [`EvalMode::PerParticle`]; the default.
+    #[default]
+    Grouped,
+    /// One tree walk per particle — the reference path.
+    PerParticle,
+}
+
 /// Executor configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ThreadConfig {
@@ -33,6 +46,7 @@ pub struct ThreadConfig {
     pub eps: f64,
     pub leaf_capacity: usize,
     pub partitioning: Partitioning,
+    pub eval_mode: EvalMode,
 }
 
 impl Default for ThreadConfig {
@@ -44,6 +58,7 @@ impl Default for ThreadConfig {
             eps: 1e-4,
             leaf_capacity: 8,
             partitioning: Partitioning::MortonZones,
+            eval_mode: EvalMode::Grouped,
         }
     }
 }
@@ -75,17 +90,29 @@ impl ForceResult {
     }
 }
 
+/// Per-thread evaluation scratch, reused across steps: the grouped walk's
+/// SoA slabs plus the output staging area each worker fills before the main
+/// thread scatters results. One entry per thread, so locks are uncontended.
+#[derive(Default)]
+struct Scratch {
+    buf: InteractionBuffers,
+    out: Vec<(u32, f64, Vec3, u64)>,
+}
+
 /// A reusable shared-memory simulator; carries per-particle work weights
-/// across steps for [`Partitioning::MortonZones`].
+/// across steps for [`Partitioning::MortonZones`] and per-thread evaluation
+/// scratch across steps for both eval modes.
 pub struct ThreadSim {
     pub config: ThreadConfig,
     prev_work: Option<Vec<u64>>,
+    scratch: Vec<Mutex<Scratch>>,
 }
 
 impl ThreadSim {
     pub fn new(config: ThreadConfig) -> Self {
         assert!(config.threads > 0);
-        ThreadSim { config, prev_work: None }
+        let scratch = (0..config.threads).map(|_| Mutex::new(Scratch::default())).collect();
+        ThreadSim { config, prev_work: None, scratch }
     }
 
     /// Drop carried load state.
@@ -105,14 +132,21 @@ impl ThreadSim {
         } else {
             build(particles, params)
         };
-        let mtree =
-            (cfg.degree > 0).then(|| MultipoleTree::new(&tree, particles, cfg.degree));
+        let mtree = (cfg.degree > 0).then(|| MultipoleTree::new(&tree, particles, cfg.degree));
         let mac = BarnesHutMac::new(cfg.alpha);
         let n = particles.len();
 
+        // Threads may have been reconfigured since `new`; grow the scratch
+        // pool to match (never shrink — capacity is cheap to keep).
+        while self.scratch.len() < cfg.threads {
+            self.scratch.push(Mutex::new(Scratch::default()));
+        }
+        let scratch = &self.scratch;
+
         // Evaluation targets in Morton order so contiguous zones are
-        // spatially compact (cache locality + balanced tails).
-        let order: Vec<u32> = tree.order.clone();
+        // spatially compact (cache locality + balanced tails). Borrowed, not
+        // cloned — the tree outlives the joined workers.
+        let order: &[u32] = &tree.order;
         let eval_one = |pi: u32| -> (f64, Vec3, TraversalStats) {
             let p = &particles[pi as usize];
             match &mtree {
@@ -122,9 +156,8 @@ impl ThreadSim {
                     (phi, acc, st)
                 }
                 None => {
-                    let (phi, st) = bhut_tree::potential_at(
-                        &tree, particles, p.pos, Some(p.id), &mac, cfg.eps,
-                    );
+                    let (phi, st) =
+                        bhut_tree::potential_at(&tree, particles, p.pos, Some(p.id), &mac, cfg.eps);
                     let (acc, _) =
                         bhut_tree::accel_on(&tree, particles, p.pos, Some(p.id), &mac, cfg.eps);
                     (phi, acc, st)
@@ -132,60 +165,127 @@ impl ThreadSim {
             }
         };
 
-        let accels = Mutex::new(vec![Vec3::ZERO; n]);
-        let potentials = Mutex::new(vec![0.0f64; n]);
-        let work = Mutex::new(vec![0u64; n]);
-
-        let run_range = |positions: &[u32]| -> (u64, TraversalStats) {
-            let mut local: Vec<(u32, f64, Vec3, u64)> = Vec::with_capacity(positions.len());
-            let mut stats = TraversalStats::default();
-            let mut inter = 0;
-            for &pi in positions {
-                let (phi, acc, st) = eval_one(pi);
-                stats.merge(st);
-                inter += st.interactions();
-                local.push((pi, phi, acc, st.interactions()));
-            }
-            // one locked flush per thread-range, not per particle
-            {
-                let mut a = accels.lock();
-                let mut f = potentials.lock();
-                let mut w = work.lock();
-                for (pi, phi, acc, it) in local {
-                    a[pi as usize] = acc;
-                    f[pi as usize] = phi;
-                    w[pi as usize] = it;
+        // Workers stage results in their own scratch; the main thread
+        // scatters after the join, so no shared result locks exist.
+        let per_thread: Vec<(u64, TraversalStats)> = match cfg.eval_mode {
+            EvalMode::Grouped => {
+                let leaves = leaf_schedule(&tree);
+                // One grouped evaluation of leaf `id` into this thread's
+                // scratch; returns its traversal stats.
+                let eval_leaf = |s: &mut Scratch, leaf: NodeId| -> TraversalStats {
+                    let Scratch { buf, out } = s;
+                    match &mtree {
+                        Some(mt) => mt.eval_group(
+                            &tree,
+                            particles,
+                            leaf,
+                            &mac,
+                            cfg.eps,
+                            buf,
+                            |pi, phi, acc, it| out.push((pi, phi, acc, it)),
+                        ),
+                        None => eval_group_monopole(
+                            &tree,
+                            particles,
+                            leaf,
+                            &mac,
+                            cfg.eps,
+                            buf,
+                            |pi, phi, acc, it| out.push((pi, phi, acc, it)),
+                        ),
+                    }
+                };
+                let run_leaves = |t: usize, ids: &[NodeId]| -> (u64, TraversalStats) {
+                    let mut s = scratch[t].lock().unwrap();
+                    let mut stats = TraversalStats::default();
+                    for &leaf in ids {
+                        stats.merge(eval_leaf(&mut s, leaf));
+                    }
+                    (stats.interactions(), stats)
+                };
+                match cfg.partitioning {
+                    Partitioning::StaticBlocks => {
+                        // Equal particle counts per thread, at leaf
+                        // granularity.
+                        let weights: Vec<u64> =
+                            leaves.iter().map(|&l| tree.node(l).count() as u64).collect();
+                        let bounds = split_by_weight(&weights, cfg.threads);
+                        fork_join(cfg.threads, |t| run_leaves(t, &leaves[bounds[t]..bounds[t + 1]]))
+                    }
+                    Partitioning::MortonZones => {
+                        // Costzones over leaf groups: weight each leaf by its
+                        // members' measured work from the previous step.
+                        let weights: Vec<u64> = match &self.prev_work {
+                            Some(w) if w.len() == n => leaves
+                                .iter()
+                                .map(|&l| {
+                                    tree.particles_under(l)
+                                        .iter()
+                                        .map(|&pi| w[pi as usize] + 1)
+                                        .sum()
+                                })
+                                .collect(),
+                            _ => leaves.iter().map(|&l| tree.node(l).count() as u64).collect(),
+                        };
+                        let bounds = split_by_weight(&weights, cfg.threads);
+                        fork_join(cfg.threads, |t| run_leaves(t, &leaves[bounds[t]..bounds[t + 1]]))
+                    }
+                    Partitioning::SelfScheduling { block } => {
+                        // Convert the particle block size to a leaf count.
+                        let leaf_block = (block / cfg.leaf_capacity.max(1)).max(1);
+                        let sched = BlockScheduler::new(leaves.len(), leaf_block);
+                        fork_join(cfg.threads, |t| {
+                            let mut inter = 0;
+                            let mut stats = TraversalStats::default();
+                            while let Some((a, b)) = sched.grab() {
+                                let (i, s) = run_leaves(t, &leaves[a..b]);
+                                inter += i;
+                                stats.merge(s);
+                            }
+                            (inter, stats)
+                        })
+                    }
                 }
             }
-            (inter, stats)
-        };
-
-        let per_thread: Vec<(u64, TraversalStats)> = match cfg.partitioning {
-            Partitioning::StaticBlocks => {
-                let bounds = equal_bounds(n, cfg.threads);
-                fork_join(cfg.threads, |t| run_range(&order[bounds[t]..bounds[t + 1]]))
-            }
-            Partitioning::MortonZones => {
-                // Carried weights are only valid while the particle set has
-                // the same cardinality (ids are positional).
-                let bounds = match &self.prev_work {
-                    Some(w) if w.len() == n => weighted_bounds(&order, w, cfg.threads),
-                    _ => equal_bounds(n, cfg.threads),
-                };
-                fork_join(cfg.threads, |t| run_range(&order[bounds[t]..bounds[t + 1]]))
-            }
-            Partitioning::SelfScheduling { block } => {
-                let sched = BlockScheduler::new(n, block);
-                fork_join(cfg.threads, |_| {
-                    let mut inter = 0;
+            EvalMode::PerParticle => {
+                let run_range = |t: usize, positions: &[u32]| -> (u64, TraversalStats) {
+                    let mut s = scratch[t].lock().unwrap();
                     let mut stats = TraversalStats::default();
-                    while let Some((a, b)) = sched.grab() {
-                        let (i, s) = run_range(&order[a..b]);
-                        inter += i;
-                        stats.merge(s);
+                    for &pi in positions {
+                        let (phi, acc, st) = eval_one(pi);
+                        stats.merge(st);
+                        s.out.push((pi, phi, acc, st.interactions()));
                     }
-                    (inter, stats)
-                })
+                    (stats.interactions(), stats)
+                };
+                match cfg.partitioning {
+                    Partitioning::StaticBlocks => {
+                        let bounds = equal_bounds(n, cfg.threads);
+                        fork_join(cfg.threads, |t| run_range(t, &order[bounds[t]..bounds[t + 1]]))
+                    }
+                    Partitioning::MortonZones => {
+                        // Carried weights are only valid while the particle
+                        // set has the same cardinality (ids are positional).
+                        let bounds = match &self.prev_work {
+                            Some(w) if w.len() == n => weighted_bounds(order, w, cfg.threads),
+                            _ => equal_bounds(n, cfg.threads),
+                        };
+                        fork_join(cfg.threads, |t| run_range(t, &order[bounds[t]..bounds[t + 1]]))
+                    }
+                    Partitioning::SelfScheduling { block } => {
+                        let sched = BlockScheduler::new(n, block);
+                        fork_join(cfg.threads, |t| {
+                            let mut inter = 0;
+                            let mut stats = TraversalStats::default();
+                            while let Some((a, b)) = sched.grab() {
+                                let (i, s) = run_range(t, &order[a..b]);
+                                inter += i;
+                                stats.merge(s);
+                            }
+                            (inter, stats)
+                        })
+                    }
+                }
             }
         };
 
@@ -195,13 +295,21 @@ impl ThreadSim {
             per_thread_interactions.push(i);
             total.merge(s);
         }
-        self.prev_work = Some(work.into_inner());
-        ForceResult {
-            accels: accels.into_inner(),
-            potentials: potentials.into_inner(),
-            stats: total,
-            per_thread_interactions,
+
+        // Scatter staged results; workers are joined, so the locks are free.
+        let mut accels = vec![Vec3::ZERO; n];
+        let mut potentials = vec![0.0f64; n];
+        let mut work = vec![0u64; n];
+        for s in &self.scratch {
+            let mut s = s.lock().unwrap();
+            for (pi, phi, acc, it) in s.out.drain(..) {
+                accels[pi as usize] = acc;
+                potentials[pi as usize] = phi;
+                work[pi as usize] = it;
+            }
         }
+        self.prev_work = Some(work);
+        ForceResult { accels, potentials, stats: total, per_thread_interactions }
     }
 
     /// Access the tree the last force computation would build (for tests and
@@ -214,6 +322,26 @@ impl ThreadSim {
 /// `threads + 1` equal-count boundaries over `n` items.
 fn equal_bounds(n: usize, threads: usize) -> Vec<usize> {
     (0..=threads).map(|t| n * t / threads).collect()
+}
+
+/// `parts + 1` boundaries over a weighted item sequence such that each part
+/// carries ≈ equal total weight (the costzones split, at item granularity).
+fn split_by_weight(weights: &[u64], parts: usize) -> Vec<usize> {
+    let total: u64 = weights.iter().map(|&w| w + 1).sum();
+    let per = total as f64 / parts as f64;
+    let mut bounds = vec![0usize];
+    let mut acc = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        if acc as f64 >= per * bounds.len() as f64 && bounds.len() < parts {
+            bounds.push(i);
+        }
+        acc += w + 1;
+    }
+    while bounds.len() < parts {
+        bounds.push(weights.len());
+    }
+    bounds.push(weights.len());
+    bounds
 }
 
 /// Costzones boundaries: split the in-order sequence so each zone carries
@@ -249,10 +377,8 @@ mod tests {
     #[test]
     fn matches_direct_summation_closely() {
         let set = uniform_cube(600, 1.0, 3);
-        let mut sim = ThreadSim::new(ThreadConfig {
-            alpha: 0.3,
-            ..config(3, Partitioning::MortonZones)
-        });
+        let mut sim =
+            ThreadSim::new(ThreadConfig { alpha: 0.3, ..config(3, Partitioning::MortonZones) });
         let out = sim.compute_forces(&set.particles);
         let exact = direct::all_accels_direct(&set.particles, sim.config.eps);
         let err = direct::fractional_error_vec(&out.accels, &exact);
@@ -283,10 +409,10 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_results() {
         let set = uniform_cube(400, 1.0, 5);
-        let one = ThreadSim::new(config(1, Partitioning::StaticBlocks))
-            .compute_forces(&set.particles);
-        let four = ThreadSim::new(config(4, Partitioning::StaticBlocks))
-            .compute_forces(&set.particles);
+        let one =
+            ThreadSim::new(config(1, Partitioning::StaticBlocks)).compute_forces(&set.particles);
+        let four =
+            ThreadSim::new(config(4, Partitioning::StaticBlocks)).compute_forces(&set.particles);
         for i in 0..set.len() {
             assert_eq!(one.potentials[i], four.potentials[i]);
             assert_eq!(one.accels[i], four.accels[i]);
@@ -336,6 +462,41 @@ mod tests {
             direct::fractional_error(&out.potentials, &exact)
         };
         assert!(err_at(4) < err_at(0));
+    }
+
+    #[test]
+    fn eval_modes_agree_exactly() {
+        // Grouped walks must reproduce the per-particle reference path:
+        // identical interaction counts, values within 1e-12 relative.
+        let set = plummer(PlummerSpec { n: 900, seed: 12, ..Default::default() });
+        for degree in [0u32, 2] {
+            let mut grouped = ThreadSim::new(ThreadConfig {
+                degree,
+                eval_mode: EvalMode::Grouped,
+                ..config(3, Partitioning::MortonZones)
+            });
+            let mut reference = ThreadSim::new(ThreadConfig {
+                degree,
+                eval_mode: EvalMode::PerParticle,
+                ..config(3, Partitioning::MortonZones)
+            });
+            let a = grouped.compute_forces(&set.particles);
+            let b = reference.compute_forces(&set.particles);
+            assert_eq!(a.stats, b.stats, "degree {degree}");
+            for i in 0..set.len() {
+                let tol = 1e-12;
+                assert!(
+                    (a.potentials[i] - b.potentials[i]).abs()
+                        <= tol * b.potentials[i].abs().max(1.0)
+                );
+                assert!(a.accels[i].dist(b.accels[i]) <= tol * b.accels[i].norm().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_is_the_default_mode() {
+        assert_eq!(ThreadConfig::default().eval_mode, EvalMode::Grouped);
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub mod executor;
 pub mod pool;
 pub mod ptree;
 
-pub use executor::{ForceResult, Partitioning, ThreadConfig, ThreadSim};
+pub use executor::{EvalMode, ForceResult, Partitioning, ThreadConfig, ThreadSim};
 pub use ptree::par_build_in_cell;

@@ -1,4 +1,4 @@
-//! Minimal fork-join helpers over crossbeam scoped threads.
+//! Minimal fork-join helpers over std scoped threads.
 //!
 //! We deliberately avoid a global thread pool: each parallel region spawns
 //! scoped workers, which keeps lifetimes simple (borrows of the particle
@@ -16,11 +16,10 @@ pub fn fork_join<R: Send>(threads: usize, f: impl Fn(usize) -> R + Sync) -> Vec<
         return vec![f(0)];
     }
     let f = &f;
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = (0..threads).map(|t| s.spawn(move |_| f(t))).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads).map(|t| s.spawn(move || f(t))).collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     })
-    .expect("scope panicked")
 }
 
 /// Partition `&mut [T]` into `parts` contiguous chunks with the given
@@ -46,15 +45,11 @@ pub fn for_each_zone<T: Send, R: Send>(
         prev = b;
     }
     let f = &f;
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .enumerate()
-            .map(|(t, chunk)| s.spawn(move |_| f(t, chunk)))
-            .collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> =
+            chunks.into_iter().enumerate().map(|(t, chunk)| s.spawn(move || f(t, chunk))).collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     })
-    .expect("scope panicked")
 }
 
 /// A shared work counter for block self-scheduling: each call hands out the

@@ -39,8 +39,7 @@ pub fn par_build_in_cell(particles: &[Particle], cell: Aabb, params: BuildParams
         if members.is_empty() {
             return None;
         }
-        let local: Vec<Particle> =
-            members.iter().map(|&i| particles[i as usize]).collect();
+        let local: Vec<Particle> = members.iter().map(|&i| particles[i as usize]).collect();
         let sub = build_in_cell(&local, cell.octant(oct), params);
         Some((oct, sub, members.clone()))
     });
@@ -59,6 +58,7 @@ pub fn par_build_in_cell(particles: &[Particle], cell: Aabb, params: BuildParams
         mass: 0.0,
         com: Vec3::ZERO,
         children: [NIL; 8],
+        child_mask: 0,
         start: 0,
         end: n as u32,
     });
@@ -81,9 +81,7 @@ pub fn par_build_in_cell(particles: &[Particle], cell: Aabb, params: BuildParams
             // root actually sits at ROOT.child(oct) (possibly deeper after
             // collapsing — preserved by path splicing).
             let key = NodeKey::from_path(
-                &std::iter::once(oct as u8)
-                    .chain(node.key.path())
-                    .collect::<Vec<u8>>(),
+                &std::iter::once(oct as u8).chain(node.key.path()).collect::<Vec<u8>>(),
             );
             nodes.push(Node {
                 cell: node.cell,
@@ -91,6 +89,8 @@ pub fn par_build_in_cell(particles: &[Particle], cell: Aabb, params: BuildParams
                 mass: node.mass,
                 com: node.com,
                 children,
+                // offsetting child ids never changes occupancy
+                child_mask: node.child_mask,
                 start: node.start + pos_offset,
                 end: node.end + pos_offset,
             });
@@ -100,13 +100,9 @@ pub fn par_build_in_cell(particles: &[Particle], cell: Aabb, params: BuildParams
         mass += sub_root.mass;
         weighted += sub_root.com * sub_root.mass;
     }
-    nodes[0].children = root_children;
+    nodes[0].set_children(root_children);
     nodes[0].mass = mass;
-    nodes[0].com = if mass > 0.0 {
-        weighted / mass
-    } else {
-        cell.center()
-    };
+    nodes[0].com = if mass > 0.0 { weighted / mass } else { cell.center() };
     Tree { nodes, order, root_cell: cell }
 }
 
@@ -134,8 +130,10 @@ mod tests {
         let seq = build_in_cell(&set.particles, cell, BuildParams::default());
         let mac = BarnesHutMac::new(0.6);
         for p in set.iter().take(100) {
-            let (a, _) = bhut_tree::potential_at(&par, &set.particles, p.pos, Some(p.id), &mac, 1e-4);
-            let (b, _) = bhut_tree::potential_at(&seq, &set.particles, p.pos, Some(p.id), &mac, 1e-4);
+            let (a, _) =
+                bhut_tree::potential_at(&par, &set.particles, p.pos, Some(p.id), &mac, 1e-4);
+            let (b, _) =
+                bhut_tree::potential_at(&seq, &set.particles, p.pos, Some(p.id), &mac, 1e-4);
             assert!((a - b).abs() < 1e-9 * b.abs().max(1.0), "{a} vs {b}");
         }
     }

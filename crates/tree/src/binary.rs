@@ -146,8 +146,8 @@ fn build_rec(
 ) -> u32 {
     let id = nodes.len() as u32;
     let span = &order[start as usize..end as usize];
-    let bbox = Aabb::bounding(span.iter().map(|&i| particles[i as usize].pos))
-        .expect("non-empty range");
+    let bbox =
+        Aabb::bounding(span.iter().map(|&i| particles[i as usize].pos)).expect("non-empty range");
     let mut mass = 0.0;
     let mut weighted = Vec3::ZERO;
     for &i in span {
@@ -238,12 +238,7 @@ mod tests {
         let set = plummer(PlummerSpec { n: 4000, seed: 6, ..Default::default() });
         let bin = BinaryTree::build(&set.particles, 8);
         let oct = build(&set.particles, BuildParams::with_leaf_capacity(8));
-        assert!(
-            bin.len() < oct.len(),
-            "binary {} nodes vs oct {}",
-            bin.len(),
-            oct.len()
-        );
+        assert!(bin.len() < oct.len(), "binary {} nodes vs oct {}", bin.len(), oct.len());
     }
 
     #[test]
@@ -267,9 +262,7 @@ mod tests {
 
     #[test]
     fn coincident_particles_terminate() {
-        let set = bhut_geom::ParticleSet::from_positions(
-            std::iter::repeat_n(Vec3::splat(0.5), 20),
-        );
+        let set = bhut_geom::ParticleSet::from_positions(std::iter::repeat_n(Vec3::splat(0.5), 20));
         let t = BinaryTree::build(&set.particles, 4);
         assert!(t.nodes.iter().any(|n| n.is_leaf() && n.count() == 20));
     }

@@ -89,11 +89,8 @@ pub fn build_in_cell(particles: &[Particle], cell: Aabb, params: BuildParams) ->
     if n == 0 {
         return Tree { nodes: Vec::new(), order: Vec::new(), root_cell: cell };
     }
-    let mut keyed: Vec<(u64, u32)> = particles
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (morton_code(&cell, p.pos), i as u32))
-        .collect();
+    let mut keyed: Vec<(u64, u32)> =
+        particles.iter().enumerate().map(|(i, p)| (morton_code(&cell, p.pos), i as u32)).collect();
     keyed.sort_unstable();
     let codes: Vec<u64> = keyed.iter().map(|&(c, _)| c).collect();
     let order: Vec<u32> = keyed.iter().map(|&(_, i)| i).collect();
@@ -114,7 +111,14 @@ struct Builder<'a> {
 
 impl Builder<'_> {
     /// Build the subtree over `order[start..end]`; returns its arena id.
-    fn rec(&mut self, mut cell: Aabb, mut key: NodeKey, mut level: u32, start: u32, end: u32) -> NodeId {
+    fn rec(
+        &mut self,
+        mut cell: Aabb,
+        mut key: NodeKey,
+        mut level: u32,
+        start: u32,
+        end: u32,
+    ) -> NodeId {
         debug_assert!(start < end);
         let count = end - start;
 
@@ -123,10 +127,10 @@ impl Builder<'_> {
         // common prefix of the first and last codes is the common prefix of
         // all of them.
         if self.params.collapse && count > self.params.leaf_capacity as u32 {
-            let mut lcp_levels =
-                ((self.codes[start as usize] ^ self.codes[end as usize - 1]).leading_zeros()
-                    .saturating_sub(1))
-                    / 3;
+            let mut lcp_levels = ((self.codes[start as usize] ^ self.codes[end as usize - 1])
+                .leading_zeros()
+                .saturating_sub(1))
+                / 3;
             // Never collapse past the forced-split level: the distributed
             // formulations need explicit nodes at the subdomain level. (A
             // node entering recursion *at* that level must materialize
@@ -150,13 +154,13 @@ impl Builder<'_> {
             mass,
             com,
             children: [NIL; 8],
+            child_mask: 0,
             start,
             end,
         });
 
         let deep_enough = level >= self.params.min_split_level;
-        if (count as usize <= self.params.leaf_capacity && deep_enough) || level >= MAX_LEVEL - 1
-        {
+        if (count as usize <= self.params.leaf_capacity && deep_enough) || level >= MAX_LEVEL - 1 {
             return id;
         }
 
@@ -175,7 +179,7 @@ impl Builder<'_> {
             children[oct] = self.rec(child_cell, key.child(oct as u8), level + 1, lo, hi);
             lo = hi;
         }
-        self.nodes[id as usize].children = children;
+        self.nodes[id as usize].set_children(children);
         id
     }
 
@@ -234,7 +238,8 @@ pub fn build_incremental(particles: &[Particle], cell: Aabb, params: BuildParams
                         let oct = cell_here.octant_of(particles[q as usize].pos);
                         if children[oct] < 0 {
                             children[oct] = inodes.len() as i32;
-                            inodes.push((cell_here.octant(oct), INode::Leaf { bucket: Vec::new() }));
+                            inodes
+                                .push((cell_here.octant(oct), INode::Leaf { bucket: Vec::new() }));
                         }
                         if let INode::Leaf { bucket } = &mut inodes[children[oct] as usize].1 {
                             bucket.push(q);
@@ -290,6 +295,7 @@ pub fn build_incremental(particles: &[Particle], cell: Aabb, params: BuildParams
             mass: 0.0,
             com: Vec3::ZERO,
             children: [NIL; 8],
+            child_mask: 0,
             start,
             end: start,
         });
@@ -299,8 +305,14 @@ pub fn build_incremental(particles: &[Particle], cell: Aabb, params: BuildParams
             FlatView::Internal(ch) => {
                 for (oct, &c) in ch.iter().enumerate() {
                     if c >= 0 {
-                        children[oct] =
-                            flatten(inodes, particles, c as usize, key.child(oct as u8), nodes, order);
+                        children[oct] = flatten(
+                            inodes,
+                            particles,
+                            c as usize,
+                            key.child(oct as u8),
+                            nodes,
+                            order,
+                        );
                     }
                 }
             }
@@ -315,7 +327,7 @@ pub fn build_incremental(particles: &[Particle], cell: Aabb, params: BuildParams
             weighted += p.pos * p.mass;
         }
         let node = &mut nodes[id as usize];
-        node.children = children;
+        node.set_children(children);
         node.end = end;
         node.mass = mass;
         node.com = if mass > 0.0 { weighted / mass } else { node.cell.center() };
@@ -416,8 +428,7 @@ mod tests {
 
     #[test]
     fn coincident_particles_terminate() {
-        let set =
-            ParticleSet::from_positions(std::iter::repeat_n(Vec3::splat(0.25), 10));
+        let set = ParticleSet::from_positions(std::iter::repeat_n(Vec3::splat(0.25), 10));
         let t = build(&set.particles, BuildParams::with_leaf_capacity(2));
         check(&t, &set);
         // they can never be separated; the deepest cell holds all 10

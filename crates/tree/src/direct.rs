@@ -22,7 +22,12 @@ pub fn accel_direct(particles: &[Particle], point: Vec3, skip_id: Option<u32>, e
 }
 
 /// Exact potential at `point`, excluding particle `skip_id` if given.
-pub fn potential_direct(particles: &[Particle], point: Vec3, skip_id: Option<u32>, eps: f64) -> f64 {
+pub fn potential_direct(
+    particles: &[Particle],
+    point: Vec3,
+    skip_id: Option<u32>,
+    eps: f64,
+) -> f64 {
     let mut phi = 0.0;
     for p in particles {
         if Some(p.id) == skip_id {
@@ -35,18 +40,12 @@ pub fn potential_direct(particles: &[Particle], point: Vec3, skip_id: Option<u32
 
 /// Exact accelerations for every particle (each excluding itself).
 pub fn all_accels_direct(particles: &[Particle], eps: f64) -> Vec<Vec3> {
-    particles
-        .iter()
-        .map(|p| accel_direct(particles, p.pos, Some(p.id), eps))
-        .collect()
+    particles.iter().map(|p| accel_direct(particles, p.pos, Some(p.id), eps)).collect()
 }
 
 /// Exact potentials for every particle (each excluding itself).
 pub fn all_potentials_direct(particles: &[Particle], eps: f64) -> Vec<f64> {
-    particles
-        .iter()
-        .map(|p| potential_direct(particles, p.pos, Some(p.id), eps))
-        .collect()
+    particles.iter().map(|p| potential_direct(particles, p.pos, Some(p.id), eps)).collect()
 }
 
 /// The fractional error of §5.2.2: `‖approx − exact‖ / ‖exact‖` over a
@@ -109,12 +108,7 @@ mod tests {
         let set = uniform_cube(30, 1.0, 5);
         let accels = all_accels_direct(&set.particles, 1e-3);
         // Total momentum change Σ m·a = 0 for internal forces.
-        let total: Vec3 = set
-            .particles
-            .iter()
-            .zip(&accels)
-            .map(|(p, a)| *a * p.mass)
-            .sum();
+        let total: Vec3 = set.particles.iter().zip(&accels).map(|(p, a)| *a * p.mass).sum();
         assert!(total.norm() < 1e-10, "net internal force {total:?}");
     }
 

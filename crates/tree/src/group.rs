@@ -1,0 +1,513 @@
+//! Grouped tree walks: one traversal per leaf bucket instead of one per
+//! particle.
+//!
+//! The per-particle walk ([`crate::traverse`]) re-discovers nearly the same
+//! interaction list for every particle of a leaf — neighbors in space agree
+//! on all but the closest nodes. A grouped walk runs the multipole
+//! acceptance test once per node against the *bucket* (the tight bounding
+//! box of the leaf's particles), using [`GroupMac::classify`] to bracket the
+//! per-member decision:
+//!
+//! * **AcceptAll** — every member accepts; the node's monopole goes into a
+//!   shared structure-of-arrays M2P slab, evaluated once per member by a
+//!   straight-line batched kernel.
+//! * **RejectAll** — every member rejects; an internal node is expanded, a
+//!   leaf's particles are appended to the shared P2P slab.
+//! * **Mixed** — the bucket straddles the acceptance boundary; the subtree
+//!   root is recorded and replayed per member through the exact per-particle
+//!   walk ([`for_each_interaction_from`]).
+//!
+//! Because the walk only descends on RejectAll, every member's individual
+//! walk is guaranteed to reach each shared or mixed frontier node, which
+//! makes the grouped evaluation *interaction-for-interaction identical* to
+//! the per-particle walk: identical [`TraversalStats`] and per-interaction
+//! arithmetic, with only the summation order changed.
+
+use crate::mac::{GroupClass, GroupMac};
+use crate::node::{NodeId, Tree, NIL};
+use crate::traverse::{
+    accel_kernel, for_each_interaction_from, potential_kernel, Interaction, TraversalStats,
+};
+use bhut_geom::{Aabb, Particle, Vec3};
+
+/// Reusable structure-of-arrays scratch for grouped walks. Allocate once per
+/// worker thread; [`gather_group`] refills it for every leaf without
+/// releasing capacity.
+#[derive(Debug, Clone, Default)]
+pub struct InteractionBuffers {
+    /// MAC-accepted nodes (ids kept for degree-k evaluation and debugging).
+    pub node_ids: Vec<NodeId>,
+    /// Monopole M2P sources: centers of mass and masses, SoA.
+    pub com_x: Vec<f64>,
+    pub com_y: Vec<f64>,
+    pub com_z: Vec<f64>,
+    pub node_mass: Vec<f64>,
+    /// Direct P2P sources, SoA; `pid` carries particle ids so kernels can
+    /// exclude the target itself.
+    pub px: Vec<f64>,
+    pub py: Vec<f64>,
+    pub pz: Vec<f64>,
+    pub pmass: Vec<f64>,
+    pub pid: Vec<u32>,
+    /// Roots of subtrees that straddle the acceptance boundary for this
+    /// bucket; replayed per member.
+    pub mixed: Vec<NodeId>,
+    /// MAC tests charged to *each* member by the shared walk (AcceptAll +
+    /// RejectAll classifications of non-singleton nodes).
+    pub shared_mac_tests: u64,
+    /// Whether the target leaf's own particles were appended to the P2P slab
+    /// (each member then finds itself in the slab exactly once).
+    pub self_in_p2p: bool,
+    /// DFS stack, kept to avoid reallocation.
+    stack: Vec<NodeId>,
+}
+
+impl InteractionBuffers {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty all slabs, keeping capacity.
+    pub fn clear(&mut self) {
+        self.node_ids.clear();
+        self.com_x.clear();
+        self.com_y.clear();
+        self.com_z.clear();
+        self.node_mass.clear();
+        self.px.clear();
+        self.py.clear();
+        self.pz.clear();
+        self.pmass.clear();
+        self.pid.clear();
+        self.mixed.clear();
+        self.shared_mac_tests = 0;
+        self.self_in_p2p = false;
+    }
+
+    fn push_node(&mut self, id: NodeId, com: Vec3, mass: f64) {
+        self.node_ids.push(id);
+        self.com_x.push(com.x);
+        self.com_y.push(com.y);
+        self.com_z.push(com.z);
+        self.node_mass.push(mass);
+    }
+
+    fn push_particle(&mut self, p: &Particle) {
+        self.px.push(p.pos.x);
+        self.py.push(p.pos.y);
+        self.pz.push(p.pos.z);
+        self.pmass.push(p.mass);
+        self.pid.push(p.id);
+    }
+}
+
+/// Walk the tree once for the bucket of particles under `leaf`, filling
+/// `buf` with the shared M2P/P2P slabs and the mixed subtree roots.
+///
+/// Returns the number of members. `buf` is cleared first; an empty leaf (or
+/// empty tree) leaves it empty and returns 0.
+pub fn gather_group(
+    tree: &Tree,
+    particles: &[Particle],
+    leaf: NodeId,
+    mac: &impl GroupMac,
+    buf: &mut InteractionBuffers,
+) -> usize {
+    buf.clear();
+    if tree.is_empty() {
+        return 0;
+    }
+    let members = tree.particles_under(leaf);
+    if members.is_empty() {
+        return 0;
+    }
+    let bucket = Aabb::bounding(members.iter().map(|&pi| particles[pi as usize].pos))
+        .expect("non-empty member set");
+
+    let mut stack = std::mem::take(&mut buf.stack);
+    stack.clear();
+    stack.push(0);
+    while let Some(id) = stack.pop() {
+        let node = tree.node(id);
+        let count = node.count();
+        if count == 0 {
+            continue;
+        }
+        if count == 1 {
+            // Same special case as the per-particle walk: singletons skip
+            // the MAC and interact directly.
+            let pi = tree.order[node.start as usize];
+            buf.push_particle(&particles[pi as usize]);
+            if id == leaf {
+                buf.self_in_p2p = true;
+            }
+            continue;
+        }
+        match mac.classify(&node.cell, node.com, &bucket) {
+            GroupClass::AcceptAll => {
+                buf.shared_mac_tests += 1;
+                buf.push_node(id, node.com, node.mass);
+            }
+            GroupClass::RejectAll => {
+                buf.shared_mac_tests += 1;
+                if node.is_leaf() {
+                    for &pi in tree.particles_under(id) {
+                        buf.push_particle(&particles[pi as usize]);
+                    }
+                    if id == leaf {
+                        buf.self_in_p2p = true;
+                    }
+                } else {
+                    for &c in node.children.iter().rev() {
+                        if c != NIL {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+            GroupClass::Mixed => {
+                buf.mixed.push(id);
+            }
+        }
+    }
+    buf.stack = stack;
+    members.len()
+}
+
+/// Batched monopole M2P: acceleration and potential at `point` due to the
+/// SoA source slab `(xs, ys, zs, ms)`, Plummer-softened by `eps`.
+///
+/// Per-interaction arithmetic is identical to [`accel_kernel`] /
+/// [`potential_kernel`] (same operations, same rounding), so a grouped
+/// evaluation differs from the per-particle one only in summation order.
+#[inline]
+pub fn accel_batch_m2p(
+    point: Vec3,
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    ms: &[f64],
+    eps: f64,
+) -> (Vec3, f64) {
+    let eps2 = eps * eps;
+    let (mut ax, mut ay, mut az, mut phi) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for i in 0..xs.len() {
+        let dx = xs[i] - point.x;
+        let dy = ys[i] - point.y;
+        let dz = zs[i] - point.z;
+        let r2 = dx * dx + dy * dy + dz * dz + eps2;
+        let m = ms[i];
+        let (w, ph) = if r2 > 0.0 {
+            let s = r2.sqrt();
+            (m / (r2 * s), -m / s)
+        } else {
+            (0.0, 0.0)
+        };
+        ax += dx * w;
+        ay += dy * w;
+        az += dz * w;
+        phi += ph;
+    }
+    (Vec3::new(ax, ay, az), phi)
+}
+
+/// Batched monopole P2P: like [`accel_batch_m2p`] but over particle sources,
+/// with the entry whose id equals `target_id` masked to zero mass (the
+/// grouped counterpart of the per-particle walk's `skip_id`).
+#[inline]
+#[allow(clippy::too_many_arguments)] // SoA slabs are separate slices by design
+pub fn accel_batch_p2p(
+    point: Vec3,
+    target_id: u32,
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    ms: &[f64],
+    ids: &[u32],
+    eps: f64,
+) -> (Vec3, f64) {
+    let eps2 = eps * eps;
+    let (mut ax, mut ay, mut az, mut phi) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for i in 0..xs.len() {
+        let dx = xs[i] - point.x;
+        let dy = ys[i] - point.y;
+        let dz = zs[i] - point.z;
+        let r2 = dx * dx + dy * dy + dz * dz + eps2;
+        let m = if ids[i] == target_id { 0.0 } else { ms[i] };
+        let (w, ph) = if r2 > 0.0 {
+            let s = r2.sqrt();
+            (m / (r2 * s), -m / s)
+        } else {
+            (0.0, 0.0)
+        };
+        ax += dx * w;
+        ay += dy * w;
+        az += dz * w;
+        phi += ph;
+    }
+    (Vec3::new(ax, ay, az), phi)
+}
+
+/// Monopole potential + acceleration for every particle under `leaf`, via
+/// one grouped walk. `emit(particle_index, phi, accel, interactions)` is
+/// called once per member; the returned stats equal the sum of what
+/// per-particle walks would have produced (`p2p`, `p2n`, and `mac_tests`
+/// all match exactly).
+pub fn eval_group_monopole(
+    tree: &Tree,
+    particles: &[Particle],
+    leaf: NodeId,
+    mac: &impl GroupMac,
+    eps: f64,
+    buf: &mut InteractionBuffers,
+    mut emit: impl FnMut(u32, f64, Vec3, u64),
+) -> TraversalStats {
+    let n_members = gather_group(tree, particles, leaf, mac, buf);
+    let mut stats = TraversalStats::default();
+    if n_members == 0 {
+        return stats;
+    }
+    let shared_p2n = buf.node_ids.len() as u64;
+    let shared_p2p = buf.px.len() as u64 - buf.self_in_p2p as u64;
+    for k in 0..n_members {
+        let pi = tree.particles_under(leaf)[k];
+        let p = &particles[pi as usize];
+        let (mut acc, mut phi) =
+            accel_batch_m2p(p.pos, &buf.com_x, &buf.com_y, &buf.com_z, &buf.node_mass, eps);
+        let (acc_p, phi_p) =
+            accel_batch_p2p(p.pos, p.id, &buf.px, &buf.py, &buf.pz, &buf.pmass, &buf.pid, eps);
+        acc += acc_p;
+        phi += phi_p;
+        let mut member =
+            TraversalStats { p2n: shared_p2n, p2p: shared_p2p, mac_tests: buf.shared_mac_tests };
+        for &root in &buf.mixed {
+            let st = for_each_interaction_from(
+                tree,
+                root,
+                particles,
+                p.pos,
+                Some(p.id),
+                mac,
+                |i| match i {
+                    Interaction::Node(id) => {
+                        let n = tree.node(id);
+                        acc += accel_kernel(p.pos, n.com, n.mass, eps);
+                        phi += potential_kernel(p.pos, n.com, n.mass, eps);
+                    }
+                    Interaction::Particle(qi) => {
+                        let q = &particles[qi as usize];
+                        acc += accel_kernel(p.pos, q.pos, q.mass, eps);
+                        phi += potential_kernel(p.pos, q.pos, q.mass, eps);
+                    }
+                },
+            );
+            member.merge(st);
+        }
+        emit(pi, phi, acc, member.interactions());
+        stats.merge(member);
+    }
+    stats
+}
+
+/// All leaves of `tree` in Morton (in-order) sequence — the group schedule.
+/// Every particle lies under exactly one returned leaf.
+pub fn leaf_schedule(tree: &Tree) -> Vec<NodeId> {
+    let mut leaves = Vec::new();
+    if tree.is_empty() {
+        return leaves;
+    }
+    tree.walk(|id, _| {
+        let n = tree.node(id);
+        if n.is_leaf() && n.count() > 0 {
+            leaves.push(id);
+        }
+    });
+    leaves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build, BuildParams};
+    use crate::mac::{BarnesHutMac, MinDistMac};
+    use crate::traverse::{accel_on, potential_at};
+    use bhut_geom::{plummer, uniform_cube, PlummerSpec};
+
+    const EPS: f64 = 1e-4;
+
+    fn assert_group_matches_per_particle(
+        set: &bhut_geom::ParticleSet,
+        mac: &(impl GroupMac + Copy),
+        leaf_capacity: usize,
+    ) {
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(leaf_capacity));
+        let mut buf = InteractionBuffers::new();
+        let mut grouped_stats = TraversalStats::default();
+        let mut seen = vec![false; set.len()];
+        for leaf in leaf_schedule(&tree) {
+            let st = eval_group_monopole(
+                &tree,
+                &set.particles,
+                leaf,
+                mac,
+                EPS,
+                &mut buf,
+                |pi, phi, acc, inter| {
+                    let p = &set.particles[pi as usize];
+                    assert!(!seen[pi as usize], "particle {pi} visited twice");
+                    seen[pi as usize] = true;
+                    let (phi_ref, st_phi) =
+                        potential_at(&tree, &set.particles, p.pos, Some(p.id), mac, EPS);
+                    let (acc_ref, _) = accel_on(&tree, &set.particles, p.pos, Some(p.id), mac, EPS);
+                    assert_eq!(
+                        inter,
+                        st_phi.interactions(),
+                        "interaction count differs for particle {pi}"
+                    );
+                    let tol = 1e-12;
+                    assert!(
+                        (phi - phi_ref).abs() <= tol * phi_ref.abs().max(1.0),
+                        "phi {phi} vs {phi_ref} for particle {pi}"
+                    );
+                    assert!(
+                        acc.dist(acc_ref) <= tol * acc_ref.norm().max(1.0),
+                        "acc {acc:?} vs {acc_ref:?} for particle {pi}"
+                    );
+                },
+            );
+            grouped_stats.merge(st);
+        }
+        assert!(seen.iter().all(|&s| s), "leaf schedule must cover every particle");
+
+        // Aggregate stats equal the per-particle totals field by field.
+        let mut reference = TraversalStats::default();
+        for p in set.iter() {
+            let (_, st) = potential_at(&tree, &set.particles, p.pos, Some(p.id), mac, EPS);
+            reference.merge(st);
+        }
+        assert_eq!(grouped_stats, reference);
+    }
+
+    #[test]
+    fn grouped_matches_per_particle_uniform() {
+        let set = uniform_cube(500, 1.0, 7);
+        for alpha in [0.67, 1.0] {
+            assert_group_matches_per_particle(&set, &BarnesHutMac::new(alpha), 8);
+        }
+    }
+
+    #[test]
+    fn grouped_matches_per_particle_plummer() {
+        let set = plummer(PlummerSpec { n: 700, seed: 4, ..Default::default() });
+        assert_group_matches_per_particle(&set, &BarnesHutMac::new(0.67), 8);
+        assert_group_matches_per_particle(&set, &BarnesHutMac::new(0.67), 1);
+        assert_group_matches_per_particle(&set, &BarnesHutMac::new(0.67), 32);
+    }
+
+    #[test]
+    fn grouped_matches_per_particle_min_dist() {
+        let set = plummer(PlummerSpec { n: 400, seed: 9, ..Default::default() });
+        assert_group_matches_per_particle(&set, &MinDistMac::new(0.8), 8);
+    }
+
+    #[test]
+    fn batch_kernels_match_scalar_kernels_bitwise() {
+        let set = uniform_cube(64, 1.0, 11);
+        let point = Vec3::new(0.31, 0.62, 0.48);
+        let xs: Vec<f64> = set.iter().map(|p| p.pos.x).collect();
+        let ys: Vec<f64> = set.iter().map(|p| p.pos.y).collect();
+        let zs: Vec<f64> = set.iter().map(|p| p.pos.z).collect();
+        let ms: Vec<f64> = set.iter().map(|p| p.mass).collect();
+        let ids: Vec<u32> = set.iter().map(|p| p.id).collect();
+        // Per-interaction arithmetic must agree bit-for-bit with the scalar
+        // kernels when summed in the same order.
+        let (acc, phi) = accel_batch_m2p(point, &xs, &ys, &zs, &ms, EPS);
+        let mut acc_ref = Vec3::ZERO;
+        let mut phi_ref = 0.0;
+        for p in set.iter() {
+            acc_ref += accel_kernel(point, p.pos, p.mass, EPS);
+            phi_ref += potential_kernel(point, p.pos, p.mass, EPS);
+        }
+        assert_eq!(acc, acc_ref);
+        assert_eq!(phi, phi_ref);
+        // P2P with a masked id: equals the scalar sum that skips it.
+        let skip = 17u32;
+        let (acc2, phi2) = accel_batch_p2p(point, skip, &xs, &ys, &zs, &ms, &ids, EPS);
+        let mut acc2_ref = Vec3::ZERO;
+        let mut phi2_ref = 0.0;
+        for p in set.iter().filter(|p| p.id != skip) {
+            acc2_ref += accel_kernel(point, p.pos, p.mass, EPS);
+            phi2_ref += potential_kernel(point, p.pos, p.mass, EPS);
+        }
+        assert!((acc2.dist(acc2_ref)) <= 1e-15 * acc2_ref.norm().max(1.0));
+        assert!((phi2 - phi2_ref).abs() <= 1e-15 * phi2_ref.abs().max(1.0));
+    }
+
+    #[test]
+    fn buffers_are_reusable() {
+        let set = plummer(PlummerSpec { n: 300, seed: 2, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let mut buf = InteractionBuffers::new();
+        let leaves = leaf_schedule(&tree);
+        let mut first = Vec::new();
+        for &leaf in &leaves {
+            eval_group_monopole(
+                &tree,
+                &set.particles,
+                leaf,
+                &mac,
+                EPS,
+                &mut buf,
+                |pi, phi, _, _| {
+                    first.push((pi, phi));
+                },
+            );
+        }
+        let mut second = Vec::new();
+        for &leaf in &leaves {
+            eval_group_monopole(
+                &tree,
+                &set.particles,
+                leaf,
+                &mac,
+                EPS,
+                &mut buf,
+                |pi, phi, _, _| {
+                    second.push((pi, phi));
+                },
+            );
+        }
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn empty_and_tiny_trees() {
+        let tree = build(&[], BuildParams::default());
+        let mut buf = InteractionBuffers::new();
+        assert_eq!(leaf_schedule(&tree).len(), 0);
+
+        let set = uniform_cube(1, 1.0, 1);
+        let tree = build(&set.particles, BuildParams::default());
+        let leaves = leaf_schedule(&tree);
+        assert_eq!(leaves.len(), 1);
+        let mac = BarnesHutMac::new(0.67);
+        let mut calls = 0;
+        let st = eval_group_monopole(
+            &tree,
+            &set.particles,
+            leaves[0],
+            &mac,
+            EPS,
+            &mut buf,
+            |_, phi, acc, inter| {
+                calls += 1;
+                assert_eq!(phi, 0.0);
+                assert_eq!(acc, Vec3::ZERO);
+                assert_eq!(inter, 0);
+            },
+        );
+        assert_eq!(calls, 1);
+        assert_eq!(st.interactions(), 0);
+    }
+}

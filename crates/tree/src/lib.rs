@@ -23,12 +23,17 @@
 pub mod binary;
 pub mod build;
 pub mod direct;
+pub mod group;
 pub mod mac;
 pub mod node;
 pub mod traverse;
 
 pub use binary::BinaryTree;
 pub use build::BuildParams;
-pub use mac::{BarnesHutMac, Mac, MinDistMac};
+pub use group::{
+    accel_batch_m2p, accel_batch_p2p, eval_group_monopole, gather_group, leaf_schedule,
+    InteractionBuffers,
+};
+pub use mac::{BarnesHutMac, GroupClass, GroupMac, Mac, MinDistMac};
 pub use node::{Node, NodeId, Tree, NIL};
 pub use traverse::{accel_on, potential_at, Interaction, TraversalStats};

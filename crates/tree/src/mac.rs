@@ -77,6 +77,69 @@ impl Mac for MinDistMac {
     }
 }
 
+/// Outcome of testing a node against a whole *bucket* of targets at once
+/// (the tight bounding box of a leaf's particles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupClass {
+    /// Every point in the bucket accepts the node.
+    AcceptAll,
+    /// Every point in the bucket rejects the node.
+    RejectAll,
+    /// The bucket straddles the acceptance boundary; members must be walked
+    /// individually below this node.
+    Mixed,
+}
+
+/// A [`Mac`] that can classify a node against a bucket of targets in one
+/// test, by bracketing the per-member distance term between its minimum and
+/// maximum over the bucket.
+///
+/// Contract (what the grouped walk's exactness rests on): for every point
+/// `p` inside `bucket`, `classify(cell, com, bucket) == AcceptAll` implies
+/// `accept(cell, com, p)`, and `RejectAll` implies `!accept(cell, com, p)`.
+pub trait GroupMac: Mac {
+    fn classify(&self, cell: &Aabb, com: Vec3, bucket: &Aabb) -> GroupClass;
+}
+
+impl GroupMac for BarnesHutMac {
+    #[inline]
+    fn classify(&self, cell: &Aabb, com: Vec3, bucket: &Aabb) -> GroupClass {
+        // Per-member test: side² < α² · dist²(com, p). Over p ∈ bucket the
+        // distance to the com ranges over [dmin, dmax].
+        let side = cell.side();
+        let s2 = side * side;
+        let a2 = self.alpha * self.alpha;
+        if s2 < a2 * bucket.dist_sq_to(com) {
+            GroupClass::AcceptAll
+        } else if s2 >= a2 * bucket.max_dist_sq_to(com) {
+            GroupClass::RejectAll
+        } else {
+            GroupClass::Mixed
+        }
+    }
+}
+
+impl GroupMac for MinDistMac {
+    #[inline]
+    fn classify(&self, cell: &Aabb, _com: Vec3, bucket: &Aabb) -> GroupClass {
+        // Per-member test: side² < α² · dist²(cell, p). The minimum over the
+        // bucket is the box–box distance; the maximum is attained at a bucket
+        // corner (dist-to-box is convex).
+        let side = cell.side();
+        let s2 = side * side;
+        let a2 = self.alpha * self.alpha;
+        if s2 < a2 * cell.dist_sq_to_box(bucket) {
+            return GroupClass::AcceptAll;
+        }
+        let dmax2 = (0..8).map(|i| cell.dist_sq_to(bucket.corner(i))).fold(0.0, f64::max);
+        if s2 >= a2 * dmax2 {
+            GroupClass::RejectAll
+        } else {
+            GroupClass::Mixed
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +214,58 @@ mod tests {
     fn mac_flop_cost_matches_paper() {
         assert_eq!(BarnesHutMac::new(1.0).flops(), 14);
     }
+
+    /// classify() must bracket accept(): AcceptAll ⇒ every sampled bucket
+    /// point accepts, RejectAll ⇒ every sampled bucket point rejects.
+    #[test]
+    fn group_classification_is_conservative() {
+        let cell = unit_cell();
+        let com = Vec3::new(0.45, 0.55, 0.6); // slightly off-center
+        for alpha in [0.4, 0.67, 1.0, 1.5] {
+            let bh = BarnesHutMac::new(alpha);
+            let md = MinDistMac::new(alpha);
+            for bx in 0..40 {
+                let base = Vec3::new(-2.0 + 0.2 * bx as f64, 0.3, 1.4);
+                let bucket = Aabb::new(base, base + Vec3::new(0.7, 0.5, 0.3));
+                // Deterministic sample grid inside the bucket, corners included.
+                let samples = (0..27).map(|i| {
+                    let f = |k: usize| (i / 3usize.pow(k as u32) % 3) as f64 / 2.0;
+                    bucket.min
+                        + Vec3::new(
+                            f(0) * (bucket.max.x - bucket.min.x),
+                            f(1) * (bucket.max.y - bucket.min.y),
+                            f(2) * (bucket.max.z - bucket.min.z),
+                        )
+                });
+                for p in samples {
+                    match bh.classify(&cell, com, &bucket) {
+                        GroupClass::AcceptAll => assert!(bh.accept(&cell, com, p)),
+                        GroupClass::RejectAll => assert!(!bh.accept(&cell, com, p)),
+                        GroupClass::Mixed => {}
+                    }
+                    match md.classify(&cell, com, &bucket) {
+                        GroupClass::AcceptAll => assert!(md.accept(&cell, com, p)),
+                        GroupClass::RejectAll => assert!(!md.accept(&cell, com, p)),
+                        GroupClass::Mixed => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn far_bucket_accepts_near_bucket_rejects() {
+        let mac = BarnesHutMac::new(0.67);
+        let cell = unit_cell();
+        let com = cell.center();
+        let far = Aabb::cube(Vec3::splat(50.0), 1.0);
+        assert_eq!(mac.classify(&cell, com, &far), GroupClass::AcceptAll);
+        let near = Aabb::cube(Vec3::splat(0.6), 0.4);
+        assert_eq!(mac.classify(&cell, com, &near), GroupClass::RejectAll);
+        // A bucket spanning the α boundary is Mixed.
+        let straddling = Aabb::new(Vec3::splat(0.5), Vec3::splat(40.0));
+        assert_eq!(mac.classify(&cell, com, &straddling), GroupClass::Mixed);
+    }
 }
 
 #[cfg(test)]
@@ -175,9 +290,23 @@ mod comparison_tests {
             let mut exact = Vec::new();
             for p in set.iter().take(300) {
                 let (phi, st) = if use_min_dist {
-                    potential_at(&tree, &set.particles, p.pos, Some(p.id), &MinDistMac::new(0.8), eps)
+                    potential_at(
+                        &tree,
+                        &set.particles,
+                        p.pos,
+                        Some(p.id),
+                        &MinDistMac::new(0.8),
+                        eps,
+                    )
                 } else {
-                    potential_at(&tree, &set.particles, p.pos, Some(p.id), &BarnesHutMac::new(0.8), eps)
+                    potential_at(
+                        &tree,
+                        &set.particles,
+                        p.pos,
+                        Some(p.id),
+                        &BarnesHutMac::new(0.8),
+                        eps,
+                    )
                 };
                 inter += st.interactions();
                 approx.push(phi);
@@ -199,7 +328,7 @@ mod comparison_tests {
         use bhut_geom::{Aabb, Vec3};
         let cell = Aabb::origin_cube(1.0);
         let md = MinDistMac::new(2.0); // very loose
-        // point touching the box surface
+                                       // point touching the box surface
         for p in [Vec3::new(1.0001, 0.5, 0.5), Vec3::new(0.5, -0.0001, 0.5)] {
             assert!(!md.accept(&cell, cell.center(), p), "{p:?}");
         }

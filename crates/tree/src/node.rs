@@ -33,6 +33,10 @@ pub struct Node {
     /// Children by octant; `NIL` where the octant is empty. All-`NIL` for
     /// leaves.
     pub children: [NodeId; 8],
+    /// Occupancy bitmask over `children`: bit `o` set iff octant `o` is
+    /// present. Cached so `is_leaf`/`children_of` don't scan eight slots on
+    /// every traversal step; keep in sync via [`Node::set_children`].
+    pub child_mask: u8,
     /// Range `[start, end)` into [`Tree::order`] of the particles below this
     /// node.
     pub start: u32,
@@ -42,7 +46,26 @@ pub struct Node {
 impl Node {
     #[inline]
     pub fn is_leaf(&self) -> bool {
-        self.children.iter().all(|&c| c == NIL)
+        self.child_mask == 0
+    }
+
+    /// The occupancy mask implied by a child table.
+    #[inline]
+    pub fn mask_of(children: &[NodeId; 8]) -> u8 {
+        let mut m = 0u8;
+        for (o, &c) in children.iter().enumerate() {
+            if c != NIL {
+                m |= 1 << o;
+            }
+        }
+        m
+    }
+
+    /// Install a child table and recompute the cached occupancy mask.
+    #[inline]
+    pub fn set_children(&mut self, children: [NodeId; 8]) {
+        self.children = children;
+        self.child_mask = Self::mask_of(&children);
     }
 
     /// Number of particles in the subtree.
@@ -91,8 +114,19 @@ impl Tree {
     }
 
     /// Ids of the present children of `id`, in octant (Z-curve) order.
+    /// Drives the iteration off the cached occupancy mask instead of
+    /// scanning all eight slots.
     pub fn children_of(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.node(id).children.iter().copied().filter(|&c| c != NIL)
+        let n = self.node(id);
+        let mut mask = n.child_mask;
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                return None;
+            }
+            let o = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(n.children[o])
+        })
     }
 
     /// Indices (into the original particle slice) of the particles under
@@ -180,11 +214,7 @@ impl Tree {
             };
         }
         if self.order.len() != particles_len {
-            return Err(format!(
-                "order len {} != particles {}",
-                self.order.len(),
-                particles_len
-            ));
+            return Err(format!("order len {} != particles {}", self.order.len(), particles_len));
         }
         // order is a permutation
         let mut seen = vec![false; particles_len];
@@ -205,6 +235,13 @@ impl Tree {
             let n = self.node(id);
             if n.start > n.end || n.end as usize > particles_len {
                 return Err(format!("node {id} bad range {}..{}", n.start, n.end));
+            }
+            if n.child_mask != Node::mask_of(&n.children) {
+                return Err(format!(
+                    "node {id}: child_mask {:#010b} disagrees with child table (expected {:#010b})",
+                    n.child_mask,
+                    Node::mask_of(&n.children)
+                ));
             }
             if !n.is_leaf() {
                 // children ranges tile the parent range in octant order

@@ -19,10 +19,15 @@ fn main() {
     let sample: Vec<usize> = (0..set.len()).step_by(16).collect();
     let exact: Vec<f64> = sample
         .iter()
-        .map(|&i| direct::potential_direct(&set.particles, set.particles[i].pos, Some(i as u32), eps))
+        .map(|&i| {
+            direct::potential_direct(&set.particles, set.particles[i].pos, Some(i as u32), eps)
+        })
         .collect();
 
-    println!("{:>6} {:>7} {:>14} {:>12} {:>12}", "alpha", "degree", "interactions", "model flops", "error %");
+    println!(
+        "{:>6} {:>7} {:>14} {:>12} {:>12}",
+        "alpha", "degree", "interactions", "model flops", "error %"
+    );
     for &alpha in &[0.5, 0.67, 0.8, 1.0] {
         let mac = BarnesHutMac::new(alpha);
         for degree in [0u32, 2, 4] {
@@ -46,10 +51,7 @@ fn main() {
             let err = direct::fractional_error(&approx, &exact);
             // the paper's machine model: 13 + 16k² flops per interaction
             let flops = interactions * interaction_flops(degree);
-            println!(
-                "{alpha:>6} {degree:>7} {interactions:>14} {flops:>12} {:>12.4}",
-                100.0 * err
-            );
+            println!("{alpha:>6} {degree:>7} {interactions:>14} {flops:>12} {:>12.4}", 100.0 * err);
         }
     }
     println!("\nLower α or higher degree → more accuracy for more work;");

@@ -28,11 +28,7 @@ fn sphere_panels(n: usize) -> ParticleSet {
             let t = (i as f64 + 0.5) / n as f64;
             let lat = (1.0 - 2.0 * t).acos();
             let lon = std::f64::consts::TAU * (i as f64 / golden);
-            let pos = Vec3::new(
-                lat.sin() * lon.cos(),
-                lat.sin() * lon.sin(),
-                lat.cos(),
-            );
+            let pos = Vec3::new(lat.sin() * lon.cos(), lat.sin() * lon.sin(), lat.cos());
             // a smooth density: q(x) = 1 + z² (panel charge as "mass")
             Particle::new(i as u32, 1.0 + pos.z * pos.z, pos, Vec3::ZERO)
         })

@@ -19,10 +19,7 @@ fn main() {
 
     let exact = direct::all_potentials_direct(&set.particles, 0.0);
 
-    println!(
-        "{:<22} {:>14} {:>14} {:>12}",
-        "method", "p2n / m2l", "p2p", "error %"
-    );
+    println!("{:<22} {:>14} {:>14} {:>12}", "method", "p2n / m2l", "p2p", "error %");
 
     // Barnes–Hut at matching accuracy parameters.
     for degree in [2u32, 4] {
@@ -34,8 +31,7 @@ fn main() {
             .particles
             .iter()
             .map(|p| {
-                let (phi, _, st) =
-                    mt.eval(&tree, &set.particles, p.pos, Some(p.id), &mac, 0.0);
+                let (phi, _, st) = mt.eval(&tree, &set.particles, p.pos, Some(p.id), &mac, 0.0);
                 p2n += st.p2n;
                 p2p += st.p2p;
                 phi

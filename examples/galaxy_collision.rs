@@ -30,16 +30,12 @@ fn collision_setup(n_each: usize) -> ParticleSet {
 }
 
 fn main() {
-    let steps: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let steps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
     let set = collision_setup(2_000);
     println!("galaxy collision: {} particles, {steps} steps", set.len());
 
     let e0 = EnergyReport::measure(&set, 0.02);
-    println!(
-        "initial energy: K = {:.4}, U = {:.4}, E = {:.4}",
-        e0.kinetic, e0.potential, e0.total
-    );
+    println!("initial energy: K = {:.4}, U = {:.4}, E = {:.4}", e0.kinetic, e0.potential, e0.total);
 
     let mut sim = Simulation::new(
         set,

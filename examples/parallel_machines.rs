@@ -14,8 +14,7 @@ use barnes_hut::machine::{CostModel, Hypercube, Machine};
 
 fn main() {
     let dataset = std::env::args().nth(1).unwrap_or_else(|| "g_160535".into());
-    let scale: f64 =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.02);
     let set = dataset_scaled(&dataset, scale);
     println!("dataset {dataset} at scale {scale}: {} particles\n", set.len());
     println!(

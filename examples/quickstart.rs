@@ -45,7 +45,9 @@ fn main() {
     let sample: Vec<usize> = (0..set.len()).step_by(set.len() / 500).collect();
     let exact: Vec<f64> = sample
         .iter()
-        .map(|&i| direct::potential_direct(&set.particles, set.particles[i].pos, Some(i as u32), eps))
+        .map(|&i| {
+            direct::potential_direct(&set.particles, set.particles[i].pos, Some(i as u32), eps)
+        })
         .collect();
     let approx: Vec<f64> = sample.iter().map(|&i| phis[i]).collect();
     println!(
@@ -57,9 +59,7 @@ fn main() {
     let mt = MultipoleTree::new(&tree, &set.particles, 4);
     let approx4: Vec<f64> = sample
         .iter()
-        .map(|&i| {
-            mt.eval(&tree, &set.particles, set.particles[i].pos, Some(i as u32), &mac, eps).0
-        })
+        .map(|&i| mt.eval(&tree, &set.particles, set.particles[i].pos, Some(i as u32), &mac, eps).0)
         .collect();
     println!(
         "degree-4 fractional error: {:.4}%",

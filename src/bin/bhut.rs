@@ -135,7 +135,12 @@ fn cmd_forces(flags: HashMap<String, String>) {
         let exact: Vec<f64> = sample
             .iter()
             .map(|&i| {
-                direct::potential_direct(&set.particles, set.particles[i].pos, Some(i as u32), sim.config.eps)
+                direct::potential_direct(
+                    &set.particles,
+                    set.particles[i].pos,
+                    Some(i as u32),
+                    sim.config.eps,
+                )
             })
             .collect();
         let approx: Vec<f64> = sample.iter().map(|&i| out.potentials[i]).collect();

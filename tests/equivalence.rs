@@ -7,28 +7,29 @@ use barnes_hut::core::domain::ClusterGrid;
 use barnes_hut::core::evalcore::{eval_from, eval_owned, EvalEnv};
 use barnes_hut::core::funcship::{run_force_phase, ForceConfig};
 use barnes_hut::core::partition::Partition;
+use barnes_hut::geom::{multi_gaussian, plummer, GaussianSpec, PlummerSpec};
 use barnes_hut::geom::{Aabb, Particle, ParticleSet, Vec3};
 use barnes_hut::machine::{CostModel, Hypercube, Machine};
-use barnes_hut::tree::build::{build_in_cell, BuildParams};
-use barnes_hut::tree::BarnesHutMac;
+use barnes_hut::multipole::MultipoleTree;
+use barnes_hut::tree::build::{build, build_in_cell, BuildParams};
+use barnes_hut::tree::group::{eval_group_monopole, leaf_schedule, InteractionBuffers};
+use barnes_hut::tree::traverse::TraversalStats;
+use barnes_hut::tree::{BarnesHutMac, GroupClass, GroupMac, Mac, MinDistMac};
 use proptest::prelude::*;
 
 fn arb_particles(max_n: usize) -> impl Strategy<Value = ParticleSet> {
-    proptest::collection::vec(
-        (0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0, 0.1f64..2.0),
-        2..max_n,
-    )
-    .prop_map(|points| {
-        ParticleSet::new(
-            points
-                .into_iter()
-                .enumerate()
-                .map(|(i, (x, y, z, m))| {
-                    Particle::new(i as u32, m, Vec3::new(x, y, z), Vec3::ZERO)
-                })
-                .collect(),
-        )
-    })
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0, 0.1f64..2.0), 2..max_n)
+        .prop_map(|points| {
+            ParticleSet::new(
+                points
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (x, y, z, m))| {
+                        Particle::new(i as u32, m, Vec3::new(x, y, z), Vec3::ZERO)
+                    })
+                    .collect(),
+            )
+        })
 }
 
 proptest! {
@@ -145,5 +146,213 @@ proptest! {
         let lists = part.particles_by_owner();
         let total: usize = lists.iter().map(Vec::len).sum();
         prop_assert_eq!(total, set.len());
+    }
+
+    /// The group MAC's three-way classification brackets the per-point MAC:
+    /// AcceptAll ⇒ every point in the bucket accepts, RejectAll ⇒ every
+    /// point rejects — for random cells, buckets, and α, for both MACs.
+    #[test]
+    fn group_mac_is_conservative(
+        cell_min in prop::array::uniform3(-50.0f64..50.0),
+        cell_side in 0.5f64..40.0,
+        bucket_min in prop::array::uniform3(-80.0f64..80.0),
+        bucket_side in prop::array::uniform3(0.01f64..30.0),
+        com_frac in prop::array::uniform3(0.05f64..0.95),
+        alpha in 0.2f64..1.6,
+    ) {
+        let cell = Aabb::cube(Vec3::from_array(cell_min), cell_side);
+        let bmin = Vec3::from_array(bucket_min);
+        let bucket = Aabb::new(bmin, bmin + Vec3::from_array(bucket_side));
+        let com = cell.min
+            + Vec3::new(
+                com_frac[0] * cell_side,
+                com_frac[1] * cell_side,
+                com_frac[2] * cell_side,
+            );
+        // Deterministic sample grid over the bucket, corners included.
+        let mut samples = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    let f = |t: u32, lo: f64, hi: f64| lo + (hi - lo) * t as f64 / 3.0;
+                    samples.push(Vec3::new(
+                        f(i, bucket.min.x, bucket.max.x),
+                        f(j, bucket.min.y, bucket.max.y),
+                        f(k, bucket.min.z, bucket.max.z),
+                    ));
+                }
+            }
+        }
+        let bh = BarnesHutMac::new(alpha);
+        let md = MinDistMac::new(alpha);
+        match GroupMac::classify(&bh, &cell, com, &bucket) {
+            GroupClass::AcceptAll => {
+                for &p in &samples {
+                    prop_assert!(bh.accept(&cell, com, p));
+                }
+            }
+            GroupClass::RejectAll => {
+                for &p in &samples {
+                    prop_assert!(!bh.accept(&cell, com, p));
+                }
+            }
+            GroupClass::Mixed => {}
+        }
+        match GroupMac::classify(&md, &cell, com, &bucket) {
+            GroupClass::AcceptAll => {
+                for &p in &samples {
+                    prop_assert!(md.accept(&cell, com, p));
+                }
+            }
+            GroupClass::RejectAll => {
+                for &p in &samples {
+                    prop_assert!(!md.accept(&cell, com, p));
+                }
+            }
+            GroupClass::Mixed => {}
+        }
+    }
+
+    /// Grouped evaluation equals the per-particle walk for arbitrary
+    /// particle sets: exact p2p counts, ≤1e-12-relative values.
+    #[test]
+    fn grouped_walk_is_exact_for_random_sets(
+        set in arb_particles(200),
+        alpha in 0.3f64..1.3,
+        s in 1usize..16,
+    ) {
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(s));
+        let mac = BarnesHutMac::new(alpha);
+        let eps = 1e-4;
+        let mut buf = InteractionBuffers::new();
+        let mut grouped = TraversalStats::default();
+        for leaf in leaf_schedule(&tree) {
+            let st = eval_group_monopole(
+                &tree, &set.particles, leaf, &mac, eps, &mut buf,
+                |pi, phi, acc, _| {
+                    let p = &set.particles[pi as usize];
+                    let (phi_ref, _) = barnes_hut::tree::potential_at(
+                        &tree, &set.particles, p.pos, Some(p.id), &mac, eps,
+                    );
+                    let (acc_ref, _) = barnes_hut::tree::accel_on(
+                        &tree, &set.particles, p.pos, Some(p.id), &mac, eps,
+                    );
+                    assert!((phi - phi_ref).abs() <= 1e-12 * phi_ref.abs().max(1.0));
+                    assert!(acc.dist(acc_ref) <= 1e-12 * acc_ref.norm().max(1.0));
+                },
+            );
+            grouped.merge(st);
+        }
+        let mut reference = TraversalStats::default();
+        for p in set.iter() {
+            let (_, st) = barnes_hut::tree::potential_at(
+                &tree, &set.particles, p.pos, Some(p.id), &mac, eps,
+            );
+            reference.merge(st);
+        }
+        prop_assert_eq!(grouped.p2p, reference.p2p);
+        prop_assert_eq!(grouped, reference);
+    }
+}
+
+/// Grouped vs per-particle agreement over the paper's benchmark
+/// distributions: exact `TraversalStats::p2p` and ≤1e-12-relative potentials
+/// and accelerations, for monopole and degree-3 expansions at α ∈ {0.67, 1}.
+#[test]
+fn grouped_walks_match_per_particle_on_benchmark_distributions() {
+    let eps = 1e-4;
+    let distributions: Vec<(&str, barnes_hut::geom::ParticleSet)> = vec![
+        ("plummer", plummer(PlummerSpec { n: 1000, seed: 31, ..Default::default() })),
+        (
+            "multi_gaussian",
+            multi_gaussian(GaussianSpec { n: 1000, clusters: 4, seed: 32, ..Default::default() }),
+        ),
+    ];
+    for (name, set) in &distributions {
+        for degree in [0u32, 3] {
+            for alpha in [0.67, 1.0] {
+                let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+                let mt = MultipoleTree::new(&tree, &set.particles, degree);
+                let mac = BarnesHutMac::new(alpha);
+                let mut buf = InteractionBuffers::new();
+                let mut grouped = TraversalStats::default();
+                let mut covered = 0usize;
+                for leaf in leaf_schedule(&tree) {
+                    let st = if degree == 0 {
+                        eval_group_monopole(
+                            &tree,
+                            &set.particles,
+                            leaf,
+                            &mac,
+                            eps,
+                            &mut buf,
+                            |pi, phi, acc, _| {
+                                covered += 1;
+                                let p = &set.particles[pi as usize];
+                                let (phi_ref, _) = barnes_hut::tree::potential_at(
+                                    &tree,
+                                    &set.particles,
+                                    p.pos,
+                                    Some(p.id),
+                                    &mac,
+                                    eps,
+                                );
+                                let (acc_ref, _) = barnes_hut::tree::accel_on(
+                                    &tree,
+                                    &set.particles,
+                                    p.pos,
+                                    Some(p.id),
+                                    &mac,
+                                    eps,
+                                );
+                                assert!(
+                                    (phi - phi_ref).abs() <= 1e-12 * phi_ref.abs().max(1.0),
+                                    "{name} deg {degree} α {alpha}: phi {phi} vs {phi_ref}"
+                                );
+                                assert!(
+                                    acc.dist(acc_ref) <= 1e-12 * acc_ref.norm().max(1.0),
+                                    "{name} deg {degree} α {alpha}: acc mismatch"
+                                );
+                            },
+                        )
+                    } else {
+                        mt.eval_group(
+                            &tree,
+                            &set.particles,
+                            leaf,
+                            &mac,
+                            eps,
+                            &mut buf,
+                            |pi, phi, acc, _| {
+                                covered += 1;
+                                let p = &set.particles[pi as usize];
+                                let (phi_ref, acc_ref, _) =
+                                    mt.eval(&tree, &set.particles, p.pos, Some(p.id), &mac, eps);
+                                assert!(
+                                    (phi - phi_ref).abs() <= 1e-12 * phi_ref.abs().max(1.0),
+                                    "{name} deg {degree} α {alpha}: phi {phi} vs {phi_ref}"
+                                );
+                                assert!(
+                                    acc.dist(acc_ref) <= 1e-12 * acc_ref.norm().max(1.0),
+                                    "{name} deg {degree} α {alpha}: acc mismatch"
+                                );
+                            },
+                        )
+                    };
+                    grouped.merge(st);
+                }
+                assert_eq!(covered, set.len());
+                let mut reference = TraversalStats::default();
+                for p in set.iter() {
+                    let (_, _, st) = mt.eval(&tree, &set.particles, p.pos, Some(p.id), &mac, eps);
+                    reference.merge(st);
+                }
+                assert_eq!(
+                    grouped.p2p, reference.p2p,
+                    "{name} deg {degree} α {alpha}: p2p counts differ"
+                );
+                assert_eq!(grouped, reference, "{name} deg {degree} α {alpha}");
+            }
+        }
     }
 }

@@ -73,12 +73,7 @@ fn degree_raises_time_and_efficiency() {
     let d0 = run("g_160535", 0.02, Scheme::Dpda, 16, 0, 0.67, 2);
     let d4 = run("g_160535", 0.02, Scheme::Dpda, 16, 4, 0.67, 2);
     assert!(d4.phases.total > d0.phases.total);
-    assert!(
-        d4.efficiency > d0.efficiency,
-        "efficiency {} -> {}",
-        d0.efficiency,
-        d4.efficiency
-    );
+    assert!(d4.efficiency > d0.efficiency, "efficiency {} -> {}", d0.efficiency, d4.efficiency);
 }
 
 /// Table 7: raising α lowers runtime and communication.

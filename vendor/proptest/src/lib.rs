@@ -1,0 +1,558 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro (with
+//! optional `#![proptest_config(..)]`, `name in strategy` and `name: Type`
+//! parameters), `prop_assert*` / `prop_assume!`, range and tuple strategies,
+//! `prop_map`, `collection::vec`, and `array::uniform3`. Cases are generated
+//! from a deterministic per-test seed, so failures reproduce exactly on
+//! re-run; there is no shrinking.
+
+pub mod test_runner {
+    use std::hash::{DefaultHasher, Hash, Hasher};
+
+    /// Outcome of one generated case, produced by the `prop_assert*` /
+    /// `prop_assume!` macros.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic generator (splitmix64) seeded from the test's path and
+    /// the case index.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        pub fn for_case(test_name: &str, attempt: u64) -> Self {
+            let mut h = DefaultHasher::new();
+            test_name.hash(&mut h);
+            attempt.hash(&mut h);
+            Self::from_seed(h.finish())
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Drive one property: run `cfg.cases` successful cases, retrying
+    /// rejected ones (bounded), panicking on the first failure.
+    pub fn run_cases<F>(cfg: &ProptestConfig, test_name: &str, mut case_fn: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let max_rejects = cfg.cases.saturating_mul(20).max(1024);
+        let mut rejects = 0u32;
+        let mut passed = 0u32;
+        let mut attempt = 0u64;
+        while passed < cfg.cases {
+            let mut rng = TestRng::for_case(test_name, attempt);
+            match case_fn(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(what)) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        panic!("{test_name}: too many prop_assume! rejections ({what})");
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{test_name}: failed after {passed} passing case(s) \
+                         (reproduce with attempt index {attempt}): {msg}"
+                    );
+                }
+            }
+            attempt += 1;
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            let v = self.start + rng.next_f64() * (self.end - self.start);
+            // Rounding can land exactly on `end`; fold that back to `start`.
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.next_f64() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! impl_uint_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer range strategy");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uint_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = ((self.end as i128) - (self.start as i128)) as u128;
+                    ((self.start as i128) + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer range strategy");
+                    let span = ((hi as i128) - (lo as i128) + 1) as u128;
+                    ((lo as i128) + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// Strategy producing a fixed value (proptest's `Just`).
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy (used for `name: Type`
+    /// parameters in `proptest!`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, spanning several magnitudes.
+            (rng.next_f64() - 0.5) * 2e6
+        }
+    }
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T` (proptest's `any::<T>()`).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: an exact size or a range.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max_excl: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self { min: r.start, max_excl: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            Self { min: *r.start(), max_excl: *r.end() + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_excl - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with element strategy `elem` and length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct Uniform3<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; 3] {
+            [self.0.sample(rng), self.0.sample(rng), self.0.sample(rng)]
+        }
+    }
+
+    /// `[T; 3]` with each element drawn from `elem`.
+    pub fn uniform3<S: Strategy>(elem: S) -> Uniform3<S> {
+        Uniform3(elem)
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(
+                &($cfg),
+                concat!(module_path!(), "::", stringify!($name)),
+                |__proptest_rng| {
+                    $crate::__proptest_bind!((__proptest_rng) $($params)*);
+                    #[allow(unreachable_code)]
+                    let __proptest_case =
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            { $body }
+                            ::std::result::Result::Ok(())
+                        };
+                    __proptest_case()
+                },
+            );
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    (($rng:ident)) => {};
+    (($rng:ident) $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), $rng);
+        $crate::__proptest_bind!(($rng) $($rest)*);
+    };
+    (($rng:ident) $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), $rng);
+    };
+    (($rng:ident) $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary($rng);
+        $crate::__proptest_bind!(($rng) $($rest)*);
+    };
+    (($rng:ident) $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary($rng);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::for_case("x", 0);
+        let mut b = TestRng::for_case("x", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x", 1);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::sample(&(-1.0f64..2.0), &mut rng);
+            assert!((-1.0..2.0).contains(&f));
+            let i = Strategy::sample(&(-5i64..=5), &mut rng);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let strat = crate::collection::vec(0usize..10, 2..6).prop_map(|v| v.len());
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..100 {
+            let len = strat.sample(&mut rng);
+            assert!((2..6).contains(&len));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_binds_both_forms(x in 0u32..100, flag: bool, arr in prop::array::uniform3(0.0f64..1.0)) {
+            prop_assert!(x < 100);
+            let _ = flag;
+            prop_assert!(arr.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn assume_retries(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! Supports exactly what the workspace derives on: non-generic named-field
+//! structs. The expansion maps each field through the `Serialize` /
+//! `Deserialize` traits, so field types only need their own impls. Anything
+//! fancier (enums, tuple structs, generics) panics with a clear message at
+//! compile time rather than mis-expanding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility up to the `struct` keyword.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // attribute body
+                let _ = iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                panic!("vendored serde_derive supports structs only, found enum")
+            }
+            Some(TokenTree::Ident(_)) | Some(TokenTree::Group(_)) => {}
+            Some(other) => panic!("unexpected token before `struct`: {other}"),
+            None => panic!("no `struct` keyword in derive input"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, found {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored serde_derive supports named-field structs only (struct {name} is a tuple struct)")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("vendored serde_derive does not support generic struct {name}")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("vendored serde_derive does not support unit struct {name}")
+            }
+            Some(_) => {}
+            None => panic!("no struct body for {name}"),
+        }
+    };
+
+    // Walk the field list: skip attributes/visibility, take `ident :`, then
+    // consume the type up to a top-level comma (angle-bracket depth tracked
+    // by hand — `<` / `>` are plain puncts in a token stream).
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next(); // the [...] group
+            } else {
+                break;
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = toks.peek() {
+            if id.to_string() == "pub" {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+        }
+        let field = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name in {name}, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field {field} in {name}, found {other:?}"),
+        }
+        fields.push(field);
+        // Skip the type.
+        let mut angle_depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        toks.next();
+                        break;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    }
+                    toks.next();
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+    }
+    StructShape { name, fields }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let pairs: Vec<String> = shape
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Obj(vec![{}])\n\
+             }}\n\
+         }}",
+        shape.name,
+        pairs.join(", ")
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let inits: Vec<String> = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(v.get_field(\"{f}\")\
+                 .ok_or_else(|| format!(\"missing field `{f}` in {}\"))?)?",
+                shape.name
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, String> {{\n\
+                 Ok({} {{ {} }})\n\
+             }}\n\
+         }}",
+        shape.name,
+        shape.name,
+        inits.join(", ")
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

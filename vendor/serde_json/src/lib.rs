@@ -1,0 +1,72 @@
+//! Offline stand-in for `serde_json`: renders the vendored serde value tree
+//! as JSON text and parses it back.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Serialization/deserialization failure.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json())
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = Value::from_json(s).map_err(Error)?;
+    T::from_value(&v).map_err(Error)
+}
+
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(value.to_value().to_json().as_bytes())?;
+    Ok(())
+}
+
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let s = to_string(&vec![1.5f64, -2.0]).unwrap();
+        let back: Vec<f64> = from_str(&s).unwrap();
+        assert_eq!(back, vec![1.5, -2.0]);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &(1u64, 2.5f64)).unwrap();
+        let back: (u64, f64) = from_reader(buf.as_slice()).unwrap();
+        assert_eq!(back, (1, 2.5));
+    }
+
+    #[test]
+    fn parse_error_reports() {
+        let r: Result<Vec<f64>> = from_str("[1,");
+        assert!(r.is_err());
+    }
+}
