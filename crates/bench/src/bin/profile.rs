@@ -1,0 +1,306 @@
+//! Phase-level profile of the threaded executor plus the simulated schemes,
+//! with an optional throughput gate against a committed baseline.
+//!
+//! ```text
+//! cargo run --release -p bhut-bench --bin profile -- \
+//!     [--n 20000] [--reps 3] [--threads T] [--out results/profile.json] \
+//!     [--baseline results/profile.json] [--max-regression 1.5] [--overhead]
+//! ```
+//!
+//! The default mode runs `--reps` profiled force evaluations of a Plummer
+//! model on the shared-memory executor, prints the per-phase table from the
+//! best repetition's [`StepProfile`], then runs one warmed-up iteration of
+//! each simulated scheme (SPSA/SPDA/DPDA on a 16-processor hypercube) and
+//! reports their Table-3 phase shares. With `--baseline` it exits nonzero
+//! only when the measured interaction throughput regressed by more than
+//! `--max-regression` (default 1.5×) against the baseline file — a coarse
+//! gate meant to catch order-of-magnitude breakage on shared CI runners,
+//! not small perf drift.
+//!
+//! `--overhead` instead measures the profiled path against the plain path
+//! at the same `--n` and prints the relative overhead of instrumentation
+//! (the acceptance bar is <2% at n = 100k).
+
+use bhut_core::balance::Scheme;
+use bhut_core::driver::{ParallelSim, SimConfig};
+use bhut_geom::{plummer, PlummerSpec};
+use bhut_machine::{CostModel, Hypercube, Machine};
+use bhut_obs::{phase, StepProfile};
+use bhut_threads::{EvalMode, Partitioning, ThreadConfig, ThreadSim};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize, Deserialize)]
+struct ThreadedReport {
+    n: usize,
+    threads: usize,
+    reps: usize,
+    /// Best-of-reps wall seconds for one full force evaluation.
+    best_s: f64,
+    interactions: u64,
+    /// The gated throughput metric.
+    interactions_per_s: f64,
+    imbalance: f64,
+    utilization: f64,
+    build_s: f64,
+    walk_s: f64,
+    kernel_s: f64,
+    scatter_s: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SchemeReport {
+    scheme: String,
+    p: usize,
+    total_s: f64,
+    efficiency: f64,
+    local_tree_share: f64,
+    tree_merge_share: f64,
+    broadcast_share: f64,
+    force_share: f64,
+    load_balance_share: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    benchmark: String,
+    distribution: String,
+    threaded: ThreadedReport,
+    schemes: Vec<SchemeReport>,
+    /// Full span/counter profile of the best threaded repetition, in the
+    /// workspace's shared span schema.
+    profile: StepProfile,
+}
+
+struct Args {
+    n: usize,
+    reps: usize,
+    threads: usize,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    max_regression: f64,
+    overhead: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 20_000,
+        reps: 3,
+        threads: std::thread::available_parallelism().map_or(4, |c| c.get().min(8)),
+        out: PathBuf::from("results/profile.json"),
+        baseline: None,
+        max_regression: 1.5,
+        overhead: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        match arg.as_str() {
+            "--n" => args.n = val("--n").parse().expect("--n"),
+            "--reps" => args.reps = val("--reps").parse().expect("--reps"),
+            "--threads" => args.threads = val("--threads").parse().expect("--threads"),
+            "--out" => args.out = PathBuf::from(val("--out")),
+            "--baseline" => args.baseline = Some(PathBuf::from(val("--baseline"))),
+            "--max-regression" => {
+                args.max_regression = val("--max-regression").parse().expect("--max-regression")
+            }
+            "--overhead" => args.overhead = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+fn executor(threads: usize) -> ThreadSim {
+    ThreadSim::new(ThreadConfig {
+        threads,
+        alpha: 0.67,
+        degree: 0,
+        eps: 1e-4,
+        leaf_capacity: 8,
+        partitioning: Partitioning::MortonZones,
+        eval_mode: EvalMode::Grouped,
+    })
+}
+
+/// Best-of-`reps` profiled force evaluation; returns the threaded report
+/// and the best repetition's profile.
+fn run_threaded(n: usize, threads: usize, reps: usize) -> (ThreadedReport, StepProfile) {
+    let set = plummer(PlummerSpec { n, ..Default::default() });
+    let mut sim = executor(threads);
+    let mut best_s = f64::INFINITY;
+    let mut best: Option<(StepProfile, u64, f64)> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut out = sim.compute_forces_profiled(&set.particles);
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&out.accels);
+        if dt < best_s {
+            best_s = dt;
+            let profile = out.profile.take().expect("profiled run yields a profile");
+            best = Some((profile, out.stats.interactions(), out.imbalance()));
+        }
+    }
+    let (profile, interactions, imbalance) = best.expect("at least one repetition");
+    let report = ThreadedReport {
+        n,
+        threads,
+        reps,
+        best_s,
+        interactions,
+        interactions_per_s: interactions as f64 / best_s,
+        imbalance,
+        utilization: profile.utilization(),
+        build_s: profile.phase_total(phase::BUILD),
+        walk_s: profile.phase_total(phase::WALK),
+        kernel_s: profile.phase_total(phase::KERNEL),
+        scatter_s: profile.phase_total(phase::SCATTER),
+    };
+    (report, profile)
+}
+
+/// One warmed-up profiled iteration of a simulated scheme.
+fn run_scheme(scheme: Scheme, n: usize) -> SchemeReport {
+    let p = 16;
+    let set = plummer(PlummerSpec { n, ..Default::default() });
+    let machine = Machine::new(Hypercube::new(p), CostModel::ncube2());
+    let mut sim =
+        ParallelSim::new(machine, SimConfig { scheme, clusters_per_axis: 8, ..Default::default() });
+    let _ = sim.run_iteration(&set.particles); // warm-up (§5.1 protocol)
+    let out = sim.run_iteration(&set.particles);
+    let prof = &out.profile;
+    SchemeReport {
+        scheme: format!("{scheme:?}").to_lowercase(),
+        p,
+        total_s: out.phases.total,
+        efficiency: out.efficiency,
+        local_tree_share: prof.phase_share(phase::LOCAL_TREE),
+        tree_merge_share: prof.phase_share(phase::TREE_MERGE),
+        broadcast_share: prof.phase_share(phase::BROADCAST),
+        force_share: prof.phase_share(phase::FORCE),
+        load_balance_share: prof.phase_share(phase::LOAD_BALANCE),
+    }
+}
+
+/// Relative cost of the instrumented force path vs. the plain one.
+fn run_overhead(n: usize, threads: usize, reps: usize) {
+    let set = plummer(PlummerSpec { n, ..Default::default() });
+    let mut sim = executor(threads);
+    let mut plain = f64::INFINITY;
+    let mut profiled = f64::INFINITY;
+    // Interleave so thermal / cache drift hits both paths alike.
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(sim.compute_forces(&set.particles).accels);
+        plain = plain.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        std::hint::black_box(sim.compute_forces_profiled(&set.particles).accels);
+        profiled = profiled.min(t0.elapsed().as_secs_f64());
+    }
+    let overhead = profiled / plain - 1.0;
+    println!(
+        "overhead n={n} threads={threads}: plain {:.1} ms, profiled {:.1} ms, \
+         overhead {:+.2}%",
+        plain * 1e3,
+        profiled * 1e3,
+        overhead * 100.0
+    );
+}
+
+fn print_phase_table(t: &ThreadedReport, profile: &StepProfile) {
+    println!(
+        "threaded n={} threads={}: {:.1} ms, {:.2e} interactions/s, \
+         utilization {:.2}, imbalance {:.2}",
+        t.n,
+        t.threads,
+        t.best_s * 1e3,
+        t.interactions_per_s,
+        t.utilization,
+        t.imbalance
+    );
+    println!("  {:<10} {:>10} {:>7} {:>9}", "phase", "busy ms", "share", "imbalance");
+    for name in profile.phases() {
+        println!(
+            "  {:<10} {:>10.2} {:>6.1}% {:>9.2}",
+            name,
+            profile.phase_total(&name) * 1e3,
+            profile.phase_share(&name) * 100.0,
+            profile.time_imbalance(&name)
+        );
+    }
+}
+
+fn check_baseline(path: &PathBuf, current: &Report, max_regression: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let baseline: Report =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse baseline: {e}"))?;
+    let was = baseline.threaded.interactions_per_s;
+    let now = current.threaded.interactions_per_s;
+    let ratio = if now > 0.0 { was / now } else { f64::INFINITY };
+    println!(
+        "baseline {:.2e} interactions/s, current {:.2e} ({}{:.0}% of baseline)",
+        was,
+        now,
+        if now >= was { "+" } else { "" },
+        (now / was - 1.0) * 100.0
+    );
+    if ratio > max_regression {
+        return Err(format!(
+            "throughput regressed {ratio:.2}x (limit {max_regression:.2}x): \
+             {was:.2e} -> {now:.2e} interactions/s"
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    if args.overhead {
+        run_overhead(args.n, args.threads, args.reps.max(3));
+        return;
+    }
+
+    let (threaded, profile) = run_threaded(args.n, args.threads, args.reps);
+    print_phase_table(&threaded, &profile);
+
+    let schemes: Vec<SchemeReport> = [Scheme::Spsa, Scheme::Spda, Scheme::Dpda]
+        .into_iter()
+        .map(|s| run_scheme(s, args.n))
+        .collect();
+    for s in &schemes {
+        println!(
+            "simulated {:<4} p={}: {:.3} s, efficiency {:.2}, force share {:.0}%, \
+             balance share {:.0}%",
+            s.scheme,
+            s.p,
+            s.total_s,
+            s.efficiency,
+            s.force_share * 100.0,
+            s.load_balance_share * 100.0
+        );
+    }
+
+    let report = Report {
+        benchmark: "profile".to_string(),
+        distribution: "plummer".to_string(),
+        threaded,
+        schemes,
+        profile,
+    };
+
+    let gate = args.baseline.as_ref().map(|p| check_baseline(p, &report, args.max_regression));
+
+    if let Some(dir) = args.out.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&args.out, &json).expect("write report");
+    println!("wrote {}", args.out.display());
+
+    if let Some(Err(msg)) = gate {
+        eprintln!("PERF GATE FAILED: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -21,6 +21,7 @@ use bhut_geom::{Particle, Vec3};
 use bhut_machine::topology::Collective;
 use bhut_machine::{Collectives, Machine, Topology};
 use bhut_multipole::{interaction_flops, MultipoleTree, MAC_FLOPS};
+use bhut_obs::{phase as obs_phase, Counters, Span, StepProfile};
 use bhut_tree::build::{build_in_cell, BuildParams};
 use bhut_tree::BarnesHutMac;
 
@@ -98,6 +99,11 @@ pub struct IterationOutcome {
     pub imbalance: f64,
     /// Particles that changed owner in the balancing phase.
     pub moved_particles: u64,
+    /// Per-rank virtual-clock spans for each phase, in the same schema as
+    /// the threaded executor's wall-clock profiles (`wall_s` is the total
+    /// simulated machine time; `per_worker` counters are not tracked on the
+    /// simulated path, only totals).
+    pub profile: StepProfile,
 }
 
 /// Scheme state carried across iterations.
@@ -194,11 +200,31 @@ impl<T: Topology> ParallelSim<T> {
         let mut phases = PhaseTimes::default();
         let maxc = |c: &[f64]| c.iter().copied().fold(0.0, f64::max);
 
+        // Per-rank span capture: `marks[r]` is rank r's clock at the last
+        // phase boundary; each phase emits one span per rank from its mark
+        // to its current clock (virtual seconds — same schema as the
+        // wall-clock profiles from the threaded executor).
+        let mut profile = StepProfile::new(p);
+        let mut marks = vec![0.0f64; p];
+        fn snap_phase(
+            profile: &mut StepProfile,
+            marks: &mut [f64],
+            clocks: &[f64],
+            superstep: u64,
+            name: &str,
+        ) {
+            for (r, (&m, &c)) in marks.iter().zip(clocks.iter()).enumerate() {
+                profile.record(Span::new(r, superstep, name, m, c));
+            }
+            marks.copy_from_slice(clocks);
+        }
+
         // --- phase 1: local tree construction ---
         let counts: Vec<usize> = partition.particles_by_owner().iter().map(Vec::len).collect();
         let depth = tree.depth();
         local_tree_cost(&mut clocks, &counts, depth, &cost);
         phases.local_tree = maxc(&clocks);
+        snap_phase(&mut profile, &mut marks, &clocks, 0, obs_phase::LOCAL_TREE);
 
         // --- phase 2: tree merge (+ expansion upward pass) ---
         let t0 = maxc(&clocks);
@@ -206,18 +232,22 @@ impl<T: Topology> ParallelSim<T> {
             hierarchical_merge(&mut clocks, &tree, &partition, topo, &cost, cfg.degree);
         expansion_cost(&mut clocks, &tree, &partition, &cost, cfg.degree);
         phases.tree_merge = maxc(&clocks) - t0;
+        snap_phase(&mut profile, &mut marks, &clocks, 1, obs_phase::TREE_MERGE);
 
         // --- phase 3: all-to-all broadcast of the top ---
         let t0 = maxc(&clocks);
         broadcast_top(&mut clocks, &partition, &coll, cfg.degree, cfg.scheme != Scheme::Spsa);
         phases.broadcast = maxc(&clocks) - t0;
+        snap_phase(&mut profile, &mut marks, &clocks, 2, obs_phase::BROADCAST);
 
         // --- phase 4: force computation (BSP) ---
         let t0 = maxc(&clocks);
-        // barrier into the phase
+        // barrier into the phase — advance the span marks too, so the wait
+        // at the barrier is profiled as idle time rather than force work
         for c in clocks.iter_mut() {
             *c = t0;
         }
+        marks.copy_from_slice(&clocks);
         let mac = BarnesHutMac::new(cfg.alpha);
         let env = EvalEnv {
             tree: &tree,
@@ -241,6 +271,7 @@ impl<T: Topology> ParallelSim<T> {
             *c += f;
         }
         phases.force = maxc(&clocks) - t0;
+        snap_phase(&mut profile, &mut marks, &clocks, 3, obs_phase::FORCE);
         let force_imbalance = {
             let mean =
                 run.report.clocks.iter().sum::<f64>() / run.report.clocks.len().max(1) as f64;
@@ -338,6 +369,7 @@ impl<T: Topology> ParallelSim<T> {
         }
         phases.load_balance = maxc(&clocks) - t0;
         phases.total = maxc(&clocks);
+        snap_phase(&mut profile, &mut marks, &clocks, 4, obs_phase::LOAD_BALANCE);
 
         // --- sequential model for efficiency ---
         // Parallel eval flops minus the redundant MAC re-test per shipped
@@ -358,6 +390,17 @@ impl<T: Topology> ParallelSim<T> {
         let efficiency = serial_time / (p as f64 * phases.total);
         let speedup = serial_time / phases.total;
 
+        profile.wall_s = phases.total;
+        profile.totals = Counters {
+            p2p: run.p2p,
+            m2p: run.p2n,
+            mac_tests: run.mac_tests,
+            requests: run.requests,
+            messages: run.report.messages + merge_msgs + balance_msgs,
+            words: run.report.words + merge_words + balance_words,
+            ..Counters::default()
+        };
+
         IterationOutcome {
             phases,
             clocks,
@@ -373,6 +416,7 @@ impl<T: Topology> ParallelSim<T> {
             speedup,
             imbalance: force_imbalance,
             moved_particles,
+            profile,
         }
     }
 
@@ -430,6 +474,42 @@ mod tests {
         assert!((sum - ph.total).abs() < 1e-6 * ph.total, "phases {sum} vs total {}", ph.total);
         assert!(ph.force > ph.local_tree, "force dominates");
         assert!(out.efficiency > 0.0 && out.efficiency <= 1.2);
+    }
+
+    #[test]
+    fn profile_spans_mirror_the_phase_breakdown() {
+        let set = uniform_cube(600, 100.0, 46);
+        let mut s = sim(Scheme::Spda, 8, 8);
+        let out = s.run_iteration(&set.particles);
+        let prof = &out.profile;
+        assert_eq!(prof.threads, 8);
+        // one span per rank per phase, in phase order
+        assert_eq!(prof.spans.len(), 5 * 8);
+        assert_eq!(
+            prof.phases(),
+            vec!["local_tree", "tree_merge", "broadcast", "force", "load_balance"]
+        );
+        assert!((prof.wall_s - out.phases.total).abs() < 1e-12);
+        assert!((prof.makespan() - out.phases.total).abs() < 1e-9 * out.phases.total);
+        // the slowest rank's force span is exactly the reported force phase
+        let force_max = prof
+            .spans
+            .iter()
+            .filter(|s| s.phase == "force")
+            .map(bhut_obs::Span::duration)
+            .fold(0.0, f64::max);
+        assert!(
+            (force_max - out.phases.force).abs() < 1e-9 * out.phases.force,
+            "force span {force_max} vs phase {}",
+            out.phases.force
+        );
+        assert_eq!(prof.totals.interactions(), out.interactions);
+        assert_eq!(prof.totals.mac_tests, out.mac_tests);
+        assert_eq!(prof.totals.messages, out.messages);
+        assert_eq!(prof.totals.words, out.words);
+        // simulated path reports totals only
+        assert!(prof.per_worker.is_empty());
+        assert_eq!(prof.imbalance(), 1.0);
     }
 
     #[test]

@@ -233,6 +233,7 @@ impl<T: Topology> Machine<T> {
                         start: step_start,
                         end: clocks[rank],
                         sent: ctx.sent_msgs,
+                        phase: String::new(),
                     });
                 }
                 status[rank] = st;

@@ -5,21 +5,14 @@
 //! processor–time Gantt chart of a parallel run (the picture behind the
 //! paper's Table 3 phase discussion). Serializes to JSON for external
 //! plotting.
+//!
+//! The span type is the workspace-wide [`bhut_obs::Span`], so a simulated
+//! trace and a wall-clock [`bhut_obs::StepProfile`] share one JSON schema
+//! and plot on the same chart.
 
 use serde::{Deserialize, Serialize};
 
-/// One busy interval of one virtual processor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct Span {
-    pub rank: usize,
-    pub superstep: u64,
-    /// Virtual clock when the step began (after message-arrival waits).
-    pub start: f64,
-    /// Virtual clock when the step ended.
-    pub end: f64,
-    /// Messages sent during the step.
-    pub sent: u64,
-}
+pub use bhut_obs::Span;
 
 /// A whole run's spans, in execution order.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -68,11 +61,15 @@ impl Trace {
 mod tests {
     use super::*;
 
+    fn span(rank: usize, superstep: u64, start: f64, end: f64, sent: u64) -> Span {
+        Span { rank, superstep, start, end, sent, phase: String::new() }
+    }
+
     fn demo() -> Trace {
         let mut t = Trace::default();
-        t.record(Span { rank: 0, superstep: 0, start: 0.0, end: 2.0, sent: 1 });
-        t.record(Span { rank: 1, superstep: 0, start: 0.0, end: 1.0, sent: 0 });
-        t.record(Span { rank: 1, superstep: 1, start: 2.5, end: 4.0, sent: 0 });
+        t.record(span(0, 0, 0.0, 2.0, 1));
+        t.record(span(1, 0, 0.0, 1.0, 0));
+        t.record(span(1, 1, 2.5, 4.0, 0));
         t
     }
 
@@ -99,5 +96,45 @@ mod tests {
         let t = Trace::default();
         assert_eq!(t.makespan(), 0.0);
         assert_eq!(t.utilization(4), 1.0);
+        // No spans: every processor is "idle for the whole (zero) run".
+        assert_eq!(t.idle(0), 0.0);
+        assert_eq!(t.busy(3), 0.0);
+    }
+
+    #[test]
+    fn single_span() {
+        let mut t = Trace::default();
+        t.record(span(2, 0, 1.0, 3.5, 4));
+        assert_eq!(t.makespan(), 3.5);
+        assert_eq!(t.busy(2), 2.5);
+        assert_eq!(t.idle(2), 1.0);
+        // Ranks that never ran are idle for the whole makespan.
+        assert_eq!(t.busy(0), 0.0);
+        assert_eq!(t.idle(0), 3.5);
+        assert!((t.utilization(1) - 2.5 / 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_makespan() {
+        // All spans are zero-width at t = 0: utilization degenerates to the
+        // neutral 1.0 rather than dividing by zero.
+        let mut t = Trace::default();
+        t.record(span(0, 0, 0.0, 0.0, 0));
+        t.record(span(1, 0, 0.0, 0.0, 0));
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.busy(0), 0.0);
+        assert_eq!(t.idle(1), 0.0);
+        assert_eq!(t.utilization(2), 1.0);
+        assert_eq!(t.utilization(0), 1.0);
+    }
+
+    #[test]
+    fn spans_share_the_obs_schema() {
+        // `Trace` serializes machine spans with the same keys a wall-clock
+        // `StepProfile` uses, so both plot with one script.
+        let j = demo().to_json();
+        for key in ["rank", "superstep", "start", "end", "sent", "phase"] {
+            assert!(j.contains(key), "trace JSON missing {key}: {j}");
+        }
     }
 }

@@ -98,10 +98,32 @@ impl MultipoleTree {
         mac: &impl GroupMac,
         eps: f64,
         buf: &mut InteractionBuffers,
+        emit: impl FnMut(u32, f64, Vec3, u64),
+    ) -> TraversalStats {
+        gather_group(tree, particles, leaf, mac, buf);
+        self.eval_gathered(tree, particles, leaf, mac, eps, buf, emit)
+    }
+
+    /// The kernel half of [`MultipoleTree::eval_group`]: evaluate every
+    /// member of `leaf` against slabs already filled by
+    /// [`bhut_tree::group::gather_group`] for that same leaf. Splitting the
+    /// walk from the kernels lets callers time the two phases separately.
+    #[allow(clippy::too_many_arguments)] // mirrors eval_group's signature
+    pub fn eval_gathered(
+        &self,
+        tree: &Tree,
+        particles: &[Particle],
+        leaf: NodeId,
+        mac: &impl GroupMac,
+        eps: f64,
+        buf: &InteractionBuffers,
         mut emit: impl FnMut(u32, f64, Vec3, u64),
     ) -> TraversalStats {
-        let n_members = gather_group(tree, particles, leaf, mac, buf);
         let mut stats = TraversalStats::default();
+        if tree.is_empty() {
+            return stats;
+        }
+        let n_members = tree.particles_under(leaf).len();
         if n_members == 0 {
             return stats;
         }

@@ -1,0 +1,501 @@
+//! Phase-level observability for real and simulated runs (system **S11**).
+//!
+//! The paper's entire argument is phase accounting — tree construction vs.
+//! force computation vs. communication per time-step (Tables 3–7) — so the
+//! repo needs the same lens on its *real* execution path, not just the
+//! virtual-clock `machine` simulator. This crate provides:
+//!
+//! * [`Span`] — the **one** span schema shared by simulated traces
+//!   (`bhut_machine::Trace` re-uses this type) and wall-clock profiles, so
+//!   both plot on a single Gantt chart,
+//! * [`Counters`] / [`SharedCounters`] — plain and per-thread atomic work
+//!   counters (interactions, nodes opened, group accept/reject/mixed
+//!   classifications, P2P vs. M2P work, message traffic),
+//! * [`StepProfile`] — a per-time-step bundle of spans + counters with
+//!   utilization / imbalance / phase-share queries, serializable to JSON,
+//! * [`now`] / [`Stopwatch`] — a process-epoch wall clock that the `record`
+//!   feature (default on) compiles down to a constant when disabled, erasing
+//!   all instrumentation cost.
+//!
+//! Spans carry `f64` seconds: wall-clock seconds since an arbitrary
+//! per-profile origin on the real path, virtual machine seconds on the
+//! simulated path. Only relative placement matters for plotting.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Canonical phase names used by the instrumented crates. Free-form strings
+/// are allowed everywhere; these constants just keep the spelling consistent
+/// between the executor, the driver, and the plotting side.
+pub mod phase {
+    /// Octree (and multipole) construction.
+    pub const BUILD: &str = "build";
+    /// Grouped tree walk: MAC classification and slab gathering.
+    pub const WALK: &str = "walk";
+    /// Batched M2P/P2P kernels plus mixed-frontier replays.
+    pub const KERNEL: &str = "kernel";
+    /// Fused walk+kernel evaluation (the per-particle reference path).
+    pub const EVAL: &str = "eval";
+    /// Main-thread scatter of per-worker staged results.
+    pub const SCATTER: &str = "scatter";
+    /// Simulated: local tree construction (includes partitioning).
+    pub const LOCAL_TREE: &str = "local_tree";
+    /// Simulated: hierarchical branch exchange / tree merge.
+    pub const TREE_MERGE: &str = "tree_merge";
+    /// Simulated: all-to-all broadcast of the top of the tree.
+    pub const BROADCAST: &str = "broadcast";
+    /// Force computation (both paths).
+    pub const FORCE: &str = "force";
+    /// Simulated: load balancing (SPDA remap / DPDA costzones).
+    pub const LOAD_BALANCE: &str = "load_balance";
+}
+
+/// One busy interval of one worker (real thread or virtual processor).
+///
+/// This is the single span schema of the workspace:
+/// `bhut_machine::trace::Span` is a re-export of this type, so a simulated
+/// trace and a real [`StepProfile`] serialize to the same JSON shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Thread index (real path) or processor rank (simulated path).
+    pub rank: usize,
+    /// BSP superstep (simulated) or phase sequence number (real).
+    pub superstep: u64,
+    /// Interval start, seconds (wall clock or virtual clock).
+    pub start: f64,
+    /// Interval end, seconds.
+    pub end: f64,
+    /// Messages sent during the interval (0 on the shared-memory path).
+    pub sent: u64,
+    /// Phase label; see [`phase`] for the canonical names. Empty means
+    /// "unclassified" (e.g. a raw BSP superstep).
+    pub phase: String,
+}
+
+impl Span {
+    pub fn new(rank: usize, superstep: u64, phase: &str, start: f64, end: f64) -> Self {
+        Span { rank, superstep, start, end, sent: 0, phase: phase.to_string() }
+    }
+
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Work counters for one step (or one worker's share of it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Particle–particle interactions (direct sums).
+    pub p2p: u64,
+    /// Particle–node interactions (MAC-accepted multipole evaluations).
+    pub m2p: u64,
+    /// Multipole acceptance tests charged.
+    pub mac_tests: u64,
+    /// Internal nodes expanded during group walks.
+    pub nodes_opened: u64,
+    /// Group-MAC classifications that accepted the node for every member.
+    pub group_accept: u64,
+    /// Group-MAC classifications that rejected the node for every member.
+    pub group_reject: u64,
+    /// Group-MAC classifications that straddled the acceptance boundary.
+    pub group_mixed: u64,
+    /// Particles shipped to remote processors (simulated path).
+    pub requests: u64,
+    /// Messages sent (bin traffic; simulated path).
+    pub messages: u64,
+    /// Words sent (bin traffic; simulated path).
+    pub words: u64,
+}
+
+impl Counters {
+    /// Total force computations in the paper's sense (the `F` of
+    /// Tables 1/4): particle–particle plus particle–node.
+    pub fn interactions(&self) -> u64 {
+        self.p2p + self.m2p
+    }
+
+    pub fn merge(&mut self, o: &Counters) {
+        self.p2p += o.p2p;
+        self.m2p += o.m2p;
+        self.mac_tests += o.mac_tests;
+        self.nodes_opened += o.nodes_opened;
+        self.group_accept += o.group_accept;
+        self.group_reject += o.group_reject;
+        self.group_mixed += o.group_mixed;
+        self.requests += o.requests;
+        self.messages += o.messages;
+        self.words += o.words;
+    }
+}
+
+/// Per-thread atomic counter slot. Each worker owns one slot and bumps it
+/// with relaxed adds (uncontended); the coordinating thread snapshots after
+/// the join.
+#[derive(Debug, Default)]
+pub struct SharedCounters {
+    p2p: AtomicU64,
+    m2p: AtomicU64,
+    mac_tests: AtomicU64,
+    nodes_opened: AtomicU64,
+    group_accept: AtomicU64,
+    group_reject: AtomicU64,
+    group_mixed: AtomicU64,
+    requests: AtomicU64,
+    messages: AtomicU64,
+    words: AtomicU64,
+}
+
+impl SharedCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn reset(&self) {
+        for a in [
+            &self.p2p,
+            &self.m2p,
+            &self.mac_tests,
+            &self.nodes_opened,
+            &self.group_accept,
+            &self.group_reject,
+            &self.group_mixed,
+            &self.requests,
+            &self.messages,
+            &self.words,
+        ] {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulate `c` into this slot (relaxed; single-writer by convention).
+    pub fn add(&self, c: &Counters) {
+        self.p2p.fetch_add(c.p2p, Ordering::Relaxed);
+        self.m2p.fetch_add(c.m2p, Ordering::Relaxed);
+        self.mac_tests.fetch_add(c.mac_tests, Ordering::Relaxed);
+        self.nodes_opened.fetch_add(c.nodes_opened, Ordering::Relaxed);
+        self.group_accept.fetch_add(c.group_accept, Ordering::Relaxed);
+        self.group_reject.fetch_add(c.group_reject, Ordering::Relaxed);
+        self.group_mixed.fetch_add(c.group_mixed, Ordering::Relaxed);
+        self.requests.fetch_add(c.requests, Ordering::Relaxed);
+        self.messages.fetch_add(c.messages, Ordering::Relaxed);
+        self.words.fetch_add(c.words, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> Counters {
+        Counters {
+            p2p: self.p2p.load(Ordering::Relaxed),
+            m2p: self.m2p.load(Ordering::Relaxed),
+            mac_tests: self.mac_tests.load(Ordering::Relaxed),
+            nodes_opened: self.nodes_opened.load(Ordering::Relaxed),
+            group_accept: self.group_accept.load(Ordering::Relaxed),
+            group_reject: self.group_reject.load(Ordering::Relaxed),
+            group_mixed: self.group_mixed.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            words: self.words.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Seconds since the process-wide epoch. With the `record` feature disabled
+/// this is a constant `0.0` — every span collapses to zero width and the
+/// clock read disappears from the binary.
+#[cfg(feature = "record")]
+pub fn now() -> f64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Erased clock: always `0.0` (the `record` feature is off).
+#[cfg(not(feature = "record"))]
+pub fn now() -> f64 {
+    0.0
+}
+
+/// Whether phase timing is compiled in.
+pub const RECORDING: bool = cfg!(feature = "record");
+
+/// A tiny split timer over [`now`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    last: f64,
+}
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Stopwatch { last: now() }
+    }
+
+    /// Seconds since start/last lap.
+    pub fn elapsed(&self) -> f64 {
+        now() - self.last
+    }
+
+    /// Seconds since the last lap, and reset the lap point.
+    pub fn lap(&mut self) -> f64 {
+        let t = now();
+        let d = t - self.last;
+        self.last = t;
+        d
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// One time-step's phase profile: spans plus per-worker and total counters.
+///
+/// Real runs fill `spans` with wall-clock intervals relative to the step
+/// start; simulated runs fill them with virtual-clock intervals. Both use
+/// the same schema, so one plotting script draws either.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepProfile {
+    /// Time-step number (0 when profiled outside a simulation).
+    pub step: u64,
+    /// Worker (thread or processor) count.
+    pub threads: usize,
+    /// Wall-clock seconds of the whole step (0 on purely virtual profiles).
+    pub wall_s: f64,
+    pub spans: Vec<Span>,
+    /// Counters per worker, indexed by rank (may be empty on the simulated
+    /// path, which only reports totals).
+    pub per_worker: Vec<Counters>,
+    pub totals: Counters,
+}
+
+impl StepProfile {
+    pub fn new(threads: usize) -> Self {
+        StepProfile { threads, ..Default::default() }
+    }
+
+    pub fn record(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// Total busy time of one worker across all phases.
+    pub fn busy(&self, rank: usize) -> f64 {
+        self.spans.iter().filter(|s| s.rank == rank).map(Span::duration).sum()
+    }
+
+    /// Idle time of `rank` relative to the profile makespan.
+    pub fn idle(&self, rank: usize) -> f64 {
+        self.makespan() - self.busy(rank)
+    }
+
+    /// Latest span end (0 for an empty profile).
+    pub fn makespan(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Σ busy / (threads · makespan); 1.0 for an empty or zero-width
+    /// profile (nothing measured means nothing wasted).
+    pub fn utilization(&self) -> f64 {
+        let total: f64 = self.spans.iter().map(Span::duration).sum();
+        let denom = self.threads as f64 * self.makespan();
+        if denom == 0.0 {
+            1.0
+        } else {
+            total / denom
+        }
+    }
+
+    /// Total busy time recorded under `phase`, across all workers.
+    pub fn phase_total(&self, phase: &str) -> f64 {
+        self.spans.iter().filter(|s| s.phase == phase).map(Span::duration).sum()
+    }
+
+    /// `phase`'s share of all recorded busy time (0 when nothing recorded).
+    pub fn phase_share(&self, phase: &str) -> f64 {
+        let total: f64 = self.spans.iter().map(Span::duration).sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.phase_total(phase) / total
+        }
+    }
+
+    /// Distinct phase names in first-appearance order.
+    pub fn phases(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.spans {
+            if !out.contains(&s.phase) {
+                out.push(s.phase.clone());
+            }
+        }
+        out
+    }
+
+    /// max/mean interactions across `per_worker` (1.0 = perfect balance,
+    /// also returned when no per-worker counters were recorded).
+    pub fn imbalance(&self) -> f64 {
+        if self.per_worker.is_empty() {
+            return 1.0;
+        }
+        let max = self.per_worker.iter().map(Counters::interactions).max().unwrap_or(0) as f64;
+        let mean = self.per_worker.iter().map(Counters::interactions).sum::<u64>() as f64
+            / self.per_worker.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// max/mean busy time across workers within one phase (1.0 when the
+    /// phase was not recorded).
+    pub fn time_imbalance(&self, phase: &str) -> f64 {
+        let mut busy = vec![0.0f64; self.threads.max(1)];
+        for s in self.spans.iter().filter(|s| s.phase == phase) {
+            if s.rank < busy.len() {
+                busy[s.rank] += s.duration();
+            }
+        }
+        let max = busy.iter().copied().fold(0.0, f64::max);
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("profile serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> StepProfile {
+        let mut p = StepProfile::new(2);
+        p.record(Span::new(0, 0, phase::BUILD, 0.0, 1.0));
+        p.record(Span::new(0, 1, phase::WALK, 1.0, 2.0));
+        p.record(Span::new(1, 1, phase::WALK, 1.0, 1.5));
+        p.record(Span::new(1, 1, phase::KERNEL, 1.5, 3.0));
+        p.per_worker = vec![
+            Counters { p2p: 30, m2p: 10, ..Default::default() },
+            Counters { p2p: 10, m2p: 10, ..Default::default() },
+        ];
+        for w in p.per_worker.clone() {
+            p.totals.merge(&w);
+        }
+        p
+    }
+
+    #[test]
+    fn busy_idle_makespan_utilization() {
+        let p = demo();
+        assert_eq!(p.makespan(), 3.0);
+        assert_eq!(p.busy(0), 2.0);
+        assert_eq!(p.busy(1), 2.0);
+        assert_eq!(p.idle(0), 1.0);
+        assert!((p.utilization() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_queries() {
+        let p = demo();
+        assert_eq!(p.phase_total(phase::WALK), 1.5);
+        assert!((p.phase_share(phase::WALK) - 1.5 / 4.0).abs() < 1e-12);
+        assert_eq!(p.phases(), vec!["build", "walk", "kernel"]);
+        assert_eq!(p.phase_total("nonexistent"), 0.0);
+        // walk busy: rank0 = 1.0, rank1 = 0.5 → max/mean = 1.0/0.75.
+        assert!((p.time_imbalance(phase::WALK) - 1.0 / 0.75).abs() < 1e-12);
+        assert_eq!(p.time_imbalance("nonexistent"), 1.0);
+    }
+
+    #[test]
+    fn counter_imbalance() {
+        let p = demo();
+        // interactions: 40 and 20 → max/mean = 40/30.
+        assert!((p.imbalance() - 40.0 / 30.0).abs() < 1e-12);
+        assert_eq!(StepProfile::new(4).imbalance(), 1.0);
+        assert_eq!(p.totals.interactions(), 60);
+    }
+
+    #[test]
+    fn empty_profile_is_neutral() {
+        let p = StepProfile::new(3);
+        assert_eq!(p.makespan(), 0.0);
+        assert_eq!(p.utilization(), 1.0);
+        assert_eq!(p.phase_share(phase::FORCE), 0.0);
+        assert!(p.phases().is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = demo();
+        let back = StepProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn shared_counters_accumulate_and_reset() {
+        let s = SharedCounters::new();
+        s.add(&Counters { p2p: 5, m2p: 2, mac_tests: 7, ..Default::default() });
+        s.add(&Counters { p2p: 1, nodes_opened: 3, ..Default::default() });
+        let snap = s.snapshot();
+        assert_eq!(snap.p2p, 6);
+        assert_eq!(snap.m2p, 2);
+        assert_eq!(snap.mac_tests, 7);
+        assert_eq!(snap.nodes_opened, 3);
+        assert_eq!(snap.interactions(), 8);
+        s.reset();
+        assert_eq!(s.snapshot(), Counters::default());
+    }
+
+    #[test]
+    fn counters_merge_all_fields() {
+        let mut a = Counters {
+            p2p: 1,
+            m2p: 2,
+            mac_tests: 3,
+            nodes_opened: 4,
+            group_accept: 5,
+            group_reject: 6,
+            group_mixed: 7,
+            requests: 8,
+            messages: 9,
+            words: 10,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.p2p, 2);
+        assert_eq!(a.words, 20);
+        assert_eq!(a.interactions(), 6);
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let mut sw = Stopwatch::start();
+        let a = sw.lap();
+        let b = sw.elapsed();
+        assert!(a >= 0.0 && b >= 0.0);
+        if RECORDING {
+            assert!(now() >= 0.0);
+        } else {
+            assert_eq!(now(), 0.0);
+        }
+    }
+
+    #[test]
+    fn span_duration_and_schema_fields() {
+        let s = Span::new(2, 1, phase::FORCE, 0.5, 1.25);
+        assert_eq!(s.duration(), 0.75);
+        let j = serde_json::to_string(&s).unwrap();
+        for key in ["rank", "superstep", "start", "end", "sent", "phase"] {
+            assert!(j.contains(key), "span JSON missing {key}: {j}");
+        }
+    }
+}

@@ -8,6 +8,7 @@
 use crate::diagnostics::{Diagnostics, EnergyReport};
 use crate::leapfrog::leapfrog_step;
 use bhut_geom::{ParticleSet, Vec3};
+use bhut_obs::StepProfile;
 use bhut_threads::{ThreadConfig, ThreadSim};
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +28,10 @@ pub struct SimulationConfig {
     /// Evaluate forces with grouped tree walks and batched kernels (the
     /// default); `false` switches back to the per-particle reference path.
     pub grouped: bool,
+    /// Attach a phase-level [`StepProfile`] to every this-many-th step's
+    /// report (0 = never, the default). Profiled steps pay the span/counter
+    /// bookkeeping; unprofiled steps run the plain force path.
+    pub profile_every: usize,
 }
 
 impl Default for SimulationConfig {
@@ -40,17 +45,21 @@ impl Default for SimulationConfig {
             threads: 1,
             diag_every: 0,
             grouped: true,
+            profile_every: 0,
         }
     }
 }
 
 /// Per-step summary.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct StepReport {
     pub step: usize,
     pub time: f64,
     pub interactions: u64,
     pub imbalance: f64,
+    /// Phase timings and work counters for this step's force evaluation.
+    /// `Some` only on steps selected by [`SimulationConfig::profile_every`].
+    pub profile: Option<StepProfile>,
 }
 
 /// An in-flight n-body simulation.
@@ -100,24 +109,35 @@ impl Simulation {
             Some(a) => a,
             None => self.executor.compute_forces(&self.particles.particles).accels,
         };
+        let profiled = self.config.profile_every > 0
+            && (self.step_count + 1).is_multiple_of(self.config.profile_every);
         let mut interactions = 0;
         let mut imbalance = 1.0;
+        let mut profile = None;
         let executor = &mut self.executor;
         let new_accels =
             leapfrog_step(&mut self.particles.particles, &accels, self.config.dt, |ps| {
-                let out = executor.compute_forces(ps);
+                let mut out = if profiled {
+                    executor.compute_forces_profiled(ps)
+                } else {
+                    executor.compute_forces(ps)
+                };
                 interactions = out.stats.interactions();
                 imbalance = out.imbalance();
+                profile = out.profile.take();
                 out.accels
             });
         self.accels = Some(new_accels);
         self.time += self.config.dt;
         self.step_count += 1;
+        if let Some(p) = profile.as_mut() {
+            p.step = self.step_count as u64;
+        }
         if self.config.diag_every > 0 && self.step_count.is_multiple_of(self.config.diag_every) {
             self.diagnostics
                 .record(self.time, EnergyReport::measure(&self.particles, self.config.eps));
         }
-        StepReport { step: self.step_count, time: self.time, interactions, imbalance }
+        StepReport { step: self.step_count, time: self.time, interactions, imbalance, profile }
     }
 
     /// Advance `n` steps; returns the last step's summary.
@@ -127,6 +147,13 @@ impl Simulation {
             last = self.step();
         }
         last
+    }
+
+    /// The octree the executor would walk for the current particle state —
+    /// the exact same construction path (parallel in-cell build when
+    /// threaded) as a force evaluation, for inspection and testing.
+    pub fn build_tree(&self) -> bhut_tree::Tree {
+        self.executor.build_tree(&self.particles.particles)
     }
 }
 
@@ -162,6 +189,53 @@ mod tests {
         assert_eq!(r.step, 1);
         assert!(r.interactions > 0);
         assert!(r.imbalance >= 1.0);
+    }
+
+    #[test]
+    fn profiled_steps_attach_a_matching_profile() {
+        let set = plummer(PlummerSpec { n: 300, seed: 9, ..Default::default() });
+        let cfg = SimulationConfig { threads: 2, profile_every: 2, ..Default::default() };
+        let mut sim = Simulation::new(set, cfg);
+        let r1 = sim.step();
+        assert!(r1.profile.is_none(), "step 1 is not a multiple of profile_every");
+        let r2 = sim.step();
+        let profile = r2.profile.expect("step 2 is profiled");
+        assert_eq!(profile.step, 2);
+        assert_eq!(profile.threads, 2);
+        // the report's scalar summaries are the profile's
+        assert_eq!(profile.totals.interactions(), r2.interactions);
+        assert!(
+            (profile.imbalance() - r2.imbalance).abs() < 1e-12,
+            "profile imbalance {} vs report {}",
+            profile.imbalance(),
+            r2.imbalance
+        );
+        let back = bhut_obs::StepProfile::from_json(&profile.to_json()).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn profiling_does_not_change_the_trajectory() {
+        let set = plummer(PlummerSpec { n: 200, seed: 11, ..Default::default() });
+        let plain = SimulationConfig { threads: 2, ..Default::default() };
+        let traced = SimulationConfig { threads: 2, profile_every: 1, ..plain };
+        let mut a = Simulation::new(set.clone(), plain);
+        let mut b = Simulation::new(set, traced);
+        a.run(3);
+        b.run(3);
+        for (x, y) in a.particles.particles.iter().zip(&b.particles.particles) {
+            assert_eq!(x.pos, y.pos);
+            assert_eq!(x.vel, y.vel);
+        }
+    }
+
+    #[test]
+    fn build_tree_covers_all_particles() {
+        let set = plummer(PlummerSpec { n: 250, seed: 12, ..Default::default() });
+        let n = set.len();
+        let sim = Simulation::new(set, SimulationConfig { threads: 4, ..Default::default() });
+        let tree = sim.build_tree();
+        assert_eq!(tree.order.len(), n);
     }
 
     #[test]

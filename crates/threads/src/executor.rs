@@ -3,8 +3,9 @@
 use crate::pool::{fork_join, BlockScheduler};
 use bhut_geom::{Particle, Vec3};
 use bhut_multipole::MultipoleTree;
+use bhut_obs::{phase, Counters, SharedCounters, Span, StepProfile};
 use bhut_tree::build::{build, BuildParams};
-use bhut_tree::group::{eval_group_monopole, leaf_schedule, InteractionBuffers};
+use bhut_tree::group::{eval_gathered_monopole, gather_group, leaf_schedule, InteractionBuffers};
 use bhut_tree::traverse::TraversalStats;
 use bhut_tree::{BarnesHutMac, NodeId, Tree};
 use std::sync::Mutex;
@@ -71,6 +72,9 @@ pub struct ForceResult {
     pub stats: TraversalStats,
     /// Interactions performed by each thread (load balance diagnostic).
     pub per_thread_interactions: Vec<u64>,
+    /// Phase-level profile; `Some` only from
+    /// [`ThreadSim::compute_forces_profiled`].
+    pub profile: Option<StepProfile>,
 }
 
 impl ForceResult {
@@ -99,20 +103,34 @@ struct Scratch {
     out: Vec<(u32, f64, Vec3, u64)>,
 }
 
+/// Per-worker wall-clock observations from one profiled force computation.
+/// On the grouped path the walk (gather) and kernel (batched evaluation)
+/// durations are accumulated separately; the per-particle path fuses them.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerObs {
+    start: f64,
+    end: f64,
+    walk_s: f64,
+    kernel_s: f64,
+}
+
 /// A reusable shared-memory simulator; carries per-particle work weights
-/// across steps for [`Partitioning::MortonZones`] and per-thread evaluation
-/// scratch across steps for both eval modes.
+/// across steps for [`Partitioning::MortonZones`], per-thread evaluation
+/// scratch across steps for both eval modes, and per-thread atomic work
+/// counters for the profiled path.
 pub struct ThreadSim {
     pub config: ThreadConfig,
     prev_work: Option<Vec<u64>>,
     scratch: Vec<Mutex<Scratch>>,
+    counters: Vec<SharedCounters>,
 }
 
 impl ThreadSim {
     pub fn new(config: ThreadConfig) -> Self {
         assert!(config.threads > 0);
         let scratch = (0..config.threads).map(|_| Mutex::new(Scratch::default())).collect();
-        ThreadSim { config, prev_work: None, scratch }
+        let counters = (0..config.threads).map(|_| SharedCounters::new()).collect();
+        ThreadSim { config, prev_work: None, scratch, counters }
     }
 
     /// Drop carried load state.
@@ -123,25 +141,41 @@ impl ThreadSim {
     /// Build the tree (and expansions if degree > 0) and compute the force
     /// and potential on every particle, in parallel.
     pub fn compute_forces(&mut self, particles: &[Particle]) -> ForceResult {
+        self.compute(particles, false)
+    }
+
+    /// [`ThreadSim::compute_forces`] plus a phase-level [`StepProfile`]:
+    /// per-worker build/walk/kernel/scatter spans and work counters. Results
+    /// are identical to the unprofiled call; only wall-clock reads are added
+    /// (erased entirely when the `profile` feature is off).
+    pub fn compute_forces_profiled(&mut self, particles: &[Particle]) -> ForceResult {
+        self.compute(particles, true)
+    }
+
+    fn compute(&mut self, particles: &[Particle], profiled: bool) -> ForceResult {
         let cfg = self.config;
-        let params = BuildParams::with_leaf_capacity(cfg.leaf_capacity);
-        let tree = if cfg.threads > 1 && !particles.is_empty() {
-            let cell = bhut_geom::Aabb::bounding_cube(particles.iter().map(|p| p.pos), 0.0)
-                .expect("non-empty");
-            crate::ptree::par_build_in_cell(particles, cell, params)
-        } else {
-            build(particles, params)
-        };
+        let t_origin = if profiled { bhut_obs::now() } else { 0.0 };
+        let tree = self.eval_tree(particles);
         let mtree = (cfg.degree > 0).then(|| MultipoleTree::new(&tree, particles, cfg.degree));
+        let t_build_end = if profiled { bhut_obs::now() } else { 0.0 };
         let mac = BarnesHutMac::new(cfg.alpha);
         let n = particles.len();
 
         // Threads may have been reconfigured since `new`; grow the scratch
-        // pool to match (never shrink — capacity is cheap to keep).
+        // and counter pools to match (never shrink — capacity is cheap).
         while self.scratch.len() < cfg.threads {
             self.scratch.push(Mutex::new(Scratch::default()));
         }
+        while self.counters.len() < cfg.threads {
+            self.counters.push(SharedCounters::new());
+        }
+        if profiled {
+            for c in &self.counters[..cfg.threads] {
+                c.reset();
+            }
+        }
         let scratch = &self.scratch;
+        let counters = &self.counters;
 
         // Evaluation targets in Morton order so contiguous zones are
         // spatially compact (cache locality + balanced tails). Borrowed, not
@@ -167,7 +201,7 @@ impl ThreadSim {
 
         // Workers stage results in their own scratch; the main thread
         // scatters after the join, so no shared result locks exist.
-        let per_thread: Vec<(u64, TraversalStats)> = match cfg.eval_mode {
+        let per_thread: Vec<(u64, TraversalStats, WorkerObs)> = match cfg.eval_mode {
             EvalMode::Grouped => {
                 let leaves = leaf_schedule(&tree);
                 // One grouped evaluation of leaf `id` into this thread's
@@ -184,7 +218,7 @@ impl ThreadSim {
                             buf,
                             |pi, phi, acc, it| out.push((pi, phi, acc, it)),
                         ),
-                        None => eval_group_monopole(
+                        None => eval_group_monopole_fused(
                             &tree,
                             particles,
                             leaf,
@@ -195,13 +229,68 @@ impl ThreadSim {
                         ),
                     }
                 };
-                let run_leaves = |t: usize, ids: &[NodeId]| -> (u64, TraversalStats) {
-                    let mut s = scratch[t].lock().unwrap();
-                    let mut stats = TraversalStats::default();
-                    for &leaf in ids {
-                        stats.merge(eval_leaf(&mut s, leaf));
+                // The profiled variant splits the shared walk from the
+                // batched kernels and harvests the classification counters.
+                let run_leaves =
+                    |t: usize, ids: &[NodeId], w: &mut WorkerObs| -> (u64, TraversalStats) {
+                        let mut s = scratch[t].lock().unwrap();
+                        let mut stats = TraversalStats::default();
+                        if !profiled {
+                            for &leaf in ids {
+                                stats.merge(eval_leaf(&mut s, leaf));
+                            }
+                            return (stats.interactions(), stats);
+                        }
+                        let mut c = Counters::default();
+                        for &leaf in ids {
+                            let Scratch { buf, out } = &mut *s;
+                            let t0 = bhut_obs::now();
+                            gather_group(&tree, particles, leaf, &mac, buf);
+                            let t1 = bhut_obs::now();
+                            let st = match &mtree {
+                                Some(mt) => mt.eval_gathered(
+                                    &tree,
+                                    particles,
+                                    leaf,
+                                    &mac,
+                                    cfg.eps,
+                                    buf,
+                                    |pi, phi, acc, it| out.push((pi, phi, acc, it)),
+                                ),
+                                None => eval_gathered_monopole(
+                                    &tree,
+                                    particles,
+                                    leaf,
+                                    &mac,
+                                    cfg.eps,
+                                    buf,
+                                    |pi, phi, acc, it| out.push((pi, phi, acc, it)),
+                                ),
+                            };
+                            w.walk_s += t1 - t0;
+                            w.kernel_s += bhut_obs::now() - t1;
+                            c.p2p += st.p2p;
+                            c.m2p += st.p2n;
+                            c.mac_tests += st.mac_tests;
+                            c.nodes_opened += buf.nodes_opened;
+                            c.group_accept += buf.node_ids.len() as u64;
+                            c.group_reject += buf.class_reject;
+                            c.group_mixed += buf.mixed.len() as u64;
+                            stats.merge(st);
+                        }
+                        counters[t].add(&c);
+                        (stats.interactions(), stats)
+                    };
+                let run_span = |t: usize, ids: &[NodeId]| -> (u64, TraversalStats, WorkerObs) {
+                    let mut w = WorkerObs::default();
+                    if profiled {
+                        w.start = bhut_obs::now();
                     }
-                    (stats.interactions(), stats)
+                    let (i, st) = run_leaves(t, ids, &mut w);
+                    if profiled {
+                        w.end = bhut_obs::now();
+                    }
+                    (i, st, w)
                 };
                 match cfg.partitioning {
                     Partitioning::StaticBlocks => {
@@ -210,7 +299,7 @@ impl ThreadSim {
                         let weights: Vec<u64> =
                             leaves.iter().map(|&l| tree.node(l).count() as u64).collect();
                         let bounds = split_by_weight(&weights, cfg.threads);
-                        fork_join(cfg.threads, |t| run_leaves(t, &leaves[bounds[t]..bounds[t + 1]]))
+                        fork_join(cfg.threads, |t| run_span(t, &leaves[bounds[t]..bounds[t + 1]]))
                     }
                     Partitioning::MortonZones => {
                         // Costzones over leaf groups: weight each leaf by its
@@ -228,21 +317,28 @@ impl ThreadSim {
                             _ => leaves.iter().map(|&l| tree.node(l).count() as u64).collect(),
                         };
                         let bounds = split_by_weight(&weights, cfg.threads);
-                        fork_join(cfg.threads, |t| run_leaves(t, &leaves[bounds[t]..bounds[t + 1]]))
+                        fork_join(cfg.threads, |t| run_span(t, &leaves[bounds[t]..bounds[t + 1]]))
                     }
                     Partitioning::SelfScheduling { block } => {
                         // Convert the particle block size to a leaf count.
                         let leaf_block = (block / cfg.leaf_capacity.max(1)).max(1);
                         let sched = BlockScheduler::new(leaves.len(), leaf_block);
                         fork_join(cfg.threads, |t| {
+                            let mut w = WorkerObs::default();
+                            if profiled {
+                                w.start = bhut_obs::now();
+                            }
                             let mut inter = 0;
                             let mut stats = TraversalStats::default();
                             while let Some((a, b)) = sched.grab() {
-                                let (i, s) = run_leaves(t, &leaves[a..b]);
+                                let (i, s) = run_leaves(t, &leaves[a..b], &mut w);
                                 inter += i;
                                 stats.merge(s);
                             }
-                            (inter, stats)
+                            if profiled {
+                                w.end = bhut_obs::now();
+                            }
+                            (inter, stats, w)
                         })
                     }
                 }
@@ -256,12 +352,31 @@ impl ThreadSim {
                         stats.merge(st);
                         s.out.push((pi, phi, acc, st.interactions()));
                     }
+                    if profiled {
+                        counters[t].add(&Counters {
+                            p2p: stats.p2p,
+                            m2p: stats.p2n,
+                            mac_tests: stats.mac_tests,
+                            ..Default::default()
+                        });
+                    }
                     (stats.interactions(), stats)
+                };
+                let run_span = |t: usize, positions: &[u32]| -> (u64, TraversalStats, WorkerObs) {
+                    let mut w = WorkerObs::default();
+                    if profiled {
+                        w.start = bhut_obs::now();
+                    }
+                    let (i, st) = run_range(t, positions);
+                    if profiled {
+                        w.end = bhut_obs::now();
+                    }
+                    (i, st, w)
                 };
                 match cfg.partitioning {
                     Partitioning::StaticBlocks => {
                         let bounds = equal_bounds(n, cfg.threads);
-                        fork_join(cfg.threads, |t| run_range(t, &order[bounds[t]..bounds[t + 1]]))
+                        fork_join(cfg.threads, |t| run_span(t, &order[bounds[t]..bounds[t + 1]]))
                     }
                     Partitioning::MortonZones => {
                         // Carried weights are only valid while the particle
@@ -270,11 +385,15 @@ impl ThreadSim {
                             Some(w) if w.len() == n => weighted_bounds(order, w, cfg.threads),
                             _ => equal_bounds(n, cfg.threads),
                         };
-                        fork_join(cfg.threads, |t| run_range(t, &order[bounds[t]..bounds[t + 1]]))
+                        fork_join(cfg.threads, |t| run_span(t, &order[bounds[t]..bounds[t + 1]]))
                     }
                     Partitioning::SelfScheduling { block } => {
                         let sched = BlockScheduler::new(n, block);
                         fork_join(cfg.threads, |t| {
+                            let mut w = WorkerObs::default();
+                            if profiled {
+                                w.start = bhut_obs::now();
+                            }
                             let mut inter = 0;
                             let mut stats = TraversalStats::default();
                             while let Some((a, b)) = sched.grab() {
@@ -282,7 +401,10 @@ impl ThreadSim {
                                 inter += i;
                                 stats.merge(s);
                             }
-                            (inter, stats)
+                            if profiled {
+                                w.end = bhut_obs::now();
+                            }
+                            (inter, stats, w)
                         })
                     }
                 }
@@ -291,12 +413,13 @@ impl ThreadSim {
 
         let mut total = TraversalStats::default();
         let mut per_thread_interactions = Vec::with_capacity(per_thread.len());
-        for (i, s) in per_thread {
-            per_thread_interactions.push(i);
-            total.merge(s);
+        for (i, s, _) in &per_thread {
+            per_thread_interactions.push(*i);
+            total.merge(*s);
         }
 
         // Scatter staged results; workers are joined, so the locks are free.
+        let t_scatter = if profiled { bhut_obs::now() } else { 0.0 };
         let mut accels = vec![Vec3::ZERO; n];
         let mut potentials = vec![0.0f64; n];
         let mut work = vec![0u64; n];
@@ -309,15 +432,70 @@ impl ThreadSim {
             }
         }
         self.prev_work = Some(work);
-        ForceResult { accels, potentials, stats: total, per_thread_interactions }
+
+        let profile = profiled.then(|| {
+            let mut prof = StepProfile::new(cfg.threads);
+            let rel = |t: f64| (t - t_origin).max(0.0);
+            prof.record(Span::new(0, 0, phase::BUILD, 0.0, rel(t_build_end)));
+            // Workers that never ran still get (possibly zero-width) spans,
+            // so the phase structure is identical with the clock erased.
+            for (t, (_, _, w)) in per_thread.iter().enumerate() {
+                match cfg.eval_mode {
+                    EvalMode::Grouped => {
+                        // Walk and kernel interleave per leaf; their
+                        // accumulated durations are reported as contiguous
+                        // sub-intervals of the worker's evaluation window.
+                        let s = rel(w.start);
+                        prof.record(Span::new(t, 1, phase::WALK, s, s + w.walk_s));
+                        prof.record(Span::new(
+                            t,
+                            1,
+                            phase::KERNEL,
+                            s + w.walk_s,
+                            s + w.walk_s + w.kernel_s,
+                        ));
+                    }
+                    EvalMode::PerParticle => {
+                        prof.record(Span::new(t, 1, phase::EVAL, rel(w.start), rel(w.end)));
+                    }
+                }
+            }
+            prof.record(Span::new(0, 2, phase::SCATTER, rel(t_scatter), rel(bhut_obs::now())));
+            for c in counters.iter().take(cfg.threads) {
+                let snap = c.snapshot();
+                prof.totals.merge(&snap);
+                prof.per_worker.push(snap);
+            }
+            prof.wall_s = rel(bhut_obs::now());
+            prof
+        });
+
+        ForceResult { accels, potentials, stats: total, per_thread_interactions, profile }
     }
 
-    /// Access the tree the last force computation would build (for tests and
-    /// diagnostics).
+    /// The exact tree the force path evaluates: a parallel build in the
+    /// particles' bounding cube when more than one thread is configured, a
+    /// sequential build otherwise. Exposed so tests and diagnostics inspect
+    /// the same tree [`ThreadSim::compute_forces`] walks.
     pub fn build_tree(&self, particles: &[Particle]) -> Tree {
-        build(particles, BuildParams::with_leaf_capacity(self.config.leaf_capacity))
+        self.eval_tree(particles)
+    }
+
+    fn eval_tree(&self, particles: &[Particle]) -> Tree {
+        let cfg = self.config;
+        let params = BuildParams::with_leaf_capacity(cfg.leaf_capacity);
+        if cfg.threads > 1 && !particles.is_empty() {
+            let cell = bhut_geom::Aabb::bounding_cube(particles.iter().map(|p| p.pos), 0.0)
+                .expect("non-empty");
+            crate::ptree::par_build_in_cell(particles, cell, params)
+        } else {
+            build(particles, params)
+        }
     }
 }
+
+/// Alias so the unprofiled closure reads like the original fused call.
+use bhut_tree::group::eval_group_monopole as eval_group_monopole_fused;
 
 /// `threads + 1` equal-count boundaries over `n` items.
 fn equal_bounds(n: usize, threads: usize) -> Vec<usize> {
@@ -508,5 +686,110 @@ mod tests {
         let out = sim.compute_forces(&one.particles);
         assert_eq!(out.accels.len(), 1);
         assert_eq!(out.accels[0], Vec3::ZERO);
+    }
+
+    #[test]
+    fn profiled_matches_unprofiled_exactly() {
+        let set = plummer(PlummerSpec { n: 700, seed: 3, ..Default::default() });
+        for (degree, mode) in
+            [(0u32, EvalMode::Grouped), (2, EvalMode::Grouped), (0, EvalMode::PerParticle)]
+        {
+            let mut a = ThreadSim::new(ThreadConfig {
+                degree,
+                eval_mode: mode,
+                ..config(3, Partitioning::MortonZones)
+            });
+            let mut b = ThreadSim::new(ThreadConfig {
+                degree,
+                eval_mode: mode,
+                ..config(3, Partitioning::MortonZones)
+            });
+            let plain = a.compute_forces(&set.particles);
+            let prof = b.compute_forces_profiled(&set.particles);
+            assert_eq!(plain.stats, prof.stats);
+            for i in 0..set.len() {
+                assert_eq!(plain.potentials[i], prof.potentials[i]);
+                assert_eq!(plain.accels[i], prof.accels[i]);
+            }
+            assert!(plain.profile.is_none());
+            assert!(prof.profile.is_some());
+        }
+    }
+
+    #[test]
+    fn profile_counters_agree_with_stats() {
+        let set = plummer(PlummerSpec { n: 1200, seed: 4, ..Default::default() });
+        let mut sim = ThreadSim::new(config(4, Partitioning::MortonZones));
+        let mut out = sim.compute_forces_profiled(&set.particles);
+        let profile = out.profile.take().expect("profiled run attaches a profile");
+        // Counter totals reproduce the traversal stats field by field.
+        assert_eq!(profile.totals.p2p, out.stats.p2p);
+        assert_eq!(profile.totals.m2p, out.stats.p2n);
+        assert_eq!(profile.totals.mac_tests, out.stats.mac_tests);
+        assert_eq!(profile.totals.interactions(), out.stats.interactions());
+        // Per-worker counters reproduce the per-thread interaction split and
+        // hence the imbalance diagnostic.
+        assert_eq!(profile.per_worker.len(), sim.config.threads);
+        let per: Vec<u64> = profile.per_worker.iter().map(|c| c.interactions()).collect();
+        assert_eq!(per, out.per_thread_interactions);
+        assert_eq!(profile.imbalance(), out.imbalance());
+        // The grouped walk classified something in every category on a
+        // thousand-body Plummer model.
+        assert!(profile.totals.group_accept > 0);
+        assert!(profile.totals.group_reject > 0);
+        assert!(profile.totals.nodes_opened > 0);
+    }
+
+    #[test]
+    fn profile_spans_cover_the_phases() {
+        let set = plummer(PlummerSpec { n: 500, seed: 6, ..Default::default() });
+        let mut sim = ThreadSim::new(config(2, Partitioning::StaticBlocks));
+        let prof = sim.compute_forces_profiled(&set.particles).profile.unwrap();
+        let phases = prof.phases();
+        for want in ["build", "walk", "kernel", "scatter"] {
+            assert!(phases.iter().any(|p| p == want), "missing phase {want}: {phases:?}");
+        }
+        if bhut_obs::RECORDING {
+            assert!(prof.wall_s > 0.0);
+            assert!(prof.phase_total("walk") + prof.phase_total("kernel") > 0.0);
+            // Spans are well-formed intervals within the step window.
+            for s in &prof.spans {
+                assert!(s.end >= s.start && s.start >= 0.0);
+                assert!(s.end <= prof.wall_s + 1e-9);
+            }
+        }
+        // Per-particle mode reports a fused eval phase instead.
+        let mut pp = ThreadSim::new(ThreadConfig {
+            eval_mode: EvalMode::PerParticle,
+            ..config(2, Partitioning::StaticBlocks)
+        });
+        let prof = pp.compute_forces_profiled(&set.particles).profile.unwrap();
+        assert!(prof.phases().iter().any(|p| p == "eval"));
+    }
+
+    #[test]
+    fn build_tree_is_the_tree_the_executor_walks() {
+        // The diagnostic tree must come from the same construction path the
+        // force computation uses: parallel build in the bounding cube for
+        // threads > 1, sequential build for one thread.
+        let set = plummer(PlummerSpec { n: 900, seed: 13, ..Default::default() });
+        let par_sim = ThreadSim::new(config(4, Partitioning::MortonZones));
+        let got = par_sim.build_tree(&set.particles);
+        let cell = bhut_geom::Aabb::bounding_cube(set.particles.iter().map(|p| p.pos), 0.0)
+            .expect("non-empty");
+        let want = crate::ptree::par_build_in_cell(
+            &set.particles,
+            cell,
+            BuildParams::with_leaf_capacity(par_sim.config.leaf_capacity),
+        );
+        assert_eq!(got.len(), want.len());
+        assert_eq!(got.order, want.order);
+
+        let seq_sim = ThreadSim::new(config(1, Partitioning::StaticBlocks));
+        let got = seq_sim.build_tree(&set.particles);
+        let want =
+            build(&set.particles, BuildParams::with_leaf_capacity(seq_sim.config.leaf_capacity));
+        assert_eq!(got.len(), want.len());
+        assert_eq!(got.order, want.order);
     }
 }

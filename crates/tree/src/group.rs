@@ -55,6 +55,11 @@ pub struct InteractionBuffers {
     /// MAC tests charged to *each* member by the shared walk (AcceptAll +
     /// RejectAll classifications of non-singleton nodes).
     pub shared_mac_tests: u64,
+    /// RejectAll classifications (leaf appends plus internal expansions).
+    /// AcceptAll and Mixed counts are `node_ids.len()` and `mixed.len()`.
+    pub class_reject: u64,
+    /// Internal nodes expanded (children pushed) during the shared walk.
+    pub nodes_opened: u64,
     /// Whether the target leaf's own particles were appended to the P2P slab
     /// (each member then finds itself in the slab exactly once).
     pub self_in_p2p: bool,
@@ -81,6 +86,8 @@ impl InteractionBuffers {
         self.pid.clear();
         self.mixed.clear();
         self.shared_mac_tests = 0;
+        self.class_reject = 0;
+        self.nodes_opened = 0;
         self.self_in_p2p = false;
     }
 
@@ -150,6 +157,7 @@ pub fn gather_group(
             }
             GroupClass::RejectAll => {
                 buf.shared_mac_tests += 1;
+                buf.class_reject += 1;
                 if node.is_leaf() {
                     for &pi in tree.particles_under(id) {
                         buf.push_particle(&particles[pi as usize]);
@@ -158,6 +166,7 @@ pub fn gather_group(
                         buf.self_in_p2p = true;
                     }
                 } else {
+                    buf.nodes_opened += 1;
                     for &c in node.children.iter().rev() {
                         if c != NIL {
                             stack.push(c);
@@ -260,10 +269,30 @@ pub fn eval_group_monopole(
     mac: &impl GroupMac,
     eps: f64,
     buf: &mut InteractionBuffers,
+    emit: impl FnMut(u32, f64, Vec3, u64),
+) -> TraversalStats {
+    gather_group(tree, particles, leaf, mac, buf);
+    eval_gathered_monopole(tree, particles, leaf, mac, eps, buf, emit)
+}
+
+/// The kernel half of [`eval_group_monopole`]: evaluate every member of
+/// `leaf` against slabs already filled by [`gather_group`] for that same
+/// leaf. Splitting the walk (gather) from the kernels (this) lets callers
+/// time the two phases separately.
+pub fn eval_gathered_monopole(
+    tree: &Tree,
+    particles: &[Particle],
+    leaf: NodeId,
+    mac: &impl GroupMac,
+    eps: f64,
+    buf: &InteractionBuffers,
     mut emit: impl FnMut(u32, f64, Vec3, u64),
 ) -> TraversalStats {
-    let n_members = gather_group(tree, particles, leaf, mac, buf);
     let mut stats = TraversalStats::default();
+    if tree.is_empty() {
+        return stats;
+    }
+    let n_members = tree.particles_under(leaf).len();
     if n_members == 0 {
         return stats;
     }
@@ -479,6 +508,65 @@ mod tests {
             );
         }
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn walk_classification_counters_are_consistent() {
+        let set = plummer(PlummerSpec { n: 600, seed: 5, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let mut buf = InteractionBuffers::new();
+        let mut total_opened = 0;
+        let mut total_mixed = 0;
+        for leaf in leaf_schedule(&tree) {
+            gather_group(&tree, &set.particles, leaf, &mac, &mut buf);
+            // Every shared MAC test is either an accept-all or a reject-all
+            // classification; mixed nodes are charged per member instead.
+            assert_eq!(buf.shared_mac_tests, buf.node_ids.len() as u64 + buf.class_reject);
+            // Only reject-all classifications of internal nodes open them.
+            assert!(buf.nodes_opened <= buf.class_reject);
+            total_opened += buf.nodes_opened;
+            total_mixed += buf.mixed.len() as u64;
+        }
+        // A 600-body Plummer tree at α=0.67 must both descend and hit the
+        // acceptance boundary somewhere.
+        assert!(total_opened > 0, "no nodes opened");
+        assert!(total_mixed > 0, "no mixed frontiers");
+    }
+
+    #[test]
+    fn gather_then_eval_matches_fused_eval() {
+        // The split API (gather_group + eval_gathered_monopole) is what the
+        // instrumented executor times; it must equal the fused call exactly.
+        let set = plummer(PlummerSpec { n: 400, seed: 11, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let (mut buf_a, mut buf_b) = (InteractionBuffers::new(), InteractionBuffers::new());
+        for leaf in leaf_schedule(&tree) {
+            let mut fused = Vec::new();
+            let st_a = eval_group_monopole(
+                &tree,
+                &set.particles,
+                leaf,
+                &mac,
+                EPS,
+                &mut buf_a,
+                |pi, phi, acc, it| fused.push((pi, phi, acc, it)),
+            );
+            let mut split = Vec::new();
+            gather_group(&tree, &set.particles, leaf, &mac, &mut buf_b);
+            let st_b = eval_gathered_monopole(
+                &tree,
+                &set.particles,
+                leaf,
+                &mac,
+                EPS,
+                &buf_b,
+                |pi, phi, acc, it| split.push((pi, phi, acc, it)),
+            );
+            assert_eq!(st_a, st_b);
+            assert_eq!(fused, split);
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   M2L/L2L/L2P)
 //! * [`threads`] — a real shared-memory parallel executor (S7)
 //! * [`sim`] — time integration and diagnostics (S8)
+//! * [`obs`] — phase-level spans, work counters and step profiles shared by
+//!   the real and simulated paths (S11)
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the experiment map.
 
@@ -24,6 +26,7 @@ pub use bhut_geom as geom;
 pub use bhut_machine as machine;
 pub use bhut_morton as morton;
 pub use bhut_multipole as multipole;
+pub use bhut_obs as obs;
 pub use bhut_sim as sim;
 pub use bhut_threads as threads;
 pub use bhut_tree as tree;
