@@ -1,0 +1,347 @@
+//! Block-timestep vs global-timestep benchmark at matched accuracy.
+//!
+//! ```text
+//! cargo run --release -p bhut-bench --bin timestep -- \
+//!     [--n 20000] [--threads 1] [--big-steps 4] \
+//!     [--eta-global 0.1] [--eta-block 0.05] [--max-rung-cap 8] \
+//!     [--out results/timestep.json] [--min-speedup 0] [--smoke]
+//! ```
+//!
+//! The protocol integrates the same clustered Plummer model twice over the
+//! same time span `big_steps · dt_max` and compares wall-clock at matched
+//! (or better) energy accuracy:
+//!
+//! * **global** — classic leapfrog whose single dt satisfies the
+//!   acceleration criterion `dt = η_g·√(ε/|a|)` for *every* particle, i.e.
+//!   the tightest particle sets the pace for all n.
+//! * **block** — the S12 rung hierarchy with a *stricter* per-particle
+//!   criterion (`η_b < η_g`), so every particle steps at or below its own
+//!   criterion dt while the loose majority avoids the tight minority's dt.
+//!
+//! The hierarchy is sized from the initial acceleration distribution: one
+//! rung boundary is aligned just below the `--bulk` percentile (default
+//! 0.08) so the bulk of the particles steps within a few percent of its
+//! criterion rather than paying the up-to-2x power-of-two rounding loss,
+//! coarser rungs cover the loose tail up to the `--anchor` percentile
+//! (default 0.9), and the hierarchy is deep enough for the finest rung to
+//! satisfy the tightest particle's criterion. The global dt is the largest
+//! power-of-two fraction
+//! of `dt_max` satisfying the global criterion, so both runs hit the same
+//! big-step boundaries, where energy drift is checkpointed with the
+//! tree-based `O(n log n)` report.
+//!
+//! With `--min-speedup` the process exits nonzero when the measured
+//! block-vs-global speedup falls short — the CI smoke run keeps it at 0
+//! (scheduling noise on tiny n), the committed `results/timestep.json`
+//! records the full-size measurement.
+
+use bhut_geom::{plummer, ParticleSet, PlummerSpec};
+use bhut_sim::{EnergyReport, Simulation, SimulationConfig};
+use bhut_threads::{EvalMode, Partitioning, ThreadConfig, ThreadSim};
+use bhut_timestep::{BlockConfig, TimestepMode};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Force-evaluation opening angle (the workspace's production default).
+const ALPHA: f64 = 0.67;
+/// Opening angle of the energy checkpoints — tighter than the force path so
+/// the diagnostic is not the thing being benchmarked.
+const DIAG_ALPHA: f64 = 0.3;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct RunReport {
+    /// "global" or "block".
+    mode: String,
+    /// Integration wall-clock, energy checkpoints excluded.
+    wall_s: f64,
+    /// Force-evaluation substeps over the whole span.
+    substeps: u64,
+    /// Per-particle force evaluations over the whole span.
+    force_evals: u64,
+    /// Worst |ΔE/E| across the big-step checkpoints.
+    max_drift: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    benchmark: String,
+    distribution: String,
+    n: usize,
+    threads: usize,
+    big_steps: usize,
+    eta_global: f64,
+    eta_block: f64,
+    eps: f64,
+    dt_max: f64,
+    max_rung: u32,
+    dt_global: f64,
+    global: RunReport,
+    block: RunReport,
+    /// global wall / block wall.
+    speedup: f64,
+    /// Block drift ≤ global drift (the matched-accuracy condition).
+    matched: bool,
+    /// Particles per rung at the end of the block run (index = rung).
+    rung_population: Vec<u64>,
+    /// Force evaluations charged to each rung in the last big step.
+    forces_per_rung: Vec<u64>,
+}
+
+struct Args {
+    n: usize,
+    threads: usize,
+    big_steps: usize,
+    eta_global: f64,
+    eta_block: f64,
+    eps: f64,
+    max_rung_cap: u32,
+    anchor: f64,
+    bulk: f64,
+    out: PathBuf,
+    min_speedup: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 20_000,
+        threads: 1,
+        big_steps: 4,
+        eta_global: 0.1,
+        eta_block: 0.05,
+        eps: 1e-3,
+        max_rung_cap: 8,
+        anchor: 0.9,
+        bulk: 0.08,
+        out: PathBuf::from("results/timestep.json"),
+        min_speedup: 0.0,
+        seed: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        match arg.as_str() {
+            "--n" => args.n = val("--n").parse().expect("--n"),
+            "--threads" => args.threads = val("--threads").parse().expect("--threads"),
+            "--big-steps" => args.big_steps = val("--big-steps").parse().expect("--big-steps"),
+            "--eta-global" => args.eta_global = val("--eta-global").parse().expect("--eta-global"),
+            "--eta-block" => args.eta_block = val("--eta-block").parse().expect("--eta-block"),
+            "--eps" => args.eps = val("--eps").parse().expect("--eps"),
+            "--max-rung-cap" => {
+                args.max_rung_cap = val("--max-rung-cap").parse().expect("--max-rung-cap")
+            }
+            "--anchor" => args.anchor = val("--anchor").parse().expect("--anchor"),
+            "--bulk" => args.bulk = val("--bulk").parse().expect("--bulk"),
+            "--out" => args.out = PathBuf::from(val("--out")),
+            "--min-speedup" => {
+                args.min_speedup = val("--min-speedup").parse().expect("--min-speedup")
+            }
+            "--seed" => args.seed = val("--seed").parse().expect("--seed"),
+            "--smoke" => {
+                args.n = 2000;
+                args.big_steps = 2;
+                args.max_rung_cap = 6;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+/// Sorted-percentile helper (q in [0, 1]).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The acceleration-criterion dts for the initial configuration.
+fn criterion_dts(set: &ParticleSet, threads: usize, eta: f64, eps: f64) -> Vec<f64> {
+    let mut ex = ThreadSim::new(ThreadConfig {
+        threads,
+        alpha: ALPHA,
+        degree: 0,
+        eps,
+        leaf_capacity: 8,
+        partitioning: Partitioning::MortonZones,
+        eval_mode: EvalMode::Grouped,
+    });
+    let out = ex.compute_forces(&set.particles);
+    out.accels
+        .iter()
+        .map(|a| {
+            let norm = a.norm();
+            if norm > 0.0 {
+                eta * (eps / norm).sqrt()
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect()
+}
+
+fn sim_config(args: &Args, dt: f64, timestep: TimestepMode) -> SimulationConfig {
+    SimulationConfig {
+        dt,
+        alpha: ALPHA,
+        eps: args.eps,
+        threads: args.threads,
+        timestep,
+        ..Default::default()
+    }
+}
+
+/// Integrate `big_steps` spans of `dt_max`, checkpointing energy drift at
+/// each boundary; `steps_per_big` is 1 on the block path (one big step per
+/// call) and `dt_max/dt` on the global path.
+fn run(
+    mode: &str,
+    set: &ParticleSet,
+    cfg: SimulationConfig,
+    big_steps: usize,
+    steps_per_big: usize,
+    eps: f64,
+) -> (RunReport, Option<Simulation>) {
+    let mut sim = Simulation::new(set.clone(), cfg);
+    let e0 = EnergyReport::measure_tree(&sim.particles, eps, DIAG_ALPHA);
+    let mut wall_s = 0.0;
+    let mut substeps = 0u64;
+    let mut force_evals = 0u64;
+    let mut max_drift = 0.0f64;
+    for _ in 0..big_steps {
+        let t0 = Instant::now();
+        for _ in 0..steps_per_big {
+            let r = sim.step();
+            substeps += r.substeps;
+            force_evals += r.force_evals;
+        }
+        wall_s += t0.elapsed().as_secs_f64();
+        let e = EnergyReport::measure_tree(&sim.particles, eps, DIAG_ALPHA);
+        max_drift = max_drift.max(e.drift_from(&e0));
+    }
+    let report = RunReport { mode: mode.to_string(), wall_s, substeps, force_evals, max_drift };
+    (report, Some(sim))
+}
+
+fn main() {
+    let args = parse_args();
+    let set = plummer(PlummerSpec { n: args.n, seed: args.seed, ..Default::default() });
+
+    // Size the hierarchy from the block criterion: dt_max sits at the
+    // anchor percentile (the loose end, so the bulk of the distribution
+    // lands on coarse rungs), and the hierarchy is deep enough that the
+    // finest rung's dt does not exceed the tightest particle's criterion.
+    let mut dts = criterion_dts(&set, args.threads, args.eta_block, args.eps);
+    dts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "criterion dt percentiles: min={:.2e} p10={:.2e} p50={:.2e} p90={:.2e} max={:.2e}",
+        dts[0],
+        percentile(&dts, 0.1),
+        percentile(&dts, 0.5),
+        percentile(&dts, 0.9),
+        dts[dts.len() - 1]
+    );
+    let dt_fine = dts[0];
+    // Align one rung boundary just below the bulk of the distribution (its
+    // `--bulk` percentile) so the majority steps within a few percent of
+    // its criterion instead of paying the up-to-2x power-of-two rounding
+    // loss. Coarser rungs cover the loose tail up to the `--anchor`
+    // percentile; finer rungs reach the tightest particle.
+    let dt_bulk = percentile(&dts, args.bulk) * 0.98;
+    let coarse = ((percentile(&dts, args.anchor) / dt_bulk).log2().ceil() as u32).max(1);
+    let dt_max = dt_bulk * (1u64 << coarse) as f64;
+    let max_rung = ((dt_max / dt_fine).log2().ceil() as u32).clamp(coarse, args.max_rung_cap);
+
+    // The global dt is the largest power-of-two fraction of dt_max meeting
+    // the global criterion for every particle, so both runs share big-step
+    // boundaries exactly.
+    let dt_global_criterion = dts[0] * args.eta_global / args.eta_block;
+    let global_splits = ((dt_max / dt_global_criterion).log2().ceil()).max(0.0) as u32;
+    let steps_per_big = 1usize << global_splits;
+    let dt_global = dt_max / steps_per_big as f64;
+
+    println!(
+        "n={} threads={} dt_max={dt_max:.3e} max_rung={max_rung} \
+         dt_global={dt_global:.3e} ({steps_per_big} global steps per big step)",
+        args.n, args.threads
+    );
+
+    let (global, _) = run(
+        "global",
+        &set,
+        sim_config(&args, dt_global, TimestepMode::Global),
+        args.big_steps,
+        steps_per_big,
+        args.eps,
+    );
+    let bcfg = BlockConfig { dt_max, max_rung, eta: args.eta_block, eps: args.eps };
+    let (block, block_sim) = run(
+        "block",
+        &set,
+        sim_config(&args, dt_max, TimestepMode::Block(bcfg)),
+        args.big_steps,
+        1,
+        args.eps,
+    );
+
+    let speedup = if block.wall_s > 0.0 { global.wall_s / block.wall_s } else { 0.0 };
+    let matched = block.max_drift <= global.max_drift;
+    let stats = block_sim
+        .as_ref()
+        .and_then(|s| s.last_block_stats.clone())
+        .expect("block run records stats");
+
+    println!(
+        "global: {:.1} ms, {} substeps, {:.2e} force evals, max drift {:.3e}",
+        global.wall_s * 1e3,
+        global.substeps,
+        global.force_evals as f64,
+        global.max_drift
+    );
+    println!(
+        "block:  {:.1} ms, {} substeps, {:.2e} force evals, max drift {:.3e}",
+        block.wall_s * 1e3,
+        block.substeps,
+        block.force_evals as f64,
+        block.max_drift
+    );
+    println!(
+        "speedup {speedup:.2}x, accuracy {} (rung populations {:?})",
+        if matched { "matched" } else { "NOT matched" },
+        stats.population
+    );
+
+    let report = Report {
+        benchmark: "timestep".to_string(),
+        distribution: "plummer".to_string(),
+        n: args.n,
+        threads: args.threads,
+        big_steps: args.big_steps,
+        eta_global: args.eta_global,
+        eta_block: args.eta_block,
+        eps: args.eps,
+        dt_max,
+        max_rung,
+        dt_global,
+        global,
+        block,
+        speedup,
+        matched,
+        rung_population: stats.population.clone(),
+        forces_per_rung: stats.forces_per_rung.clone(),
+    };
+    if let Some(dir) = args.out.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&args.out, &json).expect("write report");
+    println!("wrote {}", args.out.display());
+
+    if speedup < args.min_speedup {
+        eprintln!(
+            "TIMESTEP GATE FAILED: speedup {speedup:.2}x below required {:.2}x",
+            args.min_speedup
+        );
+        std::process::exit(1);
+    }
+}

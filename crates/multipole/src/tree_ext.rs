@@ -117,6 +117,26 @@ impl MultipoleTree {
         mac: &impl GroupMac,
         eps: f64,
         buf: &InteractionBuffers,
+        emit: impl FnMut(u32, f64, Vec3, u64),
+    ) -> TraversalStats {
+        self.eval_gathered_masked(tree, particles, leaf, mac, eps, buf, None, emit)
+    }
+
+    /// [`MultipoleTree::eval_gathered`] restricted to an active subset:
+    /// members with `active[pi] == false` are skipped entirely while the
+    /// shared slabs keep every source. `None` evaluates all members through
+    /// the identical code path (see
+    /// [`bhut_tree::group::eval_gathered_monopole_masked`]).
+    #[allow(clippy::too_many_arguments)] // mirrors eval_gathered + mask
+    pub fn eval_gathered_masked(
+        &self,
+        tree: &Tree,
+        particles: &[Particle],
+        leaf: NodeId,
+        mac: &impl GroupMac,
+        eps: f64,
+        buf: &InteractionBuffers,
+        active: Option<&[bool]>,
         mut emit: impl FnMut(u32, f64, Vec3, u64),
     ) -> TraversalStats {
         let mut stats = TraversalStats::default();
@@ -131,6 +151,11 @@ impl MultipoleTree {
         let shared_p2p = buf.px.len() as u64 - buf.self_in_p2p as u64;
         for k in 0..n_members {
             let pi = tree.particles_under(leaf)[k];
+            if let Some(mask) = active {
+                if !mask[pi as usize] {
+                    continue;
+                }
+            }
             let p = &particles[pi as usize];
             let (mut acc, mut phi) =
                 accel_batch_p2p(p.pos, p.id, &buf.px, &buf.py, &buf.pz, &buf.pmass, &buf.pid, eps);

@@ -266,6 +266,24 @@ pub struct StepProfile {
     /// path, which only reports totals).
     pub per_worker: Vec<Counters>,
     pub totals: Counters,
+    /// Per-rung population and force-evaluation counters, filled by the
+    /// block-timestep driver (empty on global-dt steps; index = rung).
+    pub rungs: Vec<RungCounters>,
+    /// Rung promotions plus demotions during the step (0 on global steps).
+    pub rung_migrations: u64,
+}
+
+/// One rung's share of a block time-step: how many particles sat on it at
+/// the end of the step and how many force evaluations it received across
+/// the step's substeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RungCounters {
+    /// Rung index (0 = coarsest, steps at `dt_max`).
+    pub rung: u32,
+    /// Particles on this rung when the step completed.
+    pub population: u64,
+    /// Per-particle force evaluations charged to this rung over the step.
+    pub force_evals: u64,
 }
 
 impl StepProfile {
@@ -390,6 +408,11 @@ mod tests {
         for w in p.per_worker.clone() {
             p.totals.merge(&w);
         }
+        p.rungs = vec![
+            RungCounters { rung: 0, population: 3, force_evals: 3 },
+            RungCounters { rung: 1, population: 5, force_evals: 10 },
+        ];
+        p.rung_migrations = 2;
         p
     }
 

@@ -29,6 +29,34 @@ impl EnergyReport {
         EnergyReport { kinetic, potential, total: kinetic + potential, momentum, angular_momentum }
     }
 
+    /// Tree-based approximate energies: the potential comes from one grouped
+    /// monopole sweep over a freshly built octree (`U = ½·Σ mᵢ·φᵢ`), so the
+    /// cost is `O(n log n)` instead of [`EnergyReport::measure`]'s `O(n²)`.
+    /// `alpha` is the opening criterion (must be positive); as `alpha → 0`
+    /// every node is opened and the sweep reduces to exact pairwise
+    /// summation, reproducing `measure`.
+    pub fn measure_tree(set: &ParticleSet, eps: f64, alpha: f64) -> EnergyReport {
+        use bhut_tree::build::{build, BuildParams};
+        use bhut_tree::group::{eval_group_monopole, leaf_schedule, InteractionBuffers};
+        use bhut_tree::BarnesHutMac;
+
+        let particles = &set.particles;
+        let tree = build(particles, BuildParams::default());
+        let mac = BarnesHutMac::new(alpha);
+        let mut buf = InteractionBuffers::default();
+        let mut phi = vec![0.0f64; particles.len()];
+        for leaf in leaf_schedule(&tree) {
+            eval_group_monopole(&tree, particles, leaf, &mac, eps, &mut buf, |pi, p, _, _| {
+                phi[pi as usize] = p;
+            });
+        }
+        let potential = 0.5 * particles.iter().zip(&phi).map(|(p, &ph)| p.mass * ph).sum::<f64>();
+        let kinetic = set.kinetic_energy();
+        let momentum = set.particles.iter().map(|p| p.vel * p.mass).sum();
+        let angular_momentum = set.particles.iter().map(|p| p.pos.cross(p.vel) * p.mass).sum();
+        EnergyReport { kinetic, potential, total: kinetic + potential, momentum, angular_momentum }
+    }
+
     /// Relative total-energy drift against a reference report.
     pub fn drift_from(&self, initial: &EnergyReport) -> f64 {
         (self.total - initial.total).abs() / initial.total.abs().max(f64::MIN_POSITIVE)
@@ -83,6 +111,30 @@ mod tests {
         assert!((e.kinetic - 0.125).abs() < 1e-12);
         assert!((e.potential + 0.5).abs() < 1e-12);
         assert!((e.total + 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_measure_with_zero_alpha_is_exact() {
+        // A vanishing α opens every node: the grouped sweep degenerates to
+        // pairwise summation and must agree with the direct O(n²) report.
+        let set = plummer(PlummerSpec { n: 500, seed: 14, ..Default::default() });
+        let exact = EnergyReport::measure(&set, 0.02);
+        let tree = EnergyReport::measure_tree(&set, 0.02, 1e-6);
+        let rel = (tree.potential - exact.potential).abs() / exact.potential.abs();
+        assert!(rel < 1e-9, "potential relative error {rel}");
+        assert_eq!(tree.kinetic, exact.kinetic);
+        assert_eq!(tree.momentum, exact.momentum);
+        assert_eq!(tree.angular_momentum, exact.angular_momentum);
+    }
+
+    #[test]
+    fn tree_measure_approximates_at_production_alpha() {
+        let set = plummer(PlummerSpec { n: 2000, seed: 15, ..Default::default() });
+        let exact = EnergyReport::measure(&set, 0.02);
+        let tree = EnergyReport::measure_tree(&set, 0.02, 0.67);
+        let rel = (tree.potential - exact.potential).abs() / exact.potential.abs();
+        assert!(rel < 5e-3, "potential relative error {rel}");
+        assert!(tree.potential < 0.0);
     }
 
     #[test]

@@ -15,4 +15,6 @@ pub mod snapshot;
 pub use diagnostics::{Diagnostics, EnergyReport};
 pub use leapfrog::{drift, kick, leapfrog_step};
 pub use simulation::{Simulation, SimulationConfig, StepReport};
-pub use snapshot::{load_snapshot, save_snapshot, write_positions_csv};
+pub use snapshot::{
+    load_snapshot, save_snapshot, save_snapshot_state, write_positions_csv, Snapshot,
+};

@@ -8,13 +8,17 @@
 use crate::diagnostics::{Diagnostics, EnergyReport};
 use crate::leapfrog::leapfrog_step;
 use bhut_geom::{ParticleSet, Vec3};
-use bhut_obs::StepProfile;
+use bhut_obs::{RungCounters, StepProfile};
 use bhut_threads::{ThreadConfig, ThreadSim};
+use bhut_timestep::{BlockConfig, BlockStepStats, BlockStepper, TimestepMode};
 use serde::{Deserialize, Serialize};
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct SimulationConfig {
+    /// Step length: the global dt under [`TimestepMode::Global`], and the
+    /// big-step synchronization period `dt_max` under a block hierarchy
+    /// (where [`BlockConfig::dt_max`] takes precedence).
     pub dt: f64,
     pub alpha: f64,
     /// Multipole degree (0 = monopole).
@@ -32,6 +36,8 @@ pub struct SimulationConfig {
     /// report (0 = never, the default). Profiled steps pay the span/counter
     /// bookkeeping; unprofiled steps run the plain force path.
     pub profile_every: usize,
+    /// Global-dt leapfrog (default) or hierarchical block timesteps (S12).
+    pub timestep: TimestepMode,
 }
 
 impl Default for SimulationConfig {
@@ -46,6 +52,7 @@ impl Default for SimulationConfig {
             diag_every: 0,
             grouped: true,
             profile_every: 0,
+            timestep: TimestepMode::Global,
         }
     }
 }
@@ -57,6 +64,13 @@ pub struct StepReport {
     pub time: f64,
     pub interactions: u64,
     pub imbalance: f64,
+    /// Force-evaluation substeps inside this step (1 on the global path;
+    /// the number of distinct tick boundaries on the block path).
+    pub substeps: u64,
+    /// Per-particle force evaluations this step (n on the global path; the
+    /// sum over active sets on the block path — the work the hierarchy
+    /// saved shows up as this number dropping below `substeps · n`).
+    pub force_evals: u64,
     /// Phase timings and work counters for this step's force evaluation.
     /// `Some` only on steps selected by [`SimulationConfig::profile_every`].
     pub profile: Option<StepProfile>,
@@ -71,6 +85,10 @@ pub struct Simulation {
     pub diagnostics: Diagnostics,
     executor: ThreadSim,
     accels: Option<Vec<Vec3>>,
+    /// Rung state carried across big steps ([`TimestepMode::Block`] only).
+    stepper: Option<BlockStepper>,
+    /// The most recent big step's scheduler statistics.
+    pub last_block_stats: Option<BlockStepStats>,
 }
 
 impl Simulation {
@@ -96,15 +114,31 @@ impl Simulation {
             diagnostics: Diagnostics::default(),
             executor,
             accels: None,
+            stepper: None,
+            last_block_stats: None,
         }
     }
 
-    /// Advance one leapfrog step; returns the step summary.
+    /// Advance one step — a single leapfrog step under
+    /// [`TimestepMode::Global`], one synchronized big step (several
+    /// substeps) under [`TimestepMode::Block`]. Returns the step summary.
     pub fn step(&mut self) -> StepReport {
         if self.config.diag_every > 0 && self.step_count == 0 {
             self.diagnostics
                 .record(self.time, EnergyReport::measure(&self.particles, self.config.eps));
         }
+        let report = match self.config.timestep {
+            TimestepMode::Global => self.step_global(),
+            TimestepMode::Block(bcfg) => self.step_block(bcfg),
+        };
+        if self.config.diag_every > 0 && self.step_count.is_multiple_of(self.config.diag_every) {
+            self.diagnostics
+                .record(self.time, EnergyReport::measure(&self.particles, self.config.eps));
+        }
+        report
+    }
+
+    fn step_global(&mut self) -> StepReport {
         let accels = match self.accels.take() {
             Some(a) => a,
             None => self.executor.compute_forces(&self.particles.particles).accels,
@@ -133,11 +167,103 @@ impl Simulation {
         if let Some(p) = profile.as_mut() {
             p.step = self.step_count as u64;
         }
-        if self.config.diag_every > 0 && self.step_count.is_multiple_of(self.config.diag_every) {
-            self.diagnostics
-                .record(self.time, EnergyReport::measure(&self.particles, self.config.eps));
+        StepReport {
+            step: self.step_count,
+            time: self.time,
+            interactions,
+            imbalance,
+            substeps: 1,
+            force_evals: self.particles.len() as u64,
+            profile,
         }
-        StepReport { step: self.step_count, time: self.time, interactions, imbalance, profile }
+    }
+
+    fn step_block(&mut self, bcfg: BlockConfig) -> StepReport {
+        let profiled = self.config.profile_every > 0
+            && (self.step_count + 1).is_multiple_of(self.config.profile_every);
+        let stepper = self.stepper.get_or_insert_with(|| BlockStepper::new(bcfg));
+        let executor = &mut self.executor;
+        let mut interactions = 0u64;
+        let mut imbalance = 1.0;
+        let mut profile = None;
+        let stats = stepper.big_step(&mut self.particles.particles, |ps, active| {
+            // The final substep of every big step is fully synchronized
+            // (every rung completes at the last tick), so it takes the
+            // unmasked path and is the one we profile.
+            let mut out = if active.is_full() {
+                if profiled {
+                    executor.compute_forces_profiled(ps)
+                } else {
+                    executor.compute_forces(ps)
+                }
+            } else {
+                executor.compute_forces_active(ps, active)
+            };
+            interactions += out.stats.interactions();
+            imbalance = out.imbalance();
+            if out.profile.is_some() {
+                profile = out.profile.take();
+            }
+            out.accels
+        });
+        self.time += bcfg.dt_max;
+        self.step_count += 1;
+        let force_evals = stats.force_evals;
+        let substeps = stats.substeps;
+        if let Some(p) = profile.as_mut() {
+            p.step = self.step_count as u64;
+            p.rungs = (0..=bcfg.max_rung as usize)
+                .map(|r| RungCounters {
+                    rung: r as u32,
+                    population: stats.population[r],
+                    force_evals: stats.forces_per_rung[r],
+                })
+                .collect();
+            p.rung_migrations = stats.promotions + stats.demotions;
+        }
+        self.last_block_stats = Some(stats);
+        StepReport {
+            step: self.step_count,
+            time: self.time,
+            interactions,
+            imbalance,
+            substeps,
+            force_evals,
+            profile,
+        }
+    }
+
+    /// Per-particle rungs, if the block-timestep path has run (index =
+    /// particle position; `None` under [`TimestepMode::Global`]).
+    pub fn rungs(&self) -> Option<&[u32]> {
+        self.stepper.as_ref().map(|s| s.rungs())
+    }
+
+    /// Capture the full simulation state for [`crate::snapshot`] I/O:
+    /// particles and clock, plus the rung assignment and configuration
+    /// needed to resume a block-timestep run faithfully.
+    pub fn snapshot(&self) -> crate::snapshot::Snapshot {
+        crate::snapshot::Snapshot {
+            time: self.time,
+            particles: self.particles.clone(),
+            rungs: self.stepper.as_ref().map(|s| s.rungs().to_vec()),
+            config: Some(self.config),
+        }
+    }
+
+    /// Rebuild a simulation from a snapshot. The embedded config is used
+    /// when present (defaults otherwise); saved rungs re-seed the block
+    /// stepper so the resumed run continues on the same hierarchy.
+    pub fn from_snapshot(snap: crate::snapshot::Snapshot) -> Simulation {
+        let config = snap.config.unwrap_or_default();
+        let mut sim = Simulation::new(snap.particles, config);
+        sim.time = snap.time;
+        if let (TimestepMode::Block(bcfg), Some(rungs)) = (config.timestep, snap.rungs) {
+            let mut stepper = BlockStepper::new(bcfg);
+            stepper.restore_rungs(rungs);
+            sim.stepper = Some(stepper);
+        }
+        sim
     }
 
     /// Advance `n` steps; returns the last step's summary.
@@ -236,6 +362,108 @@ mod tests {
         let sim = Simulation::new(set, SimulationConfig { threads: 4, ..Default::default() });
         let tree = sim.build_tree();
         assert_eq!(tree.order.len(), n);
+    }
+
+    #[test]
+    fn rung0_block_path_is_bitwise_global_leapfrog() {
+        // With the hierarchy pinned to a single rung the block scheduler
+        // must reproduce the global-dt leapfrog exactly — same kicks, same
+        // drifts, same force evaluations, bit for bit.
+        let set = plummer(PlummerSpec { n: 300, seed: 17, ..Default::default() });
+        let dt = 2e-3;
+        let global = SimulationConfig { dt, threads: 2, ..Default::default() };
+        let block = SimulationConfig {
+            timestep: TimestepMode::Block(BlockConfig {
+                dt_max: dt,
+                max_rung: 0,
+                eta: 0.1,
+                eps: 1e-4,
+            }),
+            ..global
+        };
+        let mut a = Simulation::new(set.clone(), global);
+        let mut b = Simulation::new(set, block);
+        a.run(8);
+        b.run(8);
+        assert_eq!(a.time, b.time);
+        for (x, y) in a.particles.particles.iter().zip(&b.particles.particles) {
+            assert_eq!(x.pos, y.pos, "positions diverged");
+            assert_eq!(x.vel, y.vel, "velocities diverged");
+        }
+    }
+
+    #[test]
+    fn block_mode_reports_rungs_and_substeps() {
+        let set = plummer(PlummerSpec { n: 400, seed: 18, ..Default::default() });
+        let bcfg = BlockConfig { dt_max: 0.02, max_rung: 3, eta: 0.05, eps: 0.02 };
+        let cfg = SimulationConfig {
+            eps: 0.02,
+            timestep: TimestepMode::Block(bcfg),
+            profile_every: 1,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(set, cfg);
+        let r = sim.step();
+        assert!(r.substeps >= 1 && r.substeps <= bcfg.ticks());
+        assert!(r.force_evals > 0);
+        let stats = sim.last_block_stats.as_ref().expect("block stats recorded");
+        assert_eq!(stats.substeps, r.substeps);
+        let rungs = sim.rungs().expect("rungs assigned");
+        assert_eq!(rungs.len(), sim.particles.len());
+        // A clustered Plummer model spreads over several rungs at this eta.
+        let populated = stats.population.iter().filter(|&&p| p > 0).count();
+        assert!(populated >= 2, "populations {:?}", stats.population);
+        let profile = r.profile.expect("profiled step");
+        assert_eq!(profile.rungs.len(), bcfg.max_rung as usize + 1);
+        let pop_total: u64 = profile.rungs.iter().map(|rc| rc.population).sum();
+        assert_eq!(pop_total, sim.particles.len() as u64);
+        let evals_total: u64 = profile.rungs.iter().map(|rc| rc.force_evals).sum();
+        assert_eq!(evals_total, r.force_evals);
+    }
+
+    #[test]
+    fn block_mode_conserves_energy() {
+        let set = plummer(PlummerSpec { n: 400, seed: 19, ..Default::default() });
+        let cfg = SimulationConfig {
+            alpha: 0.4,
+            eps: 0.02,
+            diag_every: 5,
+            threads: 2,
+            timestep: TimestepMode::Block(BlockConfig {
+                dt_max: 8e-3,
+                max_rung: 3,
+                eta: 0.05,
+                eps: 0.02,
+            }),
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(set, cfg);
+        sim.run(15);
+        let drift = sim.diagnostics.max_drift();
+        assert!(drift < 5e-3, "energy drift {drift}");
+    }
+
+    #[test]
+    fn snapshot_resume_preserves_the_hierarchy() {
+        let set = plummer(PlummerSpec { n: 200, seed: 20, ..Default::default() });
+        let cfg = SimulationConfig {
+            eps: 0.02,
+            timestep: TimestepMode::Block(BlockConfig {
+                dt_max: 0.01,
+                max_rung: 2,
+                eta: 0.05,
+                eps: 0.02,
+            }),
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(set, cfg);
+        sim.run(3);
+        let snap = sim.snapshot();
+        assert!(snap.rungs.is_some());
+        let resumed = Simulation::from_snapshot(snap.clone());
+        assert_eq!(resumed.time, sim.time);
+        assert_eq!(resumed.config.timestep, cfg.timestep);
+        assert_eq!(resumed.rungs().unwrap(), sim.rungs().unwrap());
     }
 
     #[test]

@@ -4,24 +4,59 @@
 //! records in `EXPERIMENTS.md` are regenerable and diffable. Position dumps
 //! are CSV for plotting (Fig. 8 emits one of these).
 
+use crate::simulation::SimulationConfig;
 use bhut_geom::ParticleSet;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::path::Path;
 
-/// A saved simulation state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// A saved simulation state. The rung assignment and configuration are
+/// optional so snapshots written before the block-timestep subsystem (and
+/// global-dt snapshots, which have no rungs) stay loadable.
+#[derive(Debug, Clone, Serialize)]
 pub struct Snapshot {
     pub time: f64,
     pub particles: ParticleSet,
+    /// Per-particle rung assignment (block-timestep runs only).
+    pub rungs: Option<Vec<u32>>,
+    /// The configuration that produced this state, for faithful resumes.
+    pub config: Option<SimulationConfig>,
+}
+
+// Hand-written so the two new fields default to `None` when absent — the
+// vendored serde derive rejects missing fields, which would break loading
+// pre-S12 snapshot files.
+impl Deserialize for Snapshot {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let time = f64::from_value(v.get_field("time").ok_or("missing field `time` in Snapshot")?)?;
+        let particles = ParticleSet::from_value(
+            v.get_field("particles").ok_or("missing field `particles` in Snapshot")?,
+        )?;
+        let rungs = match v.get_field("rungs") {
+            Some(x) => Option::<Vec<u32>>::from_value(x)?,
+            None => None,
+        };
+        let config = match v.get_field("config") {
+            Some(x) => Option::<SimulationConfig>::from_value(x)?,
+            None => None,
+        };
+        Ok(Snapshot { time, particles, rungs, config })
+    }
 }
 
 /// Write a snapshot as JSON.
 pub fn save_snapshot(path: &Path, time: f64, particles: &ParticleSet) -> io::Result<()> {
+    save_snapshot_state(
+        path,
+        &Snapshot { time, particles: particles.clone(), rungs: None, config: None },
+    )
+}
+
+/// Write a full snapshot (see [`crate::Simulation::snapshot`]) as JSON.
+pub fn save_snapshot_state(path: &Path, snap: &Snapshot) -> io::Result<()> {
     let file = BufWriter::new(File::create(path)?);
-    serde_json::to_writer(file, &Snapshot { time, particles: particles.clone() })
-        .map_err(io::Error::other)
+    serde_json::to_writer(file, snap).map_err(io::Error::other)
 }
 
 /// Read a snapshot back.
@@ -62,6 +97,54 @@ mod tests {
             assert!(a.vel.dist(b.vel) < 1e-12 * (1.0 + b.vel.norm()));
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn full_snapshot_roundtrips_rungs_and_config() {
+        use bhut_timestep::{BlockConfig, TimestepMode};
+        let set = plummer(PlummerSpec { n: 20, seed: 5, ..Default::default() });
+        let cfg = SimulationConfig {
+            timestep: TimestepMode::Block(BlockConfig {
+                dt_max: 0.05,
+                max_rung: 3,
+                eta: 0.08,
+                eps: 0.02,
+            }),
+            threads: 2,
+            ..Default::default()
+        };
+        let rungs: Vec<u32> = (0..set.len() as u32).map(|i| i % 4).collect();
+        let snap =
+            Snapshot { time: 0.75, particles: set, rungs: Some(rungs.clone()), config: Some(cfg) };
+        let dir = std::env::temp_dir().join("bhut_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap_full.json");
+        save_snapshot_state(&path, &snap).unwrap();
+        let back = load_snapshot(&path).unwrap();
+        assert_eq!(back.time, snap.time);
+        assert_eq!(back.rungs.as_deref(), Some(&rungs[..]));
+        let got = back.config.expect("config survives the round trip");
+        assert_eq!(got.timestep, cfg.timestep);
+        assert_eq!(got.threads, cfg.threads);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_s12_snapshots_still_load() {
+        // A file written before the rungs/config fields existed must load
+        // with both defaulted to None.
+        let set = plummer(PlummerSpec { n: 4, seed: 9, ..Default::default() });
+        // Serialize only the legacy fields by hand.
+        let old = serde::Value::Obj(vec![
+            ("time".to_string(), serde::Value::Float(2.5)),
+            ("particles".to_string(), set.to_value()),
+        ])
+        .to_json();
+        let snap: Snapshot = serde_json::from_str(&old).unwrap();
+        assert_eq!(snap.time, 2.5);
+        assert_eq!(snap.particles.len(), 4);
+        assert!(snap.rungs.is_none());
+        assert!(snap.config.is_none());
     }
 
     #[test]

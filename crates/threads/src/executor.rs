@@ -4,8 +4,12 @@ use crate::pool::{fork_join, BlockScheduler};
 use bhut_geom::{Particle, Vec3};
 use bhut_multipole::MultipoleTree;
 use bhut_obs::{phase, Counters, SharedCounters, Span, StepProfile};
+use bhut_timestep::ActiveSet;
 use bhut_tree::build::{build, BuildParams};
-use bhut_tree::group::{eval_gathered_monopole, gather_group, leaf_schedule, InteractionBuffers};
+use bhut_tree::group::{
+    eval_gathered_monopole_masked, gather_group, leaf_schedule, leaf_schedule_active,
+    InteractionBuffers,
+};
 use bhut_tree::traverse::TraversalStats;
 use bhut_tree::{BarnesHutMac, NodeId, Tree};
 use std::sync::Mutex;
@@ -141,7 +145,7 @@ impl ThreadSim {
     /// Build the tree (and expansions if degree > 0) and compute the force
     /// and potential on every particle, in parallel.
     pub fn compute_forces(&mut self, particles: &[Particle]) -> ForceResult {
-        self.compute(particles, false)
+        self.compute(particles, false, None)
     }
 
     /// [`ThreadSim::compute_forces`] plus a phase-level [`StepProfile`]:
@@ -149,10 +153,41 @@ impl ThreadSim {
     /// are identical to the unprofiled call; only wall-clock reads are added
     /// (erased entirely when the `profile` feature is off).
     pub fn compute_forces_profiled(&mut self, particles: &[Particle]) -> ForceResult {
-        self.compute(particles, true)
+        self.compute(particles, true, None)
     }
 
-    fn compute(&mut self, particles: &[Particle], profiled: bool) -> ForceResult {
+    /// [`ThreadSim::compute_forces`] restricted to an active subset: the
+    /// tree is built over **all** particles (every body still acts as a
+    /// source), but forces and potentials are evaluated only for particles
+    /// with `active.is_active(i)`. Inactive entries of the returned
+    /// `accels`/`potentials` are zero — callers on the block-timestep path
+    /// must only read the active ones. A full set takes the unmasked path,
+    /// so results then match [`ThreadSim::compute_forces`] bit for bit; a
+    /// partial set's active entries are bitwise equal to the full run's.
+    pub fn compute_forces_active(
+        &mut self,
+        particles: &[Particle],
+        active: &ActiveSet,
+    ) -> ForceResult {
+        self.compute(particles, false, Some(active))
+    }
+
+    /// [`ThreadSim::compute_forces_active`] with the phase-level profile
+    /// attached, mirroring [`ThreadSim::compute_forces_profiled`].
+    pub fn compute_forces_active_profiled(
+        &mut self,
+        particles: &[Particle],
+        active: &ActiveSet,
+    ) -> ForceResult {
+        self.compute(particles, true, Some(active))
+    }
+
+    fn compute(
+        &mut self,
+        particles: &[Particle],
+        profiled: bool,
+        active: Option<&ActiveSet>,
+    ) -> ForceResult {
         let cfg = self.config;
         let t_origin = if profiled { bhut_obs::now() } else { 0.0 };
         let tree = self.eval_tree(particles);
@@ -160,6 +195,10 @@ impl ThreadSim {
         let t_build_end = if profiled { bhut_obs::now() } else { 0.0 };
         let mac = BarnesHutMac::new(cfg.alpha);
         let n = particles.len();
+        // A full active set is indistinguishable from "no mask": route it
+        // down the unmasked path so results stay bitwise identical to
+        // `compute_forces` (and the mask bound checks vanish).
+        let mask: Option<&[bool]> = active.filter(|a| !a.is_full()).map(|a| a.mask());
 
         // Threads may have been reconfigured since `new`; grow the scratch
         // and counter pools to match (never shrink — capacity is cheap).
@@ -203,28 +242,38 @@ impl ThreadSim {
         // scatters after the join, so no shared result locks exist.
         let per_thread: Vec<(u64, TraversalStats, WorkerObs)> = match cfg.eval_mode {
             EvalMode::Grouped => {
-                let leaves = leaf_schedule(&tree);
+                // A masked run schedules only leaves holding at least one
+                // active member; the walks themselves still see every source.
+                let leaves = match mask {
+                    Some(m) => leaf_schedule_active(&tree, m),
+                    None => leaf_schedule(&tree),
+                };
                 // One grouped evaluation of leaf `id` into this thread's
-                // scratch; returns its traversal stats.
+                // scratch; returns its traversal stats. The fused entry
+                // points delegate to this same gather + masked-eval split,
+                // so threading the mask here changes nothing when it's off.
                 let eval_leaf = |s: &mut Scratch, leaf: NodeId| -> TraversalStats {
                     let Scratch { buf, out } = s;
+                    gather_group(&tree, particles, leaf, &mac, buf);
                     match &mtree {
-                        Some(mt) => mt.eval_group(
+                        Some(mt) => mt.eval_gathered_masked(
                             &tree,
                             particles,
                             leaf,
                             &mac,
                             cfg.eps,
                             buf,
+                            mask,
                             |pi, phi, acc, it| out.push((pi, phi, acc, it)),
                         ),
-                        None => eval_group_monopole_fused(
+                        None => eval_gathered_monopole_masked(
                             &tree,
                             particles,
                             leaf,
                             &mac,
                             cfg.eps,
                             buf,
+                            mask,
                             |pi, phi, acc, it| out.push((pi, phi, acc, it)),
                         ),
                     }
@@ -248,22 +297,24 @@ impl ThreadSim {
                             gather_group(&tree, particles, leaf, &mac, buf);
                             let t1 = bhut_obs::now();
                             let st = match &mtree {
-                                Some(mt) => mt.eval_gathered(
+                                Some(mt) => mt.eval_gathered_masked(
                                     &tree,
                                     particles,
                                     leaf,
                                     &mac,
                                     cfg.eps,
                                     buf,
+                                    mask,
                                     |pi, phi, acc, it| out.push((pi, phi, acc, it)),
                                 ),
-                                None => eval_gathered_monopole(
+                                None => eval_gathered_monopole_masked(
                                     &tree,
                                     particles,
                                     leaf,
                                     &mac,
                                     cfg.eps,
                                     buf,
+                                    mask,
                                     |pi, phi, acc, it| out.push((pi, phi, acc, it)),
                                 ),
                             };
@@ -348,6 +399,11 @@ impl ThreadSim {
                     let mut s = scratch[t].lock().unwrap();
                     let mut stats = TraversalStats::default();
                     for &pi in positions {
+                        if let Some(m) = mask {
+                            if !m[pi as usize] {
+                                continue;
+                            }
+                        }
                         let (phi, acc, st) = eval_one(pi);
                         stats.merge(st);
                         s.out.push((pi, phi, acc, st.interactions()));
@@ -422,7 +478,13 @@ impl ThreadSim {
         let t_scatter = if profiled { bhut_obs::now() } else { 0.0 };
         let mut accels = vec![Vec3::ZERO; n];
         let mut potentials = vec![0.0f64; n];
-        let mut work = vec![0u64; n];
+        // On a masked run only active particles report work; keep the
+        // previous measurements for the inactive ones so the costzones
+        // weights stay meaningful across substeps.
+        let mut work = match (mask, &self.prev_work) {
+            (Some(_), Some(w)) if w.len() == n => w.clone(),
+            _ => vec![0u64; n],
+        };
         for s in &self.scratch {
             let mut s = s.lock().unwrap();
             for (pi, phi, acc, it) in s.out.drain(..) {
@@ -493,9 +555,6 @@ impl ThreadSim {
         }
     }
 }
-
-/// Alias so the unprofiled closure reads like the original fused call.
-use bhut_tree::group::eval_group_monopole as eval_group_monopole_fused;
 
 /// `threads + 1` equal-count boundaries over `n` items.
 fn equal_bounds(n: usize, threads: usize) -> Vec<usize> {
@@ -765,6 +824,93 @@ mod tests {
         });
         let prof = pp.compute_forces_profiled(&set.particles).profile.unwrap();
         assert!(prof.phases().iter().any(|p| p == "eval"));
+    }
+
+    #[test]
+    fn active_subset_is_bitwise_restriction_of_full_run() {
+        // Masked evaluation must reproduce the full run's values exactly on
+        // the active particles (same tree, same slabs, same kernels — the
+        // mask only skips members) and leave inactive outputs zeroed.
+        let set = plummer(PlummerSpec { n: 900, seed: 21, ..Default::default() });
+        let m: Vec<bool> = (0..set.len()).map(|i| i % 3 == 0).collect();
+        let active = ActiveSet::from_mask(m.clone());
+        for (degree, mode) in
+            [(0u32, EvalMode::Grouped), (2, EvalMode::Grouped), (0, EvalMode::PerParticle)]
+        {
+            let mk = || {
+                ThreadSim::new(ThreadConfig {
+                    degree,
+                    eval_mode: mode,
+                    ..config(3, Partitioning::MortonZones)
+                })
+            };
+            let full = mk().compute_forces(&set.particles);
+            let part = mk().compute_forces_active(&set.particles, &active);
+            for (i, &is_active) in m.iter().enumerate() {
+                if is_active {
+                    assert_eq!(part.accels[i], full.accels[i], "degree {degree} mode {mode:?}");
+                    assert_eq!(part.potentials[i], full.potentials[i]);
+                } else {
+                    assert_eq!(part.accels[i], Vec3::ZERO);
+                    assert_eq!(part.potentials[i], 0.0);
+                }
+            }
+            // Roughly a third of the particles → roughly a third of the work.
+            assert!(part.stats.interactions() < full.stats.interactions());
+        }
+    }
+
+    #[test]
+    fn full_active_set_takes_the_unmasked_path() {
+        let set = plummer(PlummerSpec { n: 600, seed: 22, ..Default::default() });
+        let active = ActiveSet::all(set.len());
+        let mut a = ThreadSim::new(config(3, Partitioning::MortonZones));
+        let mut b = ThreadSim::new(config(3, Partitioning::MortonZones));
+        let full = a.compute_forces(&set.particles);
+        let via_active = b.compute_forces_active(&set.particles, &active);
+        assert_eq!(full.stats, via_active.stats);
+        for i in 0..set.len() {
+            assert_eq!(full.accels[i], via_active.accels[i]);
+            assert_eq!(full.potentials[i], via_active.potentials[i]);
+        }
+    }
+
+    #[test]
+    fn active_runs_preserve_costzones_work_history() {
+        // After a masked run, inactive particles must keep their previous
+        // work weights (a zeroed weight would wreck the next costzones
+        // split); active particles get fresh measurements.
+        let set = plummer(PlummerSpec { n: 800, seed: 23, ..Default::default() });
+        let mut sim = ThreadSim::new(config(2, Partitioning::MortonZones));
+        let _ = sim.compute_forces(&set.particles);
+        let before = sim.prev_work.clone().unwrap();
+        let m: Vec<bool> = (0..set.len()).map(|i| i % 4 == 0).collect();
+        let _ = sim.compute_forces_active(&set.particles, &ActiveSet::from_mask(m.clone()));
+        let after = sim.prev_work.clone().unwrap();
+        for i in 0..set.len() {
+            if m[i] {
+                assert!(after[i] > 0, "active particle {i} reported no work");
+            } else {
+                assert_eq!(after[i], before[i], "inactive particle {i} lost its weight");
+            }
+        }
+    }
+
+    #[test]
+    fn active_profiled_matches_active_unprofiled() {
+        let set = plummer(PlummerSpec { n: 700, seed: 24, ..Default::default() });
+        let m: Vec<bool> = (0..set.len()).map(|i| i % 2 == 0).collect();
+        let active = ActiveSet::from_mask(m);
+        let mut a = ThreadSim::new(config(3, Partitioning::MortonZones));
+        let mut b = ThreadSim::new(config(3, Partitioning::MortonZones));
+        let plain = a.compute_forces_active(&set.particles, &active);
+        let prof = b.compute_forces_active_profiled(&set.particles, &active);
+        assert_eq!(plain.stats, prof.stats);
+        for i in 0..set.len() {
+            assert_eq!(plain.accels[i], prof.accels[i]);
+            assert_eq!(plain.potentials[i], prof.potentials[i]);
+        }
+        assert!(prof.profile.is_some());
     }
 
     #[test]

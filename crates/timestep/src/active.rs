@@ -1,0 +1,103 @@
+//! The set of particles whose forces must be recomputed this substep.
+
+/// A boolean mask over the particle array plus its popcount. Substeps of the
+/// block scheduler activate only the particles finishing a rung step; the
+/// executor walks the tree for active targets only, while inactive particles
+/// still contribute as sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSet {
+    mask: Vec<bool>,
+    count: usize,
+}
+
+impl ActiveSet {
+    /// Every particle active — equivalent to a full force evaluation.
+    pub fn all(n: usize) -> Self {
+        ActiveSet { mask: vec![true; n], count: n }
+    }
+
+    /// No particle active.
+    pub fn none(n: usize) -> Self {
+        ActiveSet { mask: vec![false; n], count: 0 }
+    }
+
+    pub fn from_mask(mask: Vec<bool>) -> Self {
+        let count = mask.iter().filter(|&&b| b).count();
+        ActiveSet { mask, count }
+    }
+
+    /// Total particles the mask covers (active or not).
+    pub fn len(&self) -> usize {
+        self.mask.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.mask.is_empty()
+    }
+
+    /// Number of active particles.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether every particle is active.
+    pub fn is_full(&self) -> bool {
+        self.count == self.mask.len()
+    }
+
+    pub fn is_active(&self, i: usize) -> bool {
+        self.mask[i]
+    }
+
+    /// Flip particle `i`; keeps the popcount consistent.
+    pub fn set(&mut self, i: usize, active: bool) {
+        if self.mask[i] != active {
+            self.mask[i] = active;
+            if active {
+                self.count += 1;
+            } else {
+                self.count -= 1;
+            }
+        }
+    }
+
+    /// The raw mask, for executors that filter by index.
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Indices of active particles, ascending.
+    pub fn indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.mask.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_queries() {
+        let mut a = ActiveSet::from_mask(vec![true, false, true, false]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.count(), 2);
+        assert!(!a.is_full());
+        assert!(a.is_active(0) && !a.is_active(1));
+        assert_eq!(a.indices().collect::<Vec<_>>(), vec![0, 2]);
+        a.set(1, true);
+        assert_eq!(a.count(), 3);
+        a.set(1, true); // idempotent
+        assert_eq!(a.count(), 3);
+        a.set(0, false);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert!(ActiveSet::all(5).is_full());
+        assert_eq!(ActiveSet::all(5).count(), 5);
+        assert_eq!(ActiveSet::none(5).count(), 0);
+        assert!(ActiveSet::all(0).is_full());
+        assert!(ActiveSet::all(0).is_empty());
+    }
+}

@@ -286,6 +286,26 @@ pub fn eval_gathered_monopole(
     mac: &impl GroupMac,
     eps: f64,
     buf: &InteractionBuffers,
+    emit: impl FnMut(u32, f64, Vec3, u64),
+) -> TraversalStats {
+    eval_gathered_monopole_masked(tree, particles, leaf, mac, eps, buf, None, emit)
+}
+
+/// [`eval_gathered_monopole`] restricted to an active subset: members with
+/// `active[pi] == false` are skipped entirely (no kernels, no stats, no
+/// `emit`), while the shared slabs — which already contain every source,
+/// active or not — are reused untouched. `active == None` evaluates every
+/// member with literally the same code path, which is what makes the masked
+/// and unmasked walks bit-identical on their common members.
+#[allow(clippy::too_many_arguments)] // mirrors eval_gathered_monopole + mask
+pub fn eval_gathered_monopole_masked(
+    tree: &Tree,
+    particles: &[Particle],
+    leaf: NodeId,
+    mac: &impl GroupMac,
+    eps: f64,
+    buf: &InteractionBuffers,
+    active: Option<&[bool]>,
     mut emit: impl FnMut(u32, f64, Vec3, u64),
 ) -> TraversalStats {
     let mut stats = TraversalStats::default();
@@ -300,6 +320,11 @@ pub fn eval_gathered_monopole(
     let shared_p2p = buf.px.len() as u64 - buf.self_in_p2p as u64;
     for k in 0..n_members {
         let pi = tree.particles_under(leaf)[k];
+        if let Some(mask) = active {
+            if !mask[pi as usize] {
+                continue;
+            }
+        }
         let p = &particles[pi as usize];
         let (mut acc, mut phi) =
             accel_batch_m2p(p.pos, &buf.com_x, &buf.com_y, &buf.com_z, &buf.node_mass, eps);
@@ -348,6 +373,27 @@ pub fn leaf_schedule(tree: &Tree) -> Vec<NodeId> {
     tree.walk(|id, _| {
         let n = tree.node(id);
         if n.is_leaf() && n.count() > 0 {
+            leaves.push(id);
+        }
+    });
+    leaves
+}
+
+/// The group schedule restricted to an active subset: leaves in Morton
+/// sequence that contain at least one particle with `active[pi] == true`.
+/// Leaves of only-inactive particles are never walked — their members still
+/// act as sources through other groups' slabs, but cost no target work.
+pub fn leaf_schedule_active(tree: &Tree, active: &[bool]) -> Vec<NodeId> {
+    let mut leaves = Vec::new();
+    if tree.is_empty() {
+        return leaves;
+    }
+    tree.walk(|id, _| {
+        let n = tree.node(id);
+        if n.is_leaf()
+            && n.count() > 0
+            && tree.particles_under(id).iter().any(|&pi| active[pi as usize])
+        {
             leaves.push(id);
         }
     });
@@ -567,6 +613,64 @@ mod tests {
             assert_eq!(st_a, st_b);
             assert_eq!(fused, split);
         }
+    }
+
+    #[test]
+    fn masked_eval_is_bitwise_restriction_of_full_eval() {
+        // Active-set evaluation must agree bit-for-bit with the full grouped
+        // walk on the active members, and touch nothing else.
+        let set = plummer(PlummerSpec { n: 500, seed: 17, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        // Every third particle active.
+        let active: Vec<bool> = (0..set.len()).map(|i| i % 3 == 0).collect();
+        let mut buf = InteractionBuffers::new();
+        let mut full: Vec<Option<(f64, Vec3, u64)>> = vec![None; set.len()];
+        for leaf in leaf_schedule(&tree) {
+            gather_group(&tree, &set.particles, leaf, &mac, &mut buf);
+            eval_gathered_monopole(
+                &tree,
+                &set.particles,
+                leaf,
+                &mac,
+                EPS,
+                &buf,
+                |pi, phi, acc, it| {
+                    full[pi as usize] = Some((phi, acc, it));
+                },
+            );
+        }
+        let mut masked: Vec<Option<(f64, Vec3, u64)>> = vec![None; set.len()];
+        let sched = leaf_schedule_active(&tree, &active);
+        for &leaf in &sched {
+            gather_group(&tree, &set.particles, leaf, &mac, &mut buf);
+            eval_gathered_monopole_masked(
+                &tree,
+                &set.particles,
+                leaf,
+                &mac,
+                EPS,
+                &buf,
+                Some(&active),
+                |pi, phi, acc, it| {
+                    masked[pi as usize] = Some((phi, acc, it));
+                },
+            );
+        }
+        for i in 0..set.len() {
+            if active[i] {
+                assert_eq!(masked[i], full[i], "active particle {i}");
+            } else {
+                assert_eq!(masked[i], None, "inactive particle {i} was evaluated");
+            }
+        }
+        // The active schedule is exactly the leaves holding active members.
+        for leaf in leaf_schedule(&tree) {
+            let holds_active = tree.particles_under(leaf).iter().any(|&pi| active[pi as usize]);
+            assert_eq!(sched.contains(&leaf), holds_active);
+        }
+        // An all-true mask reproduces the full schedule.
+        assert_eq!(leaf_schedule_active(&tree, &vec![true; set.len()]), leaf_schedule(&tree));
     }
 
     #[test]

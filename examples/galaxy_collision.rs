@@ -4,11 +4,17 @@
 //! motivates.
 //!
 //! ```text
-//! cargo run --release --example galaxy_collision -- [steps]
+//! cargo run --release --example galaxy_collision -- [steps] [--adaptive]
 //! ```
+//!
+//! With `--adaptive` each outer step becomes an S12 block timestep: the
+//! core particles of each sphere descend to fine rungs while the halo keeps
+//! the coarse dt, so the force-evaluation count per unit time drops without
+//! loosening any particle's accuracy criterion.
 
 use barnes_hut::geom::{plummer, Particle, ParticleSet, PlummerSpec, Vec3};
 use barnes_hut::sim::{EnergyReport, Simulation, SimulationConfig};
+use barnes_hut::timestep::{BlockConfig, TimestepMode};
 
 /// Two Plummer spheres offset and counter-moving.
 fn collision_setup(n_each: usize) -> ParticleSet {
@@ -30,13 +36,29 @@ fn collision_setup(n_each: usize) -> ParticleSet {
 }
 
 fn main() {
-    let steps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let mut steps: usize = 100;
+    let mut adaptive = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--adaptive" => adaptive = true,
+            s => steps = s.parse().expect("steps must be a number"),
+        }
+    }
     let set = collision_setup(2_000);
-    println!("galaxy collision: {} particles, {steps} steps", set.len());
+    println!(
+        "galaxy collision: {} particles, {steps} steps ({} timesteps)",
+        set.len(),
+        if adaptive { "block" } else { "global" }
+    );
 
     let e0 = EnergyReport::measure(&set, 0.02);
     println!("initial energy: K = {:.4}, U = {:.4}, E = {:.4}", e0.kinetic, e0.potential, e0.total);
 
+    let timestep = if adaptive {
+        TimestepMode::Block(BlockConfig { dt_max: 0.01, max_rung: 3, eta: 0.01, eps: 0.02 })
+    } else {
+        TimestepMode::Global
+    };
     let mut sim = Simulation::new(
         set,
         SimulationConfig {
@@ -45,6 +67,7 @@ fn main() {
             eps: 0.02,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             diag_every: steps.max(10) / 10,
+            timestep,
             ..Default::default()
         },
     );
@@ -54,13 +77,19 @@ fn main() {
         let report = sim.run(steps / 10);
         let com = sim.particles.center_of_mass().unwrap();
         println!(
-            "t = {:.2}: {} interactions/step, imbalance {:.2}, |COM| = {:.2e}",
+            "t = {:.2}: {} interactions/step, {} substeps, {} force evals, \
+             imbalance {:.2}, |COM| = {:.2e}",
             sim.time,
             report.interactions,
+            report.substeps,
+            report.force_evals,
             report.imbalance,
             com.norm()
         );
         let _ = chunk;
+    }
+    if let Some(stats) = &sim.last_block_stats {
+        println!("rung populations: {:?}", stats.population);
     }
     println!("wall-clock: {:.2}s", t0.elapsed().as_secs_f64());
 

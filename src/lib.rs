@@ -17,6 +17,8 @@
 //! * [`sim`] — time integration and diagnostics (S8)
 //! * [`obs`] — phase-level spans, work counters and step profiles shared by
 //!   the real and simulated paths (S11)
+//! * [`timestep`] — hierarchical block timesteps with active-set force
+//!   evaluation (S12)
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the experiment map.
 
@@ -29,6 +31,7 @@ pub use bhut_multipole as multipole;
 pub use bhut_obs as obs;
 pub use bhut_sim as sim;
 pub use bhut_threads as threads;
+pub use bhut_timestep as timestep;
 pub use bhut_tree as tree;
 
 /// Workspace version, for embedding in experiment records.

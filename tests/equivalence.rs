@@ -11,6 +11,9 @@ use barnes_hut::geom::{multi_gaussian, plummer, GaussianSpec, PlummerSpec};
 use barnes_hut::geom::{Aabb, Particle, ParticleSet, Vec3};
 use barnes_hut::machine::{CostModel, Hypercube, Machine};
 use barnes_hut::multipole::MultipoleTree;
+use barnes_hut::sim::{Simulation, SimulationConfig};
+use barnes_hut::threads::{ThreadConfig, ThreadSim};
+use barnes_hut::timestep::{ActiveSet, BlockConfig, TimestepMode};
 use barnes_hut::tree::build::{build, build_in_cell, BuildParams};
 use barnes_hut::tree::group::{eval_group_monopole, leaf_schedule, InteractionBuffers};
 use barnes_hut::tree::traverse::TraversalStats;
@@ -210,6 +213,69 @@ proptest! {
                 }
             }
             GroupClass::Mixed => {}
+        }
+    }
+
+    /// A rung hierarchy pinned to rung 0 is the global-dt leapfrog, bit for
+    /// bit, for arbitrary particle sets, dt, and hierarchy depth: with every
+    /// particle on rung 0 the scheduler performs exactly one full-sync
+    /// substep per big step, its kick factors `dt_max/2^0 · ½` and drift
+    /// span `2^L ticks · dt_max/2^L` are exact power-of-two arithmetic, and
+    /// the full active set takes the executor's unmasked path.
+    #[test]
+    fn rung0_block_timesteps_are_bitwise_global_leapfrog(
+        set in arb_particles(120),
+        dt in 1e-4f64..1e-2,
+        max_rung in 0u32..3,
+        steps in 1usize..5,
+    ) {
+        let global = SimulationConfig { dt, eps: 1e-2, ..Default::default() };
+        // A huge η makes the criterion dt exceed dt_max for every particle,
+        // pinning all of them to rung 0 whatever the hierarchy depth.
+        let block = SimulationConfig {
+            timestep: TimestepMode::Block(BlockConfig {
+                dt_max: dt,
+                max_rung,
+                eta: 1e12,
+                eps: 1e-2,
+            }),
+            ..global
+        };
+        let mut a = Simulation::new(set.clone(), global);
+        let mut b = Simulation::new(set, block);
+        a.run(steps);
+        b.run(steps);
+        for (x, y) in a.particles.particles.iter().zip(&b.particles.particles) {
+            prop_assert_eq!(x.pos, y.pos);
+            prop_assert_eq!(x.vel, y.vel);
+        }
+    }
+
+    /// Active-set force evaluation is a bitwise restriction of the full
+    /// evaluation, for arbitrary particle sets and masks: active particles
+    /// get identical accelerations and potentials, inactive ones get zero.
+    #[test]
+    fn active_set_forces_are_a_bitwise_restriction(
+        set in arb_particles(150),
+        mask_seed in 0u64..1000,
+        stride in 2usize..5,
+    ) {
+        let n = set.len();
+        let mask: Vec<bool> = (0..n)
+            .map(|i| (i as u64).wrapping_mul(mask_seed + 7).is_multiple_of(stride as u64))
+            .collect();
+        let active = ActiveSet::from_mask(mask.clone());
+        let mk = || ThreadSim::new(ThreadConfig { threads: 2, ..Default::default() });
+        let full = mk().compute_forces(&set.particles);
+        let part = mk().compute_forces_active(&set.particles, &active);
+        for (i, &is_active) in mask.iter().enumerate() {
+            if is_active {
+                prop_assert_eq!(part.accels[i], full.accels[i]);
+                prop_assert_eq!(part.potentials[i], full.potentials[i]);
+            } else {
+                prop_assert_eq!(part.accels[i], barnes_hut::geom::Vec3::ZERO);
+                prop_assert_eq!(part.potentials[i], 0.0);
+            }
         }
     }
 
