@@ -1,0 +1,80 @@
+//! Kernel-precision benchmarks for the vectorised force kernels: the
+//! gathered slab kernels at each [`KernelPrecision`], plus the raw batch
+//! M2P/P2P entry points, on the same Plummer slabs the grouped executor
+//! produces. The committed end-to-end numbers live in `results/simd.json`
+//! (produced by the `simd` bin); this group tracks the same kernels under
+//! Criterion for statistically robust local comparisons.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bhut_geom::{plummer, PlummerSpec};
+use bhut_tree::build::{build, BuildParams};
+use bhut_tree::group::{
+    eval_gathered_monopole_masked, gather_group, leaf_schedule, resolve_mixed_tails,
+    InteractionBuffers,
+};
+use bhut_tree::{accel_batch_m2p, BarnesHutMac, KernelPrecision};
+
+const EPS: f64 = 1e-4;
+
+fn bench_simd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bench_simd");
+    let set = plummer(PlummerSpec { n: 20_000, ..Default::default() });
+    let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+    let mac = BarnesHutMac::new(0.67);
+    let schedule = leaf_schedule(&tree);
+
+    // Pre-gather every leaf once; the benchmark then times only the kernel
+    // phase, which is what `results/simd.json` gates.
+    let mut buffers: Vec<InteractionBuffers> = Vec::with_capacity(schedule.len());
+    for &leaf in &schedule {
+        let mut buf = InteractionBuffers::new();
+        gather_group(&tree, &set.particles, leaf, &mac, &mut buf);
+        resolve_mixed_tails(&tree, &set.particles, leaf, &mac, &mut buf, None);
+        buf.prepare_f32();
+        buffers.push(buf);
+    }
+
+    for precision in [KernelPrecision::ScalarF64, KernelPrecision::F64, KernelPrecision::MixedF32] {
+        g.bench_with_input(
+            BenchmarkId::new("kernel_phase", format!("{precision:?}")),
+            &precision,
+            |b, &precision| {
+                b.iter(|| {
+                    let mut sink = 0.0f64;
+                    for (&leaf, buf) in schedule.iter().zip(&buffers) {
+                        eval_gathered_monopole_masked(
+                            &tree,
+                            &set.particles,
+                            leaf,
+                            &mac,
+                            EPS,
+                            precision,
+                            buf,
+                            None,
+                            |_, phi, acc, _| sink += phi + acc.x,
+                        );
+                    }
+                    sink
+                })
+            },
+        );
+    }
+
+    // Raw batch M2P throughput on one representative slab, per precision.
+    let slab =
+        buffers.iter().max_by_key(|b| b.node_ids.len()).expect("schedule is non-empty for n=20k");
+    let target = set.particles[0].pos;
+    for precision in [KernelPrecision::ScalarF64, KernelPrecision::F64, KernelPrecision::MixedF32] {
+        g.bench_with_input(
+            BenchmarkId::new("batch_m2p", format!("{precision:?}")),
+            &precision,
+            |b, &precision| b.iter(|| slab.eval_m2p(black_box(target), EPS, precision)),
+        );
+    }
+    let _ = accel_batch_m2p; // keep the public batch API linked into the bench
+    g.finish();
+}
+
+criterion_group!(benches, bench_simd);
+criterion_main!(benches);

@@ -26,7 +26,7 @@ use bhut_core::driver::{ParallelSim, SimConfig};
 use bhut_geom::{plummer, PlummerSpec};
 use bhut_machine::{CostModel, Hypercube, Machine};
 use bhut_obs::{phase, StepProfile};
-use bhut_threads::{EvalMode, Partitioning, ThreadConfig, ThreadSim};
+use bhut_threads::{EvalMode, KernelPrecision, Partitioning, ThreadConfig, ThreadSim};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -121,6 +121,7 @@ fn executor(threads: usize) -> ThreadSim {
         leaf_capacity: 8,
         partitioning: Partitioning::MortonZones,
         eval_mode: EvalMode::Grouped,
+        precision: KernelPrecision::F64,
     })
 }
 

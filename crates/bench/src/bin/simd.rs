@@ -1,0 +1,332 @@
+//! Kernel-precision ablation of the SIMD force kernels, with speedup and
+//! accuracy gates.
+//!
+//! ```text
+//! cargo run --release -p bhut-bench --bin simd -- \
+//!     [--n 100000] [--reps 7] [--threads 1] [--out results/simd.json] \
+//!     [--min-kernel-speedup 2.0] [--baseline results/simd.json] \
+//!     [--max-regression 1.5]
+//! ```
+//!
+//! Runs best-of-`--reps` profiled force evaluations of a Plummer model under
+//! each [`KernelPrecision`] (`scalar_f64` → `f64` → `mixed_f32`) on the
+//! shared-memory executor, then scores every variant's accelerations against
+//! an `O(n·s)` sampled direct sum. The table this prints is the
+//! precision-ablation table quoted in DESIGN.md §5.
+//!
+//! Gates (any failure exits nonzero after writing `--out`):
+//! * `--min-kernel-speedup`: the vectorized-f64 kernel phase must beat the
+//!   scalar-f64 kernel phase by at least this factor.
+//! * mixed-precision accuracy: `mixed_f32`'s rms error against the direct
+//!   sum must stay inside the θ-MAC envelope — the f64 tree-code's own
+//!   discretization error times a small slack, plus the f32 noise floor.
+//!   f32 lane roundoff must hide below the MAC error, not add to it.
+//! * `--baseline`: the f64 kernel-phase throughput must not regress by more
+//!   than `--max-regression` against the committed report (coarse CI gate,
+//!   like the `profile` bin's).
+
+use bhut_geom::{plummer, PlummerSpec, Vec3};
+use bhut_obs::{phase, StepProfile};
+use bhut_threads::{EvalMode, Partitioning, ThreadConfig, ThreadSim};
+use bhut_tree::direct::accel_direct;
+use bhut_tree::KernelPrecision;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Multiplicative slack on the f64 tree-code error when bounding mixed_f32.
+const ENVELOPE_SLACK: f64 = 1.25;
+/// Additive f32 noise floor: lane roundoff on well-cancelled sums can exceed
+/// a pure ~1e-7 ulp bound; 5e-6 relative is the observed ceiling at n=100k.
+const F32_NOISE_FLOOR: f64 = 5e-6;
+
+#[derive(Serialize, Deserialize)]
+struct PrecisionReport {
+    precision: String,
+    /// Best-of-reps wall seconds for one full force evaluation.
+    best_s: f64,
+    build_s: f64,
+    walk_s: f64,
+    kernel_s: f64,
+    scatter_s: f64,
+    interactions: u64,
+    /// Kernel-phase interaction throughput — the baseline-gated metric.
+    kernel_interactions_per_s: f64,
+    /// Useful-lane fraction of the padded slab slots the kernels consumed.
+    lane_utilization: f64,
+    /// Kernel-phase speedup over the scalar_f64 row (1.0 for that row).
+    kernel_speedup: f64,
+    /// Accel error vs. the sampled direct sum (relative, per target).
+    rms_rel_err: f64,
+    max_rel_err: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    benchmark: String,
+    distribution: String,
+    n: usize,
+    threads: usize,
+    reps: usize,
+    /// Number of direct-sum reference targets sampled for the error rows.
+    sample: usize,
+    alpha: f64,
+    eps: f64,
+    /// The mixed_f32 rms error bound this run enforced.
+    mixed_error_envelope: f64,
+    rows: Vec<PrecisionReport>,
+}
+
+struct Args {
+    n: usize,
+    reps: usize,
+    threads: usize,
+    out: PathBuf,
+    min_kernel_speedup: f64,
+    baseline: Option<PathBuf>,
+    max_regression: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 100_000,
+        reps: 7,
+        threads: 1,
+        out: PathBuf::from("results/simd.json"),
+        min_kernel_speedup: 0.0,
+        baseline: None,
+        max_regression: 1.5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        match arg.as_str() {
+            "--n" => args.n = val("--n").parse().expect("--n"),
+            "--reps" => args.reps = val("--reps").parse().expect("--reps"),
+            "--threads" => args.threads = val("--threads").parse().expect("--threads"),
+            "--out" => args.out = PathBuf::from(val("--out")),
+            "--min-kernel-speedup" => {
+                args.min_kernel_speedup =
+                    val("--min-kernel-speedup").parse().expect("--min-kernel-speedup")
+            }
+            "--baseline" => args.baseline = Some(PathBuf::from(val("--baseline"))),
+            "--max-regression" => {
+                args.max_regression = val("--max-regression").parse().expect("--max-regression")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+const ALPHA: f64 = 0.67;
+const EPS: f64 = 1e-4;
+
+fn executor(threads: usize, precision: KernelPrecision) -> ThreadSim {
+    ThreadSim::new(ThreadConfig {
+        threads,
+        alpha: ALPHA,
+        degree: 0,
+        eps: EPS,
+        leaf_capacity: 8,
+        partitioning: Partitioning::MortonZones,
+        eval_mode: EvalMode::Grouped,
+        precision,
+    })
+}
+
+/// Best-of-`reps` profiled force evaluation under one precision; returns the
+/// best repetition's profile, wall time, interactions, and accelerations.
+fn run_precision(
+    set: &bhut_geom::ParticleSet,
+    threads: usize,
+    reps: usize,
+    precision: KernelPrecision,
+) -> (StepProfile, f64, u64, Vec<Vec3>) {
+    let mut sim = executor(threads, precision);
+    let mut best_s = f64::INFINITY;
+    let mut best: Option<(StepProfile, u64, Vec<Vec3>)> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut out = sim.compute_forces_profiled(&set.particles);
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&out.accels);
+        if dt < best_s {
+            best_s = dt;
+            let profile = out.profile.take().expect("profiled run yields a profile");
+            best = Some((profile, out.stats.interactions(), out.accels));
+        }
+    }
+    let (profile, interactions, accels) = best.expect("at least one repetition");
+    (profile, best_s, interactions, accels)
+}
+
+/// Relative accel error vs. the direct sum at the sampled targets:
+/// `(rms, max)` of `|a - a_direct| / |a_direct|`.
+fn sampled_error(accels: &[Vec3], targets: &[usize], exact: &[Vec3]) -> (f64, f64) {
+    let mut sum_sq = 0.0;
+    let mut max = 0.0f64;
+    for (&i, &a_exact) in targets.iter().zip(exact) {
+        let rel = accels[i].dist(a_exact) / a_exact.norm().max(1e-300);
+        sum_sq += rel * rel;
+        max = max.max(rel);
+    }
+    (if targets.is_empty() { 0.0 } else { (sum_sq / targets.len() as f64).sqrt() }, max)
+}
+
+fn check_baseline(path: &PathBuf, current: &Report, max_regression: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let baseline: Report =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse baseline: {e}"))?;
+    let row = |r: &Report| {
+        r.rows
+            .iter()
+            .find(|row| row.precision == "f64")
+            .map(|row| row.kernel_interactions_per_s)
+            .ok_or("baseline has no f64 row".to_string())
+    };
+    let was = row(&baseline)?;
+    let now = row(current)?;
+    let ratio = if now > 0.0 { was / now } else { f64::INFINITY };
+    println!(
+        "baseline f64 kernel {:.2e} interactions/s, current {:.2e} ({}{:.0}% of baseline)",
+        was,
+        now,
+        if now >= was { "+" } else { "" },
+        (now / was - 1.0) * 100.0
+    );
+    if ratio > max_regression {
+        return Err(format!(
+            "f64 kernel throughput regressed {ratio:.2}x (limit {max_regression:.2}x): \
+             {was:.2e} -> {now:.2e} interactions/s"
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    let set = plummer(PlummerSpec { n: args.n, ..Default::default() });
+
+    // Direct-sum reference at a deterministic stride sample of targets.
+    let sample = args.n.min(2000);
+    let stride = (args.n / sample.max(1)).max(1);
+    let targets: Vec<usize> = (0..sample).map(|i| i * stride).collect();
+    let exact: Vec<Vec3> = targets
+        .iter()
+        .map(|&i| {
+            let p = &set.particles[i];
+            accel_direct(&set.particles, p.pos, Some(p.id), EPS)
+        })
+        .collect();
+
+    let precisions = [KernelPrecision::ScalarF64, KernelPrecision::F64, KernelPrecision::MixedF32];
+    let mut rows: Vec<PrecisionReport> = Vec::new();
+    let mut scalar_kernel_s = f64::NAN;
+    for precision in precisions {
+        let (profile, best_s, interactions, accels) =
+            run_precision(&set, args.threads, args.reps, precision);
+        let kernel_s = profile.phase_total(phase::KERNEL);
+        if precision == KernelPrecision::ScalarF64 {
+            scalar_kernel_s = kernel_s;
+        }
+        let (rms_rel_err, max_rel_err) = sampled_error(&accels, &targets, &exact);
+        rows.push(PrecisionReport {
+            precision: precision.as_str().to_string(),
+            best_s,
+            build_s: profile.phase_total(phase::BUILD),
+            walk_s: profile.phase_total(phase::WALK),
+            kernel_s,
+            scatter_s: profile.phase_total(phase::SCATTER),
+            interactions,
+            kernel_interactions_per_s: if kernel_s > 0.0 {
+                interactions as f64 / kernel_s
+            } else {
+                0.0
+            },
+            lane_utilization: profile.totals.lane_utilization(),
+            kernel_speedup: if kernel_s > 0.0 { scalar_kernel_s / kernel_s } else { 0.0 },
+            rms_rel_err,
+            max_rel_err,
+        });
+    }
+
+    println!(
+        "simd ablation n={} threads={} reps={} (direct-sum sample {})",
+        args.n, args.threads, args.reps, sample
+    );
+    println!(
+        "  {:<11} {:>9} {:>10} {:>8} {:>6} {:>10} {:>10}",
+        "precision", "total ms", "kernel ms", "speedup", "lanes", "rms err", "max err"
+    );
+    for r in &rows {
+        println!(
+            "  {:<11} {:>9.1} {:>10.1} {:>7.2}x {:>5.0}% {:>10.2e} {:>10.2e}",
+            r.precision,
+            r.best_s * 1e3,
+            r.kernel_s * 1e3,
+            r.kernel_speedup,
+            r.lane_utilization * 100.0,
+            r.rms_rel_err,
+            r.max_rel_err
+        );
+    }
+
+    // The mixed_f32 accuracy envelope: the f64 tree-code's θ-MAC error with
+    // slack, plus the f32 noise floor.
+    let f64_rms = rows[1].rms_rel_err;
+    let envelope = f64_rms * ENVELOPE_SLACK + F32_NOISE_FLOOR;
+    let mixed_rms = rows[2].rms_rel_err;
+    println!(
+        "mixed_f32 rms {:.2e} vs envelope {:.2e} (f64 rms {:.2e} x {} + {:.0e})",
+        mixed_rms, envelope, f64_rms, ENVELOPE_SLACK, F32_NOISE_FLOOR
+    );
+
+    let report = Report {
+        benchmark: "simd".to_string(),
+        distribution: "plummer".to_string(),
+        n: args.n,
+        threads: args.threads,
+        reps: args.reps,
+        sample,
+        alpha: ALPHA,
+        eps: EPS,
+        mixed_error_envelope: envelope,
+        rows,
+    };
+
+    let gate_baseline =
+        args.baseline.as_ref().map(|p| check_baseline(p, &report, args.max_regression));
+
+    if let Some(dir) = args.out.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&args.out, &json).expect("write report");
+    println!("wrote {}", args.out.display());
+
+    let mut failed = false;
+    let f64_speedup = report.rows[1].kernel_speedup;
+    if f64_speedup < args.min_kernel_speedup {
+        eprintln!(
+            "SPEEDUP GATE FAILED: f64 kernel speedup {f64_speedup:.2}x < required {:.2}x",
+            args.min_kernel_speedup
+        );
+        failed = true;
+    }
+    if mixed_rms > envelope {
+        eprintln!(
+            "ACCURACY GATE FAILED: mixed_f32 rms error {mixed_rms:.2e} \
+             exceeds the MAC envelope {envelope:.2e}"
+        );
+        failed = true;
+    }
+    if let Some(Err(msg)) = gate_baseline {
+        eprintln!("PERF GATE FAILED: {msg}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -37,7 +37,7 @@
 
 use bhut_geom::{plummer, ParticleSet, PlummerSpec};
 use bhut_sim::{EnergyReport, Simulation, SimulationConfig};
-use bhut_threads::{EvalMode, Partitioning, ThreadConfig, ThreadSim};
+use bhut_threads::{EvalMode, KernelPrecision, Partitioning, ThreadConfig, ThreadSim};
 use bhut_timestep::{BlockConfig, TimestepMode};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -165,6 +165,7 @@ fn criterion_dts(set: &ParticleSet, threads: usize, eta: f64, eps: f64) -> Vec<f
         leaf_capacity: 8,
         partitioning: Partitioning::MortonZones,
         eval_mode: EvalMode::Grouped,
+        precision: KernelPrecision::F64,
     });
     let out = ex.compute_forces(&set.particles);
     out.accels

@@ -9,12 +9,12 @@
 
 use crate::expansion::Expansion;
 use bhut_geom::{Particle, Vec3};
-use bhut_tree::group::{accel_batch_p2p, gather_group, InteractionBuffers};
+use bhut_tree::group::{gather_group, InteractionBuffers};
 use bhut_tree::traverse::{
     accel_kernel, for_each_interaction, for_each_interaction_from, potential_kernel, Interaction,
     TraversalStats,
 };
-use bhut_tree::{GroupMac, Mac, NodeId, Tree};
+use bhut_tree::{GroupMac, KernelPrecision, Mac, NodeId, Tree};
 
 /// A tree plus per-node multipole expansions of a fixed degree.
 #[derive(Debug, Clone)]
@@ -119,7 +119,17 @@ impl MultipoleTree {
         buf: &InteractionBuffers,
         emit: impl FnMut(u32, f64, Vec3, u64),
     ) -> TraversalStats {
-        self.eval_gathered_masked(tree, particles, leaf, mac, eps, buf, None, emit)
+        self.eval_gathered_masked(
+            tree,
+            particles,
+            leaf,
+            mac,
+            eps,
+            KernelPrecision::default(),
+            buf,
+            None,
+            emit,
+        )
     }
 
     /// [`MultipoleTree::eval_gathered`] restricted to an active subset:
@@ -127,6 +137,12 @@ impl MultipoleTree {
     /// shared slabs keep every source. `None` evaluates all members through
     /// the identical code path (see
     /// [`bhut_tree::group::eval_gathered_monopole_masked`]).
+    ///
+    /// `precision` applies to the P2P slab half only; the degree-k expansion
+    /// evaluations and the mixed-frontier replay always run in scalar f64
+    /// (expansion kernels are short polynomial loops per node — they are not
+    /// slab-shaped, so vectorizing them is not worth diverging their
+    /// rounding).
     #[allow(clippy::too_many_arguments)] // mirrors eval_gathered + mask
     pub fn eval_gathered_masked(
         &self,
@@ -135,6 +151,7 @@ impl MultipoleTree {
         leaf: NodeId,
         mac: &impl GroupMac,
         eps: f64,
+        precision: KernelPrecision,
         buf: &InteractionBuffers,
         active: Option<&[bool]>,
         mut emit: impl FnMut(u32, f64, Vec3, u64),
@@ -157,8 +174,7 @@ impl MultipoleTree {
                 }
             }
             let p = &particles[pi as usize];
-            let (mut acc, mut phi) =
-                accel_batch_p2p(p.pos, p.id, &buf.px, &buf.py, &buf.pz, &buf.pmass, &buf.pid, eps);
+            let (mut acc, mut phi) = buf.eval_p2p(p.pos, p.id, eps, precision);
             for &id in &buf.node_ids {
                 let (ph, a) = self.expansions[id as usize].eval(p.pos);
                 phi += ph;

@@ -105,6 +105,11 @@ pub struct Counters {
     pub messages: u64,
     /// Words sent (bin traffic; simulated path).
     pub words: u64,
+    /// SIMD kernel lane slots processed (padded slab length × targets);
+    /// equals `lane_useful` on the scalar kernel path.
+    pub lane_slots: u64,
+    /// Lane slots that carried real sources rather than padding sentinels.
+    pub lane_useful: u64,
 }
 
 impl Counters {
@@ -112,6 +117,16 @@ impl Counters {
     /// Tables 1/4): particle–particle plus particle–node.
     pub fn interactions(&self) -> u64 {
         self.p2p + self.m2p
+    }
+
+    /// Fraction of processed kernel lane slots carrying real sources
+    /// (`lane_useful / lane_slots`); 1.0 when no lanes were counted.
+    pub fn lane_utilization(&self) -> f64 {
+        if self.lane_slots == 0 {
+            1.0
+        } else {
+            self.lane_useful as f64 / self.lane_slots as f64
+        }
     }
 
     pub fn merge(&mut self, o: &Counters) {
@@ -125,6 +140,8 @@ impl Counters {
         self.requests += o.requests;
         self.messages += o.messages;
         self.words += o.words;
+        self.lane_slots += o.lane_slots;
+        self.lane_useful += o.lane_useful;
     }
 }
 
@@ -143,6 +160,8 @@ pub struct SharedCounters {
     requests: AtomicU64,
     messages: AtomicU64,
     words: AtomicU64,
+    lane_slots: AtomicU64,
+    lane_useful: AtomicU64,
 }
 
 impl SharedCounters {
@@ -162,6 +181,8 @@ impl SharedCounters {
             &self.requests,
             &self.messages,
             &self.words,
+            &self.lane_slots,
+            &self.lane_useful,
         ] {
             a.store(0, Ordering::Relaxed);
         }
@@ -179,6 +200,8 @@ impl SharedCounters {
         self.requests.fetch_add(c.requests, Ordering::Relaxed);
         self.messages.fetch_add(c.messages, Ordering::Relaxed);
         self.words.fetch_add(c.words, Ordering::Relaxed);
+        self.lane_slots.fetch_add(c.lane_slots, Ordering::Relaxed);
+        self.lane_useful.fetch_add(c.lane_useful, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> Counters {
@@ -193,6 +216,8 @@ impl SharedCounters {
             requests: self.requests.load(Ordering::Relaxed),
             messages: self.messages.load(Ordering::Relaxed),
             words: self.words.load(Ordering::Relaxed),
+            lane_slots: self.lane_slots.load(Ordering::Relaxed),
+            lane_useful: self.lane_useful.load(Ordering::Relaxed),
         }
     }
 }
@@ -491,12 +516,29 @@ mod tests {
             requests: 8,
             messages: 9,
             words: 10,
+            lane_slots: 16,
+            lane_useful: 12,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.p2p, 2);
         assert_eq!(a.words, 20);
         assert_eq!(a.interactions(), 6);
+        assert_eq!(a.lane_slots, 32);
+        assert_eq!(a.lane_useful, 24);
+    }
+
+    #[test]
+    fn lane_utilization_ratio() {
+        let c = Counters { lane_slots: 80, lane_useful: 60, ..Default::default() };
+        assert!((c.lane_utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(Counters::default().lane_utilization(), 1.0);
+        let s = SharedCounters::new();
+        s.add(&c);
+        s.add(&Counters { lane_slots: 20, lane_useful: 20, ..Default::default() });
+        let snap = s.snapshot();
+        assert_eq!(snap.lane_slots, 100);
+        assert_eq!(snap.lane_useful, 80);
     }
 
     #[test]

@@ -11,10 +11,11 @@ use bhut_geom::{ParticleSet, Vec3};
 use bhut_obs::{RungCounters, StepProfile};
 use bhut_threads::{ThreadConfig, ThreadSim};
 use bhut_timestep::{BlockConfig, BlockStepStats, BlockStepper, TimestepMode};
-use serde::{Deserialize, Serialize};
+use bhut_tree::KernelPrecision;
+use serde::{Deserialize, Serialize, Value};
 
 /// Simulation parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SimulationConfig {
     /// Step length: the global dt under [`TimestepMode::Global`], and the
     /// big-step synchronization period `dt_max` under a block hierarchy
@@ -38,6 +39,59 @@ pub struct SimulationConfig {
     pub profile_every: usize,
     /// Global-dt leapfrog (default) or hierarchical block timesteps (S12).
     pub timestep: TimestepMode,
+    /// Arithmetic of the grouped force kernels: vectorized f64 (default),
+    /// mixed f32/f64, or the exact scalar-f64 reference. Ignored when
+    /// `grouped` is false — the per-particle path is always scalar f64.
+    pub precision: KernelPrecision,
+}
+
+// Hand-written so `precision` defaults when absent — snapshots written
+// before the SIMD kernels embed configs without the field, and the vendored
+// serde derive rejects missing fields (and can't handle the enum anyway).
+impl Serialize for SimulationConfig {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("dt".to_string(), self.dt.to_value()),
+            ("alpha".to_string(), self.alpha.to_value()),
+            ("degree".to_string(), self.degree.to_value()),
+            ("eps".to_string(), self.eps.to_value()),
+            ("leaf_capacity".to_string(), self.leaf_capacity.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
+            ("diag_every".to_string(), self.diag_every.to_value()),
+            ("grouped".to_string(), self.grouped.to_value()),
+            ("profile_every".to_string(), self.profile_every.to_value()),
+            ("timestep".to_string(), self.timestep.to_value()),
+            ("precision".to_string(), Value::Str(self.precision.as_str().to_string())),
+        ])
+    }
+}
+
+impl Deserialize for SimulationConfig {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        fn req<T: Deserialize>(v: &Value, name: &str) -> Result<T, String> {
+            T::from_value(
+                v.get_field(name)
+                    .ok_or_else(|| format!("missing field `{name}` in SimulationConfig"))?,
+            )
+        }
+        let precision = match v.get_field("precision") {
+            Some(x) => KernelPrecision::parse(&String::from_value(x)?)?,
+            None => KernelPrecision::default(),
+        };
+        Ok(SimulationConfig {
+            dt: req(v, "dt")?,
+            alpha: req(v, "alpha")?,
+            degree: req(v, "degree")?,
+            eps: req(v, "eps")?,
+            leaf_capacity: req(v, "leaf_capacity")?,
+            threads: req(v, "threads")?,
+            diag_every: req(v, "diag_every")?,
+            grouped: req(v, "grouped")?,
+            profile_every: req(v, "profile_every")?,
+            timestep: req(v, "timestep")?,
+            precision,
+        })
+    }
 }
 
 impl Default for SimulationConfig {
@@ -53,6 +107,7 @@ impl Default for SimulationConfig {
             grouped: true,
             profile_every: 0,
             timestep: TimestepMode::Global,
+            precision: KernelPrecision::default(),
         }
     }
 }
@@ -105,6 +160,7 @@ impl Simulation {
             } else {
                 bhut_threads::EvalMode::PerParticle
             },
+            precision: config.precision,
         });
         Simulation {
             config,
@@ -464,6 +520,65 @@ mod tests {
         assert_eq!(resumed.time, sim.time);
         assert_eq!(resumed.config.timestep, cfg.timestep);
         assert_eq!(resumed.rungs().unwrap(), sim.rungs().unwrap());
+    }
+
+    #[test]
+    fn config_json_roundtrips_precision() {
+        for precision in
+            [KernelPrecision::F64, KernelPrecision::MixedF32, KernelPrecision::ScalarF64]
+        {
+            let cfg = SimulationConfig { precision, threads: 3, ..Default::default() };
+            let back = SimulationConfig::from_value(&cfg.to_value()).unwrap();
+            assert_eq!(back.precision, precision);
+            assert_eq!(back.threads, 3);
+            assert_eq!(back.timestep, cfg.timestep);
+        }
+    }
+
+    #[test]
+    fn legacy_config_without_precision_defaults_to_f64() {
+        // Snapshots written before the SIMD kernels embed a config with no
+        // `precision` key; they must keep loading with the f64 default.
+        let mut v = SimulationConfig::default().to_value();
+        if let Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "precision");
+        }
+        let cfg = SimulationConfig::from_value(&v).unwrap();
+        assert_eq!(cfg.precision, KernelPrecision::F64);
+        // But an unknown precision string is an error, not a silent default.
+        if let Value::Obj(fields) = &mut v {
+            fields.push(("precision".to_string(), Value::Str("f16".to_string())));
+        }
+        assert!(SimulationConfig::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn precision_threads_through_the_driver() {
+        // Scalar and vectorized f64 agree to tight tolerance over a few
+        // steps; mixed f32 stays within its lane-roundoff envelope.
+        let set = plummer(PlummerSpec { n: 250, seed: 21, ..Default::default() });
+        let base = SimulationConfig { eps: 0.02, threads: 2, ..Default::default() };
+        let mut runs = [
+            Simulation::new(
+                set.clone(),
+                SimulationConfig { precision: KernelPrecision::ScalarF64, ..base },
+            ),
+            Simulation::new(
+                set.clone(),
+                SimulationConfig { precision: KernelPrecision::F64, ..base },
+            ),
+            Simulation::new(set, SimulationConfig { precision: KernelPrecision::MixedF32, ..base }),
+        ];
+        for sim in runs.iter_mut() {
+            sim.run(3);
+        }
+        let [scalar, vec64, mixed] = runs;
+        for (a, b) in scalar.particles.iter().zip(vec64.particles.iter()) {
+            assert!(a.pos.dist(b.pos) < 1e-10 * (1.0 + b.pos.norm()), "f64 SIMD diverged");
+        }
+        for (a, b) in scalar.particles.iter().zip(mixed.particles.iter()) {
+            assert!(a.pos.dist(b.pos) < 1e-3 * (1.0 + b.pos.norm()), "mixed f32 diverged");
+        }
     }
 
     #[test]

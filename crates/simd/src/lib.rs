@@ -1,0 +1,785 @@
+//! Portable SIMD substrate for the batched force kernels.
+//!
+//! The crates.io registry is unreachable in this build environment, so
+//! instead of `wide`/`portable_simd` this small crate provides the three
+//! pieces the SoA interaction-slab kernels need:
+//!
+//! * **Fixed-width lane types** — [`F64s`] (4 × f64), [`F32s`] (8 × f32) and
+//!   the widening accumulator [`F64w`] (8 × f64). They are plain arrays with
+//!   `#[inline(always)]` element-wise ops: compiled inside a
+//!   `#[target_feature(enable = "avx2")]` context (see [`simd_dispatch!`])
+//!   LLVM lowers every op to one 256-bit vector instruction; compiled at the
+//!   baseline ISA they stay correct scalar/SSE2 code. This is the same
+//!   multiversioning idiom `pulp`/`multiversion` package, without the
+//!   dependency.
+//! * **Runtime dispatch** — [`isa`] probes the CPU once (cached) into three
+//!   tiers (AVX-512F ⊃ AVX2+FMA ⊃ portable) and the [`simd_dispatch!`]
+//!   macro emits a portable body plus an AVX2+FMA-compiled clone of it,
+//!   selecting per call. The `force-scalar` feature pins the portable body
+//!   everywhere, which is also the only path on non-x86_64.
+//! * **Aligned, padded slab storage** — [`AlignedF64Slab`] /
+//!   [`AlignedF32Slab`] / [`AlignedU32Slab`] back the reusable SoA scratch
+//!   with 64-byte-aligned blocks, so every [`PAD_MULTIPLE`]-element chunk
+//!   starts on a cache line and a slab padded with sentinels never makes a
+//!   vector loop straddle a ragged tail.
+//!
+//! [`KernelPrecision`] names the arithmetic modes the kernels implement on
+//! top of this: exact scalar f64 (the pre-SIMD reference), vectorized f64
+//! (the default), and mixed f32-lane/f64-accumulate.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// f64 lanes per vector op (256-bit registers).
+pub const F64_LANES: usize = 4;
+/// f32 lanes per vector op (256-bit registers).
+pub const F32_LANES: usize = 8;
+/// Slab padding granularity, in elements. Eight f64 (one 64-byte cache
+/// line) is a whole number of both [`F64_LANES`] and [`F32_LANES`] chunks,
+/// so one padded length serves every kernel precision.
+pub const PAD_MULTIPLE: usize = 8;
+/// Slab block alignment, bytes.
+pub const SLAB_ALIGN: usize = 64;
+
+/// Arithmetic mode of the batched P2P/M2P kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPrecision {
+    /// Vectorized f64 lanes — same per-interaction arithmetic as
+    /// [`KernelPrecision::ScalarF64`] up to summation order and an
+    /// inverse-sqrt refactoring (≤1e-12 relative on full sweeps). The
+    /// default.
+    #[default]
+    F64,
+    /// f32 lane arithmetic with per-target f64 accumulation. Lane roundoff
+    /// (~1e-6 relative) sits far below the θ-MAC discretization error, which
+    /// the `simd` bench bin verifies against the direct-sum reference.
+    MixedF32,
+    /// The original scalar loops, bit-identical to the per-particle walk's
+    /// kernels — the accuracy and performance baseline.
+    ScalarF64,
+}
+
+impl KernelPrecision {
+    /// Short stable name for configs/JSON (`"f64" | "mixed_f32" |
+    /// "scalar_f64"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KernelPrecision::F64 => "f64",
+            KernelPrecision::MixedF32 => "mixed_f32",
+            KernelPrecision::ScalarF64 => "scalar_f64",
+        }
+    }
+
+    /// Inverse of [`KernelPrecision::as_str`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "f64" => Ok(KernelPrecision::F64),
+            "mixed_f32" => Ok(KernelPrecision::MixedF32),
+            "scalar_f64" => Ok(KernelPrecision::ScalarF64),
+            other => Err(format!("unknown kernel precision {other:?}")),
+        }
+    }
+}
+
+/// Instruction sets the dispatcher distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// 512-bit vectors (AVX-512F, which implies the AVX2+FMA tier too).
+    /// Only the f64 slab kernels have 512-bit bodies; everything else runs
+    /// its AVX2 body under this tier.
+    Avx512,
+    /// 256-bit vectors via the AVX2+FMA-compiled clone of a dispatched
+    /// body. FMA is part of the tier contract because the f64 kernels'
+    /// Newton–Raphson rsqrt uses a fused negative-multiply-add.
+    Avx2,
+    /// The baseline-ISA body (scalar/SSE2 on x86_64, NEON-autovec on
+    /// aarch64) — always available, and pinned by `force-scalar`.
+    Portable,
+}
+
+const ISA_UNKNOWN: u8 = 0;
+const ISA_AVX2: u8 = 1;
+const ISA_PORTABLE: u8 = 2;
+const ISA_AVX512: u8 = 3;
+
+static ISA_CACHE: AtomicU8 = AtomicU8::new(ISA_UNKNOWN);
+
+/// The instruction set dispatched kernels run under on this machine,
+/// probed once per process and cached.
+pub fn isa() -> Isa {
+    match ISA_CACHE.load(Ordering::Relaxed) {
+        ISA_AVX512 => Isa::Avx512,
+        ISA_AVX2 => Isa::Avx2,
+        ISA_PORTABLE => Isa::Portable,
+        _ => {
+            let isa = probe();
+            let tag = match isa {
+                Isa::Avx512 => ISA_AVX512,
+                Isa::Avx2 => ISA_AVX2,
+                Isa::Portable => ISA_PORTABLE,
+            };
+            ISA_CACHE.store(tag, Ordering::Relaxed);
+            isa
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+fn probe() -> Isa {
+    let avx2 = std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma");
+    if avx2 && std::is_x86_feature_detected!("avx512f") {
+        Isa::Avx512
+    } else if avx2 {
+        Isa::Avx2
+    } else {
+        Isa::Portable
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+fn probe() -> Isa {
+    Isa::Portable
+}
+
+/// Emit a function twice — once portable, once compiled with
+/// `#[target_feature(enable = "avx2,fma")]` on x86_64 — plus a thin runtime
+/// dispatcher choosing by [`isa`] (the AVX-512 tier also takes the AVX2
+/// clone). The body must be safe code; marking the clone `target_feature`
+/// is what lets LLVM lower the lane types' loops to 256-bit instructions.
+///
+/// ```
+/// bhut_simd::simd_dispatch! {
+///     /// Sum of squares.
+///     pub fn sum_sq(xs: &[f64]) -> f64 {
+///         xs.iter().map(|x| x * x).sum()
+///     }
+/// }
+/// assert_eq!(sum_sq(&[3.0, 4.0]), 25.0);
+/// ```
+#[macro_export]
+macro_rules! simd_dispatch {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident( $($arg:ident : $ty:ty),* $(,)? ) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $ty),*) -> $ret {
+            #[inline(always)]
+            fn portable($($arg: $ty),*) -> $ret $body
+
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2,fma")]
+            unsafe fn avx2($($arg: $ty),*) -> $ret {
+                portable($($arg),*)
+            }
+
+            #[cfg(target_arch = "x86_64")]
+            if $crate::isa() != $crate::Isa::Portable {
+                // SAFETY: both non-portable tiers runtime-detected AVX2+FMA
+                // on this CPU (AVX-512F implies them).
+                return unsafe { avx2($($arg),*) };
+            }
+            portable($($arg),*)
+        }
+    };
+}
+
+macro_rules! lane_type {
+    ($(#[$meta:meta])* $name:ident, $elem:ty, $bits:ty, $lanes:expr, $zero:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        pub struct $name(pub [$elem; $lanes]);
+
+        impl $name {
+            pub const LANES: usize = $lanes;
+
+            #[inline(always)]
+            pub fn splat(v: $elem) -> Self {
+                $name([v; $lanes])
+            }
+
+            #[inline(always)]
+            pub fn zero() -> Self {
+                Self::splat($zero)
+            }
+
+            /// Load the first `LANES` elements of `s`.
+            #[inline(always)]
+            pub fn load(s: &[$elem]) -> Self {
+                let mut v = [$zero; $lanes];
+                v.copy_from_slice(&s[..$lanes]);
+                $name(v)
+            }
+
+            #[allow(clippy::should_implement_trait)] // lane op, not std::ops
+            #[inline(always)]
+            pub fn add(self, o: Self) -> Self {
+                let mut v = self.0;
+                for j in 0..$lanes {
+                    v[j] += o.0[j];
+                }
+                $name(v)
+            }
+
+            #[allow(clippy::should_implement_trait)] // lane op, not std::ops
+            #[inline(always)]
+            pub fn sub(self, o: Self) -> Self {
+                let mut v = self.0;
+                for j in 0..$lanes {
+                    v[j] -= o.0[j];
+                }
+                $name(v)
+            }
+
+            #[allow(clippy::should_implement_trait)] // lane op, not std::ops
+            #[inline(always)]
+            pub fn mul(self, o: Self) -> Self {
+                let mut v = self.0;
+                for j in 0..$lanes {
+                    v[j] *= o.0[j];
+                }
+                $name(v)
+            }
+
+            #[allow(clippy::should_implement_trait)] // lane op, not std::ops
+            #[inline(always)]
+            pub fn div(self, o: Self) -> Self {
+                let mut v = self.0;
+                for j in 0..$lanes {
+                    v[j] /= o.0[j];
+                }
+                $name(v)
+            }
+
+            #[inline(always)]
+            pub fn sqrt(self) -> Self {
+                let mut v = self.0;
+                for j in 0..$lanes {
+                    v[j] = v[j].sqrt();
+                }
+                $name(v)
+            }
+
+            /// Reciprocal square root (`1/√x`), computed as an exact IEEE
+            /// sqrt followed by one division — the "fused rsqrt" the force
+            /// kernel shares between its potential and acceleration halves.
+            #[inline(always)]
+            pub fn rsqrt(self) -> Self {
+                Self::splat(1.0 as $elem).div(self.sqrt())
+            }
+
+            /// Elementwise maximum, in the x86 `maxpd`/`maxps` convention
+            /// (`self > o ? self : o`, so `o` wins ties and NaNs): the
+            /// kernels clamp `r²` to [`crate::R2_FLOOR_F64`] /
+            /// [`crate::R2_FLOOR_F32`] with this before the fused rsqrt,
+            /// and the intrinsic bodies must agree bit for bit.
+            #[inline(always)]
+            pub fn max(self, o: Self) -> Self {
+                let mut v = self.0;
+                for j in 0..$lanes {
+                    v[j] = if v[j] > o.0[j] { v[j] } else { o.0[j] };
+                }
+                $name(v)
+            }
+
+            /// Horizontal sum, in fixed lane order (deterministic across
+            /// ISAs — the dispatcher never changes results, only speed).
+            #[inline(always)]
+            pub fn hsum(self) -> $elem {
+                let mut acc = $zero;
+                for j in 0..$lanes {
+                    acc += self.0[j];
+                }
+                acc
+            }
+        }
+    };
+}
+
+lane_type!(
+    /// Four f64 lanes (one 256-bit register under AVX2).
+    F64s,
+    f64,
+    u64,
+    4,
+    0.0f64
+);
+lane_type!(
+    /// Eight f32 lanes (one 256-bit register under AVX2).
+    F32s,
+    f32,
+    u32,
+    8,
+    0.0f32
+);
+
+/// Eight f64 accumulator lanes matching one [`F32s`] chunk: the mixed
+/// precision kernels compute per-interaction terms in f32 and widen each
+/// chunk into this before accumulating, so roundoff does not compound with
+/// slab length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64w(pub [f64; F32_LANES]);
+
+impl F64w {
+    #[inline(always)]
+    pub fn zero() -> Self {
+        F64w([0.0; F32_LANES])
+    }
+
+    /// Widen an f32 chunk to f64 and add it lane-wise.
+    #[inline(always)]
+    pub fn add_widened(&mut self, o: F32s) {
+        for j in 0..F32_LANES {
+            self.0[j] += o.0[j] as f64;
+        }
+    }
+
+    #[inline(always)]
+    pub fn hsum(self) -> f64 {
+        let mut acc = 0.0;
+        for j in 0..F32_LANES {
+            acc += self.0[j];
+        }
+        acc
+    }
+}
+
+/// Floor clamped onto `r²` (one `max` per chunk) before the fused rsqrt, so
+/// the vector sqrt/divide run unconditionally on every lane without ever
+/// producing an Inf or NaN. Padding sentinels sit at the origin with zero
+/// mass, so their (clamped) lanes still contribute exactly `+0.0`; the clamp
+/// is a bitwise no-op on any lane with `r² > floor`, i.e. on every physical
+/// configuration — separations would have to drop below `1e-50` (f64) before
+/// it rounds anything. The value is chosen so the worst-case amplified terms
+/// (`φ ≤ m/√floor`, `|a| ≤ m/floor`) stay finite rather than overflowing
+/// into the accumulators.
+pub const R2_FLOOR_F64: f64 = 1e-100;
+
+/// [`R2_FLOOR_F64`] for the f32 mirror kernels (separations below `1e-6` in
+/// simulation units only arise with `ε = 0`; `m/floor = 1e12·m` stays well
+/// inside f32 range).
+pub const R2_FLOOR_F32: f32 = 1e-12;
+
+/// Seed constant for [`rsqrt_nr_f64`]: `magic - (bits >> 1)` flips the
+/// exponent around 1.0 and halves it, landing within ~3.4% of `1/√x`.
+/// This is the f64 analogue of the classic f32 `0x5f3759df` trick.
+pub const RSQRT_MAGIC_F64: u64 = 0x5FE6_EB50_C7B5_37A9;
+
+/// Division-free reciprocal square root: integer magic-constant seed plus
+/// four Newton–Raphson steps, good to ≤2 ulp over the kernels' whole input
+/// range (asserted in the tests across `[1e-100, 1e100]`).
+///
+/// The force kernels use this instead of `1/√x` because `vsqrtpd` and
+/// `vdivpd` share one unpipelined divider port that caps the f64 kernel at
+/// ~½ of its mul/add throughput; the NR form is pure mul/FMA. Determinism
+/// is why the seed is a *software* bit trick rather than `vrsqrt14pd`:
+/// hardware estimate tables differ per microarchitecture, while this exact
+/// shift/subtract — refined only by correctly-rounded mul and fused
+/// negative-multiply-add — gives every ISA tier the same bits.
+///
+/// The fused step is written `(-xh).mul_add(t, 1.5)`, which is the IEEE
+/// operation `fma(-xh, t, 1.5)` — exactly what `vfnmadd` computes — so the
+/// intrinsic bodies can mirror it bit for bit.
+#[inline(always)]
+pub fn rsqrt_nr_f64(x: f64) -> f64 {
+    let xh = 0.5 * x;
+    let mut y = f64::from_bits(RSQRT_MAGIC_F64.wrapping_sub(x.to_bits() >> 1));
+    for _ in 0..4 {
+        let t = y * y;
+        let r = (-xh).mul_add(t, 1.5);
+        y *= r;
+    }
+    y
+}
+
+impl F64s {
+    /// Lane-wise [`rsqrt_nr_f64`] — the f64 kernels' reciprocal square
+    /// root. (The f32 kernels keep the exact sqrt+div [`F32s::rsqrt`]: the
+    /// f32 divider is fast enough that NR would cost more than it saves.)
+    #[inline(always)]
+    pub fn rsqrt_nr(self) -> Self {
+        let mut v = self.0;
+        for lane in &mut v {
+            *lane = rsqrt_nr_f64(*lane);
+        }
+        F64s(v)
+    }
+}
+
+/// Mask a mass chunk by id: lanes whose id equals `target` contribute zero
+/// mass (the slab-kernel form of the per-particle walk's `skip_id`).
+/// Multiplies by a `{1.0, 0.0}` factor rather than bit-selecting the loaded
+/// mass: a multiply is pure data flow LLVM cannot legally fold away
+/// (sign/NaN rules), while a select on a load tempts it into per-lane
+/// conditional loads that re-scalarize the loop. Exact: masses are finite
+/// and non-negative, so `m·1.0 = m` and `m·0.0 = +0.0` bit for bit.
+#[inline(always)]
+pub fn masked_mass_f64(ms: &[f64], ids: &[u32], target: u32) -> F64s {
+    let mut v = [0.0f64; F64_LANES];
+    for j in 0..F64_LANES {
+        let keep = u64::from(ids[j] != target).wrapping_neg();
+        v[j] = ms[j] * f64::from_bits(1.0f64.to_bits() & keep);
+    }
+    F64s(v)
+}
+
+/// [`masked_mass_f64`] for the f32 mirror slabs.
+#[inline(always)]
+pub fn masked_mass_f32(ms: &[f32], ids: &[u32], target: u32) -> F32s {
+    let mut v = [0.0f32; F32_LANES];
+    for j in 0..F32_LANES {
+        let keep = u32::from(ids[j] != target).wrapping_neg();
+        v[j] = ms[j] * f32::from_bits(1.0f32.to_bits() & keep);
+    }
+    F32s(v)
+}
+
+macro_rules! aligned_slab {
+    ($(#[$meta:meta])* $name:ident, $block:ident, $elem:ty, $per:expr, $zero:expr) => {
+        #[repr(C, align(64))]
+        #[derive(Debug, Clone, Copy)]
+        struct $block([$elem; $per]);
+
+        $(#[$meta])*
+        #[derive(Debug, Clone, Default)]
+        pub struct $name {
+            blocks: Vec<$block>,
+            /// Elements pushed since the last clear (excludes padding).
+            len: usize,
+            /// Elements covered by [`Self::pad_to`] (≥ `len` once padded).
+            padded: usize,
+        }
+
+        impl $name {
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Logical (un-padded) element count.
+            #[inline(always)]
+            pub fn len(&self) -> usize {
+                self.len
+            }
+
+            #[inline(always)]
+            pub fn is_empty(&self) -> bool {
+                self.len == 0
+            }
+
+            /// Allocated capacity, elements.
+            pub fn capacity(&self) -> usize {
+                self.blocks.len() * $per
+            }
+
+            /// Empty the slab, keeping capacity.
+            #[inline]
+            pub fn clear(&mut self) {
+                self.len = 0;
+                self.padded = 0;
+            }
+
+            #[inline(always)]
+            pub fn push(&mut self, v: $elem) {
+                let (b, j) = (self.len / $per, self.len % $per);
+                if b == self.blocks.len() {
+                    self.blocks.push($block([$zero; $per]));
+                }
+                self.blocks[b].0[j] = v;
+                self.len += 1;
+                // Pushing invalidates any previous padding.
+                self.padded = self.len;
+            }
+
+            /// Extend the slab with `sentinel` until its padded length is a
+            /// multiple of `multiple` (the logical length is unchanged).
+            pub fn pad_to(&mut self, multiple: usize, sentinel: $elem) {
+                let target = self.len.next_multiple_of(multiple.max(1));
+                while self.blocks.len() * $per < target {
+                    self.blocks.push($block([$zero; $per]));
+                }
+                let len = self.len;
+                let flat = self.flat_mut();
+                for slot in &mut flat[len..target] {
+                    *slot = sentinel;
+                }
+                self.padded = target;
+            }
+
+            /// Padded element count (= logical length until [`Self::pad_to`]
+            /// runs).
+            #[inline(always)]
+            pub fn padded_len(&self) -> usize {
+                self.padded.max(self.len)
+            }
+
+            /// The slab including its padding sentinels — what the vector
+            /// kernels iterate. 64-byte aligned; length a whole number of
+            /// pad multiples once padded.
+            #[inline(always)]
+            pub fn padded(&self) -> &[$elem] {
+                &self.flat()[..self.padded_len()]
+            }
+
+            /// Drop capacity beyond `max(keep, len)` elements and release
+            /// the excess allocation.
+            pub fn shrink_to(&mut self, keep: usize) {
+                let blocks = keep.max(self.padded_len()).div_ceil($per);
+                if blocks < self.blocks.len() {
+                    self.blocks.truncate(blocks);
+                    self.blocks.shrink_to_fit();
+                }
+            }
+
+            #[inline(always)]
+            fn flat(&self) -> &[$elem] {
+                // SAFETY: `Vec<$block>` stores its `[$elem; $per]` arrays
+                // contiguously; reinterpreting as a flat element slice of
+                // `blocks.len() * $per` elements is layout-exact.
+                unsafe {
+                    std::slice::from_raw_parts(
+                        self.blocks.as_ptr().cast::<$elem>(),
+                        self.blocks.len() * $per,
+                    )
+                }
+            }
+
+            #[inline(always)]
+            fn flat_mut(&mut self) -> &mut [$elem] {
+                // SAFETY: as in `flat`.
+                unsafe {
+                    std::slice::from_raw_parts_mut(
+                        self.blocks.as_mut_ptr().cast::<$elem>(),
+                        self.blocks.len() * $per,
+                    )
+                }
+            }
+        }
+
+        impl std::ops::Deref for $name {
+            type Target = [$elem];
+
+            /// The logical contents, padding excluded — so `slab.len()`,
+            /// indexing and iteration behave exactly like the `Vec` the
+            /// slab replaced.
+            #[inline(always)]
+            fn deref(&self) -> &[$elem] {
+                &self.flat()[..self.len]
+            }
+        }
+
+        impl Extend<$elem> for $name {
+            fn extend<I: IntoIterator<Item = $elem>>(&mut self, iter: I) {
+                for v in iter {
+                    self.push(v);
+                }
+            }
+        }
+    };
+}
+
+aligned_slab!(
+    /// Growable f64 slab in 64-byte-aligned blocks.
+    AlignedF64Slab,
+    BlockF64,
+    f64,
+    8,
+    0.0f64
+);
+aligned_slab!(
+    /// Growable f32 slab in 64-byte-aligned blocks.
+    AlignedF32Slab,
+    BlockF32,
+    f32,
+    16,
+    0.0f32
+);
+aligned_slab!(
+    /// Growable u32 slab in 64-byte-aligned blocks.
+    AlignedU32Slab,
+    BlockU32,
+    u32,
+    16,
+    0u32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_multiple_covers_both_lane_widths() {
+        assert_eq!(PAD_MULTIPLE % F64_LANES, 0);
+        assert_eq!(PAD_MULTIPLE % F32_LANES, 0);
+        assert_eq!(PAD_MULTIPLE * std::mem::size_of::<f64>(), SLAB_ALIGN);
+    }
+
+    #[test]
+    fn isa_is_stable_and_respects_force_scalar() {
+        let a = isa();
+        assert_eq!(a, isa(), "cached probe must be deterministic");
+        if cfg!(feature = "force-scalar") || !cfg!(target_arch = "x86_64") {
+            assert_eq!(a, Isa::Portable);
+        }
+    }
+
+    #[test]
+    fn lane_arithmetic_matches_scalar() {
+        let a = F64s([1.0, 2.0, 3.0, 4.0]);
+        let b = F64s([0.5, 0.25, 2.0, 8.0]);
+        assert_eq!(a.add(b).0, [1.5, 2.25, 5.0, 12.0]);
+        assert_eq!(a.sub(b).0, [0.5, 1.75, 1.0, -4.0]);
+        assert_eq!(a.mul(b).0, [0.5, 0.5, 6.0, 32.0]);
+        assert_eq!(a.div(b).0, [2.0, 8.0, 1.5, 0.5]);
+        assert_eq!(F64s([4.0, 9.0, 16.0, 0.25]).sqrt().0, [2.0, 3.0, 4.0, 0.5]);
+        assert_eq!(a.hsum(), 10.0);
+        let r = F64s([4.0, 0.0, 1.0, 0.0]).rsqrt();
+        assert_eq!(r.0[0], 0.5);
+        assert!(r.0[1].is_infinite());
+        // max follows the x86 convention: ties and NaNs take the second
+        // operand, and a clamp is a bitwise no-op on lanes above the floor.
+        let clamped = F64s([4.0, 0.0, 1.0, 0.0]).max(F64s::splat(R2_FLOOR_F64));
+        assert_eq!(clamped.0, [4.0, R2_FLOOR_F64, 1.0, R2_FLOOR_F64]);
+        assert!(clamped.rsqrt().0.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nr_rsqrt_is_two_ulp_accurate_over_the_kernel_range() {
+        // Log-uniform sweep across everything the floored kernels can feed
+        // it, from the r² floor up to far beyond any physical separation.
+        for k in 0..=100_000 {
+            let x = 10f64.powf(-100.0 + 200.0 * (k as f64 / 100_000.0));
+            let exact = 1.0 / x.sqrt();
+            let got = rsqrt_nr_f64(x);
+            let rel = ((got - exact) / exact).abs();
+            assert!(rel < 5e-16, "x={x:e}: got {got:e}, exact {exact:e}, rel {rel:e}");
+        }
+        // And the lane version is the scalar helper per lane, bit for bit.
+        let xs = [R2_FLOOR_F64, 1e-8, 3.7, 1e2];
+        let lanes = F64s(xs).rsqrt_nr();
+        for (lane, &x) in lanes.0.iter().zip(&xs) {
+            assert_eq!(*lane, rsqrt_nr_f64(x));
+        }
+    }
+
+    #[test]
+    fn widening_accumulator_is_f64_exact_per_chunk() {
+        let mut acc = F64w::zero();
+        let chunk = F32s([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        acc.add_widened(chunk);
+        acc.add_widened(chunk);
+        assert_eq!(acc.hsum(), 72.0);
+    }
+
+    #[test]
+    fn masked_mass_zeroes_the_target_lane() {
+        let ms = [1.0f64, 2.0, 3.0, 4.0];
+        let ids = [7u32, 9, 11, 13];
+        assert_eq!(masked_mass_f64(&ms, &ids, 11).0, [1.0, 2.0, 0.0, 4.0]);
+        assert_eq!(masked_mass_f64(&ms, &ids, 99).0, ms);
+        let ms32 = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let ids32 = [0u32, 1, 2, 3, 4, 5, 6, 7];
+        assert_eq!(masked_mass_f32(&ms32, &ids32, 0).0[0], 0.0);
+        assert_eq!(masked_mass_f32(&ms32, &ids32, 0).0[1..], ms32[1..]);
+    }
+
+    #[test]
+    fn dispatched_body_matches_portable() {
+        simd_dispatch! {
+            fn dot(xs: &[f64], ys: &[f64]) -> f64 {
+                let mut acc = F64s::zero();
+                for i in (0..xs.len()).step_by(F64_LANES) {
+                    acc = acc.add(F64s::load(&xs[i..]).mul(F64s::load(&ys[i..])));
+                }
+                acc.hsum()
+            }
+        }
+        let xs: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
+        let want: f64 = {
+            // Same order of operations as the lane body: per-lane partial
+            // sums, then a fixed-order horizontal reduction.
+            let mut lanes = [0.0f64; F64_LANES];
+            for i in (0..xs.len()).step_by(F64_LANES) {
+                for j in 0..F64_LANES {
+                    lanes[j] += xs[i + j] * ys[i + j];
+                }
+            }
+            lanes.iter().sum()
+        };
+        assert_eq!(dot(&xs, &ys), want, "dispatch must never change results");
+    }
+
+    #[test]
+    fn slab_push_pad_and_alignment() {
+        let mut s = AlignedF64Slab::new();
+        for i in 0..11 {
+            s.push(i as f64);
+        }
+        assert_eq!(s.len(), 11);
+        assert_eq!(&s[..3], &[0.0, 1.0, 2.0]);
+        s.pad_to(PAD_MULTIPLE, -1.0);
+        assert_eq!(s.len(), 11, "padding must not change the logical length");
+        assert_eq!(s.padded_len(), 16);
+        assert_eq!(&s.padded()[11..], &[-1.0; 5]);
+        assert_eq!(s.padded().as_ptr() as usize % SLAB_ALIGN, 0, "slab base must be 64B aligned");
+        // A later push invalidates the padding bookkeeping.
+        s.push(11.0);
+        assert_eq!(s.padded_len(), 12);
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.padded_len(), 0);
+        assert!(s.capacity() >= 16, "clear keeps capacity");
+    }
+
+    #[test]
+    fn slab_empty_pad_is_empty() {
+        let mut s = AlignedF64Slab::new();
+        s.pad_to(PAD_MULTIPLE, 0.0);
+        assert_eq!(s.padded_len(), 0);
+        assert!(s.padded().is_empty());
+    }
+
+    #[test]
+    fn slab_shrink_releases_capacity_but_never_contents() {
+        let mut s = AlignedU32Slab::new();
+        for i in 0..10_000 {
+            s.push(i);
+        }
+        s.clear();
+        for i in 0..100u32 {
+            s.push(i);
+        }
+        let before = s.capacity();
+        assert!(before >= 10_000);
+        s.shrink_to(256);
+        assert!(s.capacity() < before);
+        assert!(s.capacity() >= 256);
+        assert_eq!(s.len(), 100);
+        assert_eq!(s[99], 99);
+        // Shrinking below the live contents clamps to them.
+        s.shrink_to(0);
+        assert!(s.capacity() >= 100);
+        assert_eq!(&s[..4], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn slab_reuse_roundtrip() {
+        let mut s = AlignedF32Slab::new();
+        for round in 0..3 {
+            s.clear();
+            for i in 0..33 {
+                s.push((round * 100 + i) as f32);
+            }
+            s.pad_to(PAD_MULTIPLE, 0.0);
+            assert_eq!(s.len(), 33);
+            assert_eq!(s.padded_len(), 40);
+            assert_eq!(s[0], (round * 100) as f32);
+            assert_eq!(s.padded()[39], 0.0);
+        }
+    }
+
+    #[test]
+    fn precision_names_roundtrip() {
+        for p in [KernelPrecision::F64, KernelPrecision::MixedF32, KernelPrecision::ScalarF64] {
+            assert_eq!(KernelPrecision::parse(p.as_str()), Ok(p));
+        }
+        assert!(KernelPrecision::parse("f16").is_err());
+        assert_eq!(KernelPrecision::default(), KernelPrecision::F64);
+    }
+}

@@ -8,10 +8,10 @@ use bhut_timestep::ActiveSet;
 use bhut_tree::build::{build, BuildParams};
 use bhut_tree::group::{
     eval_gathered_monopole_masked, gather_group, leaf_schedule, leaf_schedule_active,
-    InteractionBuffers,
+    resolve_mixed_tails, InteractionBuffers,
 };
 use bhut_tree::traverse::TraversalStats;
-use bhut_tree::{BarnesHutMac, NodeId, Tree};
+use bhut_tree::{BarnesHutMac, KernelPrecision, NodeId, Tree};
 use std::sync::Mutex;
 
 /// How particles are distributed over threads.
@@ -52,6 +52,10 @@ pub struct ThreadConfig {
     pub leaf_capacity: usize,
     pub partitioning: Partitioning,
     pub eval_mode: EvalMode,
+    /// Arithmetic mode of the batched slab kernels on the grouped path
+    /// (ignored by [`EvalMode::PerParticle`], which always evaluates in
+    /// scalar f64). See [`KernelPrecision`].
+    pub precision: KernelPrecision,
 }
 
 impl Default for ThreadConfig {
@@ -64,6 +68,7 @@ impl Default for ThreadConfig {
             leaf_capacity: 8,
             partitioning: Partitioning::MortonZones,
             eval_mode: EvalMode::Grouped,
+            precision: KernelPrecision::default(),
         }
     }
 }
@@ -255,6 +260,16 @@ impl ThreadSim {
                 let eval_leaf = |s: &mut Scratch, leaf: NodeId| -> TraversalStats {
                     let Scratch { buf, out } = s;
                     gather_group(&tree, particles, leaf, &mac, buf);
+                    if mtree.is_none() {
+                        // Monopole path: flatten the mixed frontiers into
+                        // per-member tail slabs so evaluation is pure slab
+                        // arithmetic (the multipole path keeps its
+                        // degree-aware per-member replay).
+                        resolve_mixed_tails(&tree, particles, leaf, &mac, buf, mask);
+                    }
+                    if cfg.precision == KernelPrecision::MixedF32 {
+                        buf.prepare_f32();
+                    }
                     match &mtree {
                         Some(mt) => mt.eval_gathered_masked(
                             &tree,
@@ -262,6 +277,7 @@ impl ThreadSim {
                             leaf,
                             &mac,
                             cfg.eps,
+                            cfg.precision,
                             buf,
                             mask,
                             |pi, phi, acc, it| out.push((pi, phi, acc, it)),
@@ -272,6 +288,7 @@ impl ThreadSim {
                             leaf,
                             &mac,
                             cfg.eps,
+                            cfg.precision,
                             buf,
                             mask,
                             |pi, phi, acc, it| out.push((pi, phi, acc, it)),
@@ -291,10 +308,19 @@ impl ThreadSim {
                             return (stats.interactions(), stats);
                         }
                         let mut c = Counters::default();
+                        // Discard lane counts a previous unprofiled run may
+                        // have left in this scratch buffer.
+                        s.buf.take_lane_counters();
                         for &leaf in ids {
                             let Scratch { buf, out } = &mut *s;
                             let t0 = bhut_obs::now();
                             gather_group(&tree, particles, leaf, &mac, buf);
+                            if mtree.is_none() {
+                                resolve_mixed_tails(&tree, particles, leaf, &mac, buf, mask);
+                            }
+                            if cfg.precision == KernelPrecision::MixedF32 {
+                                buf.prepare_f32();
+                            }
                             let t1 = bhut_obs::now();
                             let st = match &mtree {
                                 Some(mt) => mt.eval_gathered_masked(
@@ -303,6 +329,7 @@ impl ThreadSim {
                                     leaf,
                                     &mac,
                                     cfg.eps,
+                                    cfg.precision,
                                     buf,
                                     mask,
                                     |pi, phi, acc, it| out.push((pi, phi, acc, it)),
@@ -313,6 +340,7 @@ impl ThreadSim {
                                     leaf,
                                     &mac,
                                     cfg.eps,
+                                    cfg.precision,
                                     buf,
                                     mask,
                                     |pi, phi, acc, it| out.push((pi, phi, acc, it)),
@@ -327,6 +355,9 @@ impl ThreadSim {
                             c.group_accept += buf.node_ids.len() as u64;
                             c.group_reject += buf.class_reject;
                             c.group_mixed += buf.mixed.len() as u64;
+                            let (lane_slots, lane_useful) = buf.take_lane_counters();
+                            c.lane_slots += lane_slots;
+                            c.lane_useful += lane_useful;
                             stats.merge(st);
                         }
                         counters[t].add(&c);
@@ -492,6 +523,9 @@ impl ThreadSim {
                 potentials[pi as usize] = phi;
                 work[pi as usize] = it;
             }
+            // High-water-mark shrink between steps: a transient dense group
+            // must not pin this worker's slab capacity forever.
+            s.buf.maybe_shrink();
         }
         self.prev_work = Some(work);
 
@@ -734,6 +768,56 @@ mod tests {
     #[test]
     fn grouped_is_the_default_mode() {
         assert_eq!(ThreadConfig::default().eval_mode, EvalMode::Grouped);
+        assert_eq!(ThreadConfig::default().precision, KernelPrecision::F64);
+    }
+
+    #[test]
+    fn kernel_precisions_through_the_executor() {
+        // Same traversal (stats identical), per-precision value tolerances:
+        // SIMD f64 within 1e-12 of the scalar baseline, mixed f32 within
+        // single-precision noise.
+        let set = plummer(PlummerSpec { n: 900, seed: 14, ..Default::default() });
+        for degree in [0u32, 2] {
+            let run = |precision: KernelPrecision| {
+                let mut sim = ThreadSim::new(ThreadConfig {
+                    degree,
+                    precision,
+                    ..config(3, Partitioning::MortonZones)
+                });
+                sim.compute_forces(&set.particles)
+            };
+            let scalar = run(KernelPrecision::ScalarF64);
+            let simd = run(KernelPrecision::F64);
+            let mixed = run(KernelPrecision::MixedF32);
+            assert_eq!(scalar.stats, simd.stats, "degree {degree}");
+            assert_eq!(scalar.stats, mixed.stats, "degree {degree}");
+            for i in 0..set.len() {
+                let (p, a) = (scalar.potentials[i], scalar.accels[i]);
+                assert!((simd.potentials[i] - p).abs() <= 1e-12 * p.abs().max(1.0));
+                assert!(simd.accels[i].dist(a) <= 1e-12 * a.norm().max(1.0));
+                assert!((mixed.potentials[i] - p).abs() <= 1e-4 * p.abs().max(1.0));
+                assert!(mixed.accels[i].dist(a) <= 1e-4 * a.norm().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn profile_reports_lane_utilization() {
+        let set = plummer(PlummerSpec { n: 800, seed: 15, ..Default::default() });
+        let mut sim = ThreadSim::new(config(2, Partitioning::MortonZones));
+        let prof = sim.compute_forces_profiled(&set.particles).profile.unwrap();
+        assert!(prof.totals.lane_useful > 0);
+        assert!(prof.totals.lane_slots >= prof.totals.lane_useful);
+        let u = prof.totals.lane_utilization();
+        assert!(u > 0.0 && u <= 1.0, "lane utilization {u}");
+        // Per-particle mode runs no slab kernels, so no lanes are counted.
+        let mut pp = ThreadSim::new(ThreadConfig {
+            eval_mode: EvalMode::PerParticle,
+            ..config(2, Partitioning::StaticBlocks)
+        });
+        let prof = pp.compute_forces_profiled(&set.particles).profile.unwrap();
+        assert_eq!(prof.totals.lane_slots, 0);
+        assert_eq!(prof.totals.lane_utilization(), 1.0);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   leaf's particles are appended to the shared P2P slab.
 //! * **Mixed** — the bucket straddles the acceptance boundary; the subtree
 //!   root is recorded and replayed per member through the exact per-particle
-//!   walk ([`for_each_interaction_from`]).
+//!   walk ([`for_each_interaction_from`]). [`resolve_mixed_tails`] can run
+//!   the replays at gather time, flattening each member's mixed
+//!   interactions into a per-member SoA tail segment so the evaluation
+//!   phase stays pure slab arithmetic.
 //!
 //! Because the walk only descends on RejectAll, every member's individual
 //! walk is guaranteed to reach each shared or mixed frontier node, which
@@ -23,35 +26,68 @@
 //! the per-particle walk: identical [`TraversalStats`] and per-interaction
 //! arithmetic, with only the summation order changed.
 
+use crate::kernel::{
+    accel_slab_m2p_f32, accel_slab_m2p_f64, accel_slab_member_f64, accel_slab_p2p_f32,
+    accel_slab_p2p_f64, SlabView,
+};
 use crate::mac::{GroupClass, GroupMac};
 use crate::node::{NodeId, Tree, NIL};
 use crate::traverse::{
     accel_kernel, for_each_interaction_from, potential_kernel, Interaction, TraversalStats,
 };
 use bhut_geom::{Aabb, Particle, Vec3};
+use bhut_simd::{AlignedF32Slab, AlignedF64Slab, AlignedU32Slab, KernelPrecision, PAD_MULTIPLE};
+use std::cell::Cell;
+
+/// Below this many elements, slab capacity is noise — the shrink policy
+/// never releases it.
+const SHRINK_FLOOR: usize = 4096;
 
 /// Reusable structure-of-arrays scratch for grouped walks. Allocate once per
 /// worker thread; [`gather_group`] refills it for every leaf without
-/// releasing capacity.
+/// releasing capacity (call [`InteractionBuffers::maybe_shrink`] between
+/// steps to give back capacity a transient dense group pinned).
+///
+/// The SoA slabs are 64-byte-aligned and padded to [`PAD_MULTIPLE`] with
+/// zero-mass sentinels (`pid` padding is `u32::MAX`), so the vector kernels
+/// iterate whole lanes with no tail. Dereferencing a slab (`&buf.px[..]`,
+/// `buf.px.len()`) sees only the logical contents — padding is visible only
+/// through `.padded()`.
 #[derive(Debug, Clone, Default)]
 pub struct InteractionBuffers {
     /// MAC-accepted nodes (ids kept for degree-k evaluation and debugging).
     pub node_ids: Vec<NodeId>,
     /// Monopole M2P sources: centers of mass and masses, SoA.
-    pub com_x: Vec<f64>,
-    pub com_y: Vec<f64>,
-    pub com_z: Vec<f64>,
-    pub node_mass: Vec<f64>,
+    pub com_x: AlignedF64Slab,
+    pub com_y: AlignedF64Slab,
+    pub com_z: AlignedF64Slab,
+    pub node_mass: AlignedF64Slab,
     /// Direct P2P sources, SoA; `pid` carries particle ids so kernels can
     /// exclude the target itself.
-    pub px: Vec<f64>,
-    pub py: Vec<f64>,
-    pub pz: Vec<f64>,
-    pub pmass: Vec<f64>,
-    pub pid: Vec<u32>,
+    pub px: AlignedF64Slab,
+    pub py: AlignedF64Slab,
+    pub pz: AlignedF64Slab,
+    pub pmass: AlignedF64Slab,
+    pub pid: AlignedU32Slab,
     /// Roots of subtrees that straddle the acceptance boundary for this
     /// bucket; replayed per member.
     pub mixed: Vec<NodeId>,
+    /// Per-member tail slabs: the mixed-frontier interactions of every
+    /// member, resolved by [`resolve_mixed_tails`] into one SoA segment per
+    /// member (monopole sources only — node centers of mass and particle
+    /// positions look identical to the kernel). Segments are padded in place
+    /// to [`PAD_MULTIPLE`] with zero-mass sentinels, so each starts
+    /// lane-aligned and the kernels never straddle a ragged boundary.
+    pub tail_x: AlignedF64Slab,
+    pub tail_y: AlignedF64Slab,
+    pub tail_z: AlignedF64Slab,
+    pub tail_m: AlignedF64Slab,
+    /// One span per member ordinal (the order of `tree.particles_under`);
+    /// empty until [`resolve_mixed_tails`] runs.
+    tails: Vec<TailSpan>,
+    /// Whether `tails` describes the current gather (evaluation then skips
+    /// the per-member mixed replay entirely).
+    tails_ready: bool,
     /// MAC tests charged to *each* member by the shared walk (AcceptAll +
     /// RejectAll classifications of non-singleton nodes).
     pub shared_mac_tests: u64,
@@ -63,8 +99,47 @@ pub struct InteractionBuffers {
     /// Whether the target leaf's own particles were appended to the P2P slab
     /// (each member then finds itself in the slab exactly once).
     pub self_in_p2p: bool,
+    /// Kernel lane slots processed (padded slab length × members evaluated);
+    /// `Cell` because evaluation holds the buffers by shared reference.
+    pub lane_slots: Cell<u64>,
+    /// Lane slots carrying real sources (logical slab length × members) —
+    /// `lane_useful / lane_slots` is the SIMD lane utilization.
+    pub lane_useful: Cell<u64>,
+    /// f32 mirrors of the padded f64 slabs for
+    /// [`KernelPrecision::MixedF32`]; filled on demand by
+    /// [`InteractionBuffers::prepare_f32`].
+    com_x32: AlignedF32Slab,
+    com_y32: AlignedF32Slab,
+    com_z32: AlignedF32Slab,
+    node_mass32: AlignedF32Slab,
+    px32: AlignedF32Slab,
+    py32: AlignedF32Slab,
+    pz32: AlignedF32Slab,
+    pmass32: AlignedF32Slab,
+    /// Whether the f32 mirrors reflect the current slab contents.
+    f32_ready: bool,
+    /// Largest P2P / M2P slab fills since the last shrink window, recorded
+    /// by [`InteractionBuffers::clear`].
+    hwm_p2p: usize,
+    hwm_m2p: usize,
+    /// Largest tail fill since the last shrink window.
+    hwm_tail: usize,
     /// DFS stack, kept to avoid reallocation.
     stack: Vec<NodeId>,
+}
+
+/// One member's resolved mixed-frontier segment in the tail slabs, plus the
+/// traversal stats its replay produced (kept so evaluation can report
+/// exactly what the per-member walk would have).
+#[derive(Debug, Clone, Copy, Default)]
+struct TailSpan {
+    /// Padded segment bounds in the tail slabs (`end - start` is a lane
+    /// multiple).
+    start: u32,
+    end: u32,
+    /// Logical (unpadded) interaction count in the segment.
+    len: u32,
+    stats: TraversalStats,
 }
 
 impl InteractionBuffers {
@@ -74,6 +149,7 @@ impl InteractionBuffers {
 
     /// Empty all slabs, keeping capacity.
     pub fn clear(&mut self) {
+        self.note_high_water();
         self.node_ids.clear();
         self.com_x.clear();
         self.com_y.clear();
@@ -85,10 +161,17 @@ impl InteractionBuffers {
         self.pmass.clear();
         self.pid.clear();
         self.mixed.clear();
+        self.tail_x.clear();
+        self.tail_y.clear();
+        self.tail_z.clear();
+        self.tail_m.clear();
+        self.tails.clear();
+        self.tails_ready = false;
         self.shared_mac_tests = 0;
         self.class_reject = 0;
         self.nodes_opened = 0;
         self.self_in_p2p = false;
+        self.f32_ready = false;
     }
 
     fn push_node(&mut self, id: NodeId, com: Vec3, mass: f64) {
@@ -105,6 +188,267 @@ impl InteractionBuffers {
         self.pz.push(p.pos.z);
         self.pmass.push(p.mass);
         self.pid.push(p.id);
+    }
+
+    /// Pad every slab to [`PAD_MULTIPLE`] with zero-mass sentinels
+    /// (positions 0, ids `u32::MAX`), so the vector kernels never straddle
+    /// a tail. Called by [`gather_group`] after the walk; logical lengths
+    /// are unchanged.
+    fn pad(&mut self) {
+        self.com_x.pad_to(PAD_MULTIPLE, 0.0);
+        self.com_y.pad_to(PAD_MULTIPLE, 0.0);
+        self.com_z.pad_to(PAD_MULTIPLE, 0.0);
+        self.node_mass.pad_to(PAD_MULTIPLE, 0.0);
+        self.px.pad_to(PAD_MULTIPLE, 0.0);
+        self.py.pad_to(PAD_MULTIPLE, 0.0);
+        self.pz.pad_to(PAD_MULTIPLE, 0.0);
+        self.pmass.pad_to(PAD_MULTIPLE, 0.0);
+        self.pid.pad_to(PAD_MULTIPLE, u32::MAX);
+    }
+
+    /// Fill the f32 mirror slabs from the current (padded) f64 slabs.
+    /// Required before evaluating with [`KernelPrecision::MixedF32`]; the
+    /// other precisions never read the mirrors.
+    pub fn prepare_f32(&mut self) {
+        fn mirror(dst: &mut AlignedF32Slab, src: &AlignedF64Slab) {
+            dst.clear();
+            dst.extend(src.padded().iter().map(|&v| v as f32));
+            dst.pad_to(PAD_MULTIPLE, 0.0);
+        }
+        mirror(&mut self.com_x32, &self.com_x);
+        mirror(&mut self.com_y32, &self.com_y);
+        mirror(&mut self.com_z32, &self.com_z);
+        mirror(&mut self.node_mass32, &self.node_mass);
+        mirror(&mut self.px32, &self.px);
+        mirror(&mut self.py32, &self.py);
+        mirror(&mut self.pz32, &self.pz);
+        mirror(&mut self.pmass32, &self.pmass);
+        self.f32_ready = true;
+    }
+
+    fn note_high_water(&mut self) {
+        self.hwm_p2p = self.hwm_p2p.max(self.px.len());
+        self.hwm_m2p = self.hwm_m2p.max(self.com_x.len());
+        self.hwm_tail = self.hwm_tail.max(self.tail_x.len());
+    }
+
+    /// High-water-mark shrink: if a slab family's capacity exceeds 4× the
+    /// largest fill seen since the last call (a transient dense group pinned
+    /// it), release down to 2× that mark. Call once per step, between
+    /// evaluation sweeps; the high-water window then restarts.
+    pub fn maybe_shrink(&mut self) {
+        self.note_high_water();
+        let oversized = |hwm: usize, cap: usize| cap > SHRINK_FLOOR && cap > 4 * hwm;
+        if oversized(self.hwm_p2p, self.px.capacity()) {
+            let keep = (2 * self.hwm_p2p).max(SHRINK_FLOOR);
+            self.px.shrink_to(keep);
+            self.py.shrink_to(keep);
+            self.pz.shrink_to(keep);
+            self.pmass.shrink_to(keep);
+            self.pid.shrink_to(keep);
+            self.px32.shrink_to(keep);
+            self.py32.shrink_to(keep);
+            self.pz32.shrink_to(keep);
+            self.pmass32.shrink_to(keep);
+        }
+        if oversized(self.hwm_m2p, self.com_x.capacity()) {
+            let keep = (2 * self.hwm_m2p).max(SHRINK_FLOOR);
+            self.com_x.shrink_to(keep);
+            self.com_y.shrink_to(keep);
+            self.com_z.shrink_to(keep);
+            self.node_mass.shrink_to(keep);
+            self.com_x32.shrink_to(keep);
+            self.com_y32.shrink_to(keep);
+            self.com_z32.shrink_to(keep);
+            self.node_mass32.shrink_to(keep);
+        }
+        if oversized(self.hwm_tail, self.tail_x.capacity()) {
+            let keep = (2 * self.hwm_tail).max(SHRINK_FLOOR);
+            self.tail_x.shrink_to(keep);
+            self.tail_y.shrink_to(keep);
+            self.tail_z.shrink_to(keep);
+            self.tail_m.shrink_to(keep);
+        }
+        self.hwm_p2p = 0;
+        self.hwm_m2p = 0;
+        self.hwm_tail = 0;
+    }
+
+    /// Take and zero the lane-utilization counters (slots, useful).
+    pub fn take_lane_counters(&self) -> (u64, u64) {
+        (self.lane_slots.take(), self.lane_useful.take())
+    }
+
+    #[inline(always)]
+    fn count_lanes(&self, slots: usize, useful: usize) {
+        self.lane_slots.set(self.lane_slots.get() + slots as u64);
+        self.lane_useful.set(self.lane_useful.get() + useful as u64);
+    }
+
+    /// Acceleration + potential at `pos` from the M2P monopole slab, with
+    /// the per-precision kernel. [`KernelPrecision::MixedF32`] requires a
+    /// prior [`InteractionBuffers::prepare_f32`].
+    pub fn eval_m2p(&self, pos: Vec3, eps: f64, precision: KernelPrecision) -> (Vec3, f64) {
+        match precision {
+            KernelPrecision::ScalarF64 => {
+                // The scalar path walks only the logical entries; every
+                // processed slot is useful.
+                self.count_lanes(self.node_ids.len(), self.node_ids.len());
+                accel_batch_m2p(pos, &self.com_x, &self.com_y, &self.com_z, &self.node_mass, eps)
+            }
+            KernelPrecision::F64 => {
+                self.count_lanes(self.com_x.padded_len(), self.com_x.len());
+                let (ax, ay, az, phi) = accel_slab_m2p_f64(
+                    pos.x,
+                    pos.y,
+                    pos.z,
+                    self.com_x.padded(),
+                    self.com_y.padded(),
+                    self.com_z.padded(),
+                    self.node_mass.padded(),
+                    eps * eps,
+                );
+                (Vec3::new(ax, ay, az), phi)
+            }
+            KernelPrecision::MixedF32 => {
+                self.assert_f32_ready();
+                self.count_lanes(self.com_x.padded_len(), self.com_x.len());
+                let (ax, ay, az, phi) = accel_slab_m2p_f32(
+                    pos.x as f32,
+                    pos.y as f32,
+                    pos.z as f32,
+                    self.com_x32.padded(),
+                    self.com_y32.padded(),
+                    self.com_z32.padded(),
+                    self.node_mass32.padded(),
+                    (eps * eps) as f32,
+                );
+                (Vec3::new(ax, ay, az), phi)
+            }
+        }
+    }
+
+    /// Acceleration + potential at `pos` from the P2P particle slab (the
+    /// entry with id `target_id` masked out), with the per-precision kernel.
+    pub fn eval_p2p(
+        &self,
+        pos: Vec3,
+        target_id: u32,
+        eps: f64,
+        precision: KernelPrecision,
+    ) -> (Vec3, f64) {
+        match precision {
+            KernelPrecision::ScalarF64 => {
+                self.count_lanes(self.px.len(), self.px.len());
+                accel_batch_p2p(
+                    pos,
+                    target_id,
+                    &self.px,
+                    &self.py,
+                    &self.pz,
+                    &self.pmass,
+                    &self.pid,
+                    eps,
+                )
+            }
+            KernelPrecision::F64 => {
+                self.count_lanes(self.px.padded_len(), self.px.len());
+                let (ax, ay, az, phi) = accel_slab_p2p_f64(
+                    pos.x,
+                    pos.y,
+                    pos.z,
+                    target_id,
+                    self.px.padded(),
+                    self.py.padded(),
+                    self.pz.padded(),
+                    self.pmass.padded(),
+                    self.pid.padded(),
+                    eps * eps,
+                );
+                (Vec3::new(ax, ay, az), phi)
+            }
+            KernelPrecision::MixedF32 => {
+                self.assert_f32_ready();
+                self.count_lanes(self.px.padded_len(), self.px.len());
+                let (ax, ay, az, phi) = accel_slab_p2p_f32(
+                    pos.x as f32,
+                    pos.y as f32,
+                    pos.z as f32,
+                    target_id,
+                    self.px32.padded(),
+                    self.py32.padded(),
+                    self.pz32.padded(),
+                    self.pmass32.padded(),
+                    self.pid.padded(),
+                    (eps * eps) as f32,
+                );
+                (Vec3::new(ax, ay, az), phi)
+            }
+        }
+    }
+
+    /// Whether [`resolve_mixed_tails`] has run for the current gather.
+    #[inline(always)]
+    pub fn tails_ready(&self) -> bool {
+        self.tails_ready
+    }
+
+    /// Acceleration + potential at `pos` from member ordinal `k`'s resolved
+    /// tail segment, plus the traversal stats its replay recorded.
+    ///
+    /// Tails always run in f64: they hold the near-field, accuracy-critical
+    /// interactions the group MAC could not settle, and they are too short
+    /// to be worth mirroring into f32 — so [`KernelPrecision::MixedF32`]
+    /// shares the f64 slab kernel here, and only
+    /// [`KernelPrecision::ScalarF64`] takes the scalar loop.
+    fn eval_tail(
+        &self,
+        k: usize,
+        pos: Vec3,
+        eps: f64,
+        precision: KernelPrecision,
+    ) -> (Vec3, f64, TraversalStats) {
+        let span = &self.tails[k];
+        let (a, b) = (span.start as usize, span.end as usize);
+        if a == b {
+            return (Vec3::ZERO, 0.0, span.stats);
+        }
+        let (acc, phi) = match precision {
+            KernelPrecision::ScalarF64 => {
+                self.count_lanes(span.len as usize, span.len as usize);
+                accel_batch_m2p(
+                    pos,
+                    &self.tail_x[a..a + span.len as usize],
+                    &self.tail_y[a..a + span.len as usize],
+                    &self.tail_z[a..a + span.len as usize],
+                    &self.tail_m[a..a + span.len as usize],
+                    eps,
+                )
+            }
+            KernelPrecision::F64 | KernelPrecision::MixedF32 => {
+                self.count_lanes(b - a, span.len as usize);
+                let (ax, ay, az, phi) = accel_slab_m2p_f64(
+                    pos.x,
+                    pos.y,
+                    pos.z,
+                    &self.tail_x[a..b],
+                    &self.tail_y[a..b],
+                    &self.tail_z[a..b],
+                    &self.tail_m[a..b],
+                    eps * eps,
+                );
+                (Vec3::new(ax, ay, az), phi)
+            }
+        };
+        (acc, phi, span.stats)
+    }
+
+    #[inline(always)]
+    fn assert_f32_ready(&self) {
+        assert!(
+            self.f32_ready,
+            "MixedF32 evaluation requires InteractionBuffers::prepare_f32 after gather_group"
+        );
     }
 }
 
@@ -180,7 +524,84 @@ pub fn gather_group(
         }
     }
     buf.stack = stack;
+    buf.pad();
     members.len()
+}
+
+/// Resolve the gathered mixed frontiers into per-member tail slabs, so the
+/// evaluation phase is pure slab arithmetic.
+///
+/// For each (active) member this replays the exact per-particle walk from
+/// every mixed root — the same walk [`eval_gathered_monopole_masked`] would
+/// otherwise run per member during *evaluation* — and records the emitted
+/// monopole sources (node centers of mass, leaf particles) as one SoA
+/// segment per member. The member itself is excluded by the walk's
+/// `skip_id`, so the segments need no id masking and evaluate with the M2P
+/// kernel. Interaction sets, per-member stats, and walk order are identical
+/// to the replay; only the summation grouping changes (each member's tail
+/// is now summed before being added to its slab contributions).
+///
+/// This moves the traversal cost of the mixed frontier out of the kernel
+/// phase and into the gather/walk phase where it belongs, and lets the tail
+/// interactions run through the vector kernels instead of one scalar
+/// evaluation per emitted interaction.
+///
+/// Members with `active[pi] == false` get an empty segment (their replay
+/// would have been skipped anyway). Call after [`gather_group`] on the same
+/// `buf`; [`gather_group`] invalidates the tails again.
+pub fn resolve_mixed_tails(
+    tree: &Tree,
+    particles: &[Particle],
+    leaf: NodeId,
+    mac: &impl GroupMac,
+    buf: &mut InteractionBuffers,
+    active: Option<&[bool]>,
+) {
+    let members = if tree.is_empty() { &[][..] } else { tree.particles_under(leaf) };
+    buf.tails.clear();
+    let mixed = std::mem::take(&mut buf.mixed);
+    for &pi in members {
+        let start = buf.tail_x.len() as u32;
+        let mut span = TailSpan { start, end: start, ..TailSpan::default() };
+        let skipped = active.is_some_and(|mask| !mask[pi as usize]);
+        if !skipped && !mixed.is_empty() {
+            let p = &particles[pi as usize];
+            for &root in &mixed {
+                let st =
+                    for_each_interaction_from(tree, root, particles, p.pos, Some(p.id), mac, |i| {
+                        let (pos, mass) = match i {
+                            Interaction::Node(id) => {
+                                let n = tree.node(id);
+                                (n.com, n.mass)
+                            }
+                            Interaction::Particle(qi) => {
+                                let q = &particles[qi as usize];
+                                (q.pos, q.mass)
+                            }
+                        };
+                        buf.tail_x.push(pos.x);
+                        buf.tail_y.push(pos.y);
+                        buf.tail_z.push(pos.z);
+                        buf.tail_m.push(mass);
+                    });
+                span.stats.merge(st);
+            }
+            span.len = buf.tail_x.len() as u32 - start;
+            // Pad the segment in place with zero-mass sentinels so the next
+            // segment starts on a lane boundary and the vector kernel never
+            // reads a ragged tail.
+            while !buf.tail_x.len().is_multiple_of(PAD_MULTIPLE) {
+                buf.tail_x.push(0.0);
+                buf.tail_y.push(0.0);
+                buf.tail_z.push(0.0);
+                buf.tail_m.push(0.0);
+            }
+            span.end = buf.tail_x.len() as u32;
+        }
+        buf.tails.push(span);
+    }
+    buf.mixed = mixed;
+    buf.tails_ready = true;
 }
 
 /// Batched monopole M2P: acceleration and potential at `point` due to the
@@ -288,7 +709,17 @@ pub fn eval_gathered_monopole(
     buf: &InteractionBuffers,
     emit: impl FnMut(u32, f64, Vec3, u64),
 ) -> TraversalStats {
-    eval_gathered_monopole_masked(tree, particles, leaf, mac, eps, buf, None, emit)
+    eval_gathered_monopole_masked(
+        tree,
+        particles,
+        leaf,
+        mac,
+        eps,
+        KernelPrecision::default(),
+        buf,
+        None,
+        emit,
+    )
 }
 
 /// [`eval_gathered_monopole`] restricted to an active subset: members with
@@ -297,6 +728,12 @@ pub fn eval_gathered_monopole(
 /// active or not — are reused untouched. `active == None` evaluates every
 /// member with literally the same code path, which is what makes the masked
 /// and unmasked walks bit-identical on their common members.
+///
+/// `precision` selects the slab-kernel arithmetic (see [`KernelPrecision`]);
+/// the mixed frontier always runs in f64 — via the per-member tail slabs
+/// when [`resolve_mixed_tails`] has run, otherwise through the exact scalar
+/// per-interaction replay. [`KernelPrecision::MixedF32`] requires the
+/// caller to have run [`InteractionBuffers::prepare_f32`] after the gather.
 #[allow(clippy::too_many_arguments)] // mirrors eval_gathered_monopole + mask
 pub fn eval_gathered_monopole_masked(
     tree: &Tree,
@@ -304,6 +741,7 @@ pub fn eval_gathered_monopole_masked(
     leaf: NodeId,
     mac: &impl GroupMac,
     eps: f64,
+    precision: KernelPrecision,
     buf: &InteractionBuffers,
     active: Option<&[bool]>,
     mut emit: impl FnMut(u32, f64, Vec3, u64),
@@ -326,36 +764,89 @@ pub fn eval_gathered_monopole_masked(
             }
         }
         let p = &particles[pi as usize];
-        let (mut acc, mut phi) =
-            accel_batch_m2p(p.pos, &buf.com_x, &buf.com_y, &buf.com_z, &buf.node_mass, eps);
-        let (acc_p, phi_p) =
-            accel_batch_p2p(p.pos, p.id, &buf.px, &buf.py, &buf.pz, &buf.pmass, &buf.pid, eps);
-        acc += acc_p;
-        phi += phi_p;
         let mut member =
             TraversalStats { p2n: shared_p2n, p2p: shared_p2p, mac_tests: buf.shared_mac_tests };
-        for &root in &buf.mixed {
-            let st = for_each_interaction_from(
-                tree,
-                root,
-                particles,
-                p.pos,
-                Some(p.id),
-                mac,
-                |i| match i {
-                    Interaction::Node(id) => {
-                        let n = tree.node(id);
-                        acc += accel_kernel(p.pos, n.com, n.mass, eps);
-                        phi += potential_kernel(p.pos, n.com, n.mass, eps);
-                    }
-                    Interaction::Particle(qi) => {
-                        let q = &particles[qi as usize];
-                        acc += accel_kernel(p.pos, q.pos, q.mass, eps);
-                        phi += potential_kernel(p.pos, q.pos, q.mass, eps);
-                    }
-                },
+        let (mut acc, mut phi) = if precision == KernelPrecision::F64 {
+            // Fused slab path: one kernel call and one horizontal-sum
+            // reduction covers the accepted-node slab, the id-masked
+            // near-field slab, and — once [`resolve_mixed_tails`] has run —
+            // this member's private tail segment. Per-member call overhead
+            // is the dominant cost left after vectorization, so the three
+            // logical evaluations share a single accumulator set.
+            let tail = if buf.tails_ready {
+                let span = &buf.tails[k];
+                member.merge(span.stats);
+                let (a, b) = (span.start as usize, span.end as usize);
+                buf.count_lanes(b - a, span.len as usize);
+                SlabView {
+                    xs: &buf.tail_x[a..b],
+                    ys: &buf.tail_y[a..b],
+                    zs: &buf.tail_z[a..b],
+                    ms: &buf.tail_m[a..b],
+                }
+            } else {
+                SlabView::EMPTY
+            };
+            buf.count_lanes(
+                buf.com_x.padded_len() + buf.px.padded_len(),
+                buf.com_x.len() + buf.px.len(),
             );
-            member.merge(st);
+            let (ax, ay, az, ph) = accel_slab_member_f64(
+                p.pos.x,
+                p.pos.y,
+                p.pos.z,
+                p.id,
+                SlabView {
+                    xs: buf.com_x.padded(),
+                    ys: buf.com_y.padded(),
+                    zs: buf.com_z.padded(),
+                    ms: buf.node_mass.padded(),
+                },
+                SlabView {
+                    xs: buf.px.padded(),
+                    ys: buf.py.padded(),
+                    zs: buf.pz.padded(),
+                    ms: buf.pmass.padded(),
+                },
+                buf.pid.padded(),
+                tail,
+                eps * eps,
+            );
+            (Vec3::new(ax, ay, az), ph)
+        } else {
+            let (acc_n, phi_n) = buf.eval_m2p(p.pos, eps, precision);
+            let (acc_p, phi_p) = buf.eval_p2p(p.pos, p.id, eps, precision);
+            let (mut acc, mut phi) = (acc_n + acc_p, phi_n + phi_p);
+            if buf.tails_ready {
+                // Mixed frontiers were resolved into per-member tail slabs
+                // at gather time ([`resolve_mixed_tails`]); evaluation is
+                // pure slab arithmetic.
+                let (acc_t, phi_t, st) = buf.eval_tail(k, p.pos, eps, precision);
+                acc += acc_t;
+                phi += phi_t;
+                member.merge(st);
+            }
+            (acc, phi)
+        };
+        if !buf.tails_ready {
+            for &root in &buf.mixed {
+                let st =
+                    for_each_interaction_from(tree, root, particles, p.pos, Some(p.id), mac, |i| {
+                        match i {
+                            Interaction::Node(id) => {
+                                let n = tree.node(id);
+                                acc += accel_kernel(p.pos, n.com, n.mass, eps);
+                                phi += potential_kernel(p.pos, n.com, n.mass, eps);
+                            }
+                            Interaction::Particle(qi) => {
+                                let q = &particles[qi as usize];
+                                acc += accel_kernel(p.pos, q.pos, q.mass, eps);
+                                phi += potential_kernel(p.pos, q.pos, q.mass, eps);
+                            }
+                        }
+                    });
+                member.merge(st);
+            }
         }
         emit(pi, phi, acc, member.interactions());
         stats.merge(member);
@@ -616,6 +1107,71 @@ mod tests {
     }
 
     #[test]
+    fn resolved_tails_match_scalar_replay() {
+        // Resolving the mixed frontier into per-member tail slabs re-groups
+        // the tail summation (tail summed before being folded into the slab
+        // partials) but keeps interaction sets, stats, and walk order
+        // identical to the per-interaction scalar replay. Values therefore
+        // agree to rounding, counters exactly.
+        let set = plummer(PlummerSpec { n: 600, seed: 23, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let active: Vec<bool> = (0..set.len()).map(|i| i % 4 != 1).collect();
+        let (mut buf_a, mut buf_b) = (InteractionBuffers::new(), InteractionBuffers::new());
+        let tol = 1e-12;
+        for mask in [None, Some(active.as_slice())] {
+            let mut any_tail = false;
+            for leaf in leaf_schedule(&tree) {
+                let mut replay = Vec::new();
+                gather_group(&tree, &set.particles, leaf, &mac, &mut buf_a);
+                let st_a = eval_gathered_monopole_masked(
+                    &tree,
+                    &set.particles,
+                    leaf,
+                    &mac,
+                    EPS,
+                    KernelPrecision::F64,
+                    &buf_a,
+                    mask,
+                    |pi, phi, acc, it| replay.push((pi, phi, acc, it)),
+                );
+                let mut resolved = Vec::new();
+                gather_group(&tree, &set.particles, leaf, &mac, &mut buf_b);
+                resolve_mixed_tails(&tree, &set.particles, leaf, &mac, &mut buf_b, mask);
+                any_tail |= buf_b.tail_x.padded_len() > 0;
+                let st_b = eval_gathered_monopole_masked(
+                    &tree,
+                    &set.particles,
+                    leaf,
+                    &mac,
+                    EPS,
+                    KernelPrecision::F64,
+                    &buf_b,
+                    mask,
+                    |pi, phi, acc, it| resolved.push((pi, phi, acc, it)),
+                );
+                assert_eq!(st_a, st_b);
+                assert_eq!(replay.len(), resolved.len());
+                for (&(pi_a, phi_a, acc_a, it_a), &(pi_b, phi_b, acc_b, it_b)) in
+                    replay.iter().zip(&resolved)
+                {
+                    assert_eq!(pi_a, pi_b);
+                    assert_eq!(it_a, it_b, "interaction count differs for particle {pi_a}");
+                    assert!(
+                        (phi_a - phi_b).abs() <= tol * phi_a.abs().max(1.0),
+                        "phi {phi_b} vs replay {phi_a} for particle {pi_a}"
+                    );
+                    assert!(
+                        acc_a.dist(acc_b) <= tol * acc_a.norm().max(1.0),
+                        "acc {acc_b:?} vs replay {acc_a:?} for particle {pi_a}"
+                    );
+                }
+            }
+            assert!(any_tail, "test tree produced no mixed tails to resolve");
+        }
+    }
+
+    #[test]
     fn masked_eval_is_bitwise_restriction_of_full_eval() {
         // Active-set evaluation must agree bit-for-bit with the full grouped
         // walk on the active members, and touch nothing else.
@@ -650,6 +1206,7 @@ mod tests {
                 leaf,
                 &mac,
                 EPS,
+                KernelPrecision::default(),
                 &buf,
                 Some(&active),
                 |pi, phi, acc, it| {
@@ -671,6 +1228,172 @@ mod tests {
         }
         // An all-true mask reproduces the full schedule.
         assert_eq!(leaf_schedule_active(&tree, &vec![true; set.len()]), leaf_schedule(&tree));
+    }
+
+    #[test]
+    fn kernel_precisions_agree_within_their_tolerances() {
+        let set = plummer(PlummerSpec { n: 500, seed: 23, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let mut buf = InteractionBuffers::new();
+        for leaf in leaf_schedule(&tree) {
+            gather_group(&tree, &set.particles, leaf, &mac, &mut buf);
+            buf.prepare_f32();
+            let run = |precision: KernelPrecision, buf: &InteractionBuffers| {
+                let mut out: Vec<(u32, f64, Vec3, u64)> = Vec::new();
+                eval_gathered_monopole_masked(
+                    &tree,
+                    &set.particles,
+                    leaf,
+                    &mac,
+                    EPS,
+                    precision,
+                    buf,
+                    None,
+                    |pi, phi, acc, it| out.push((pi, phi, acc, it)),
+                );
+                out
+            };
+            let scalar = run(KernelPrecision::ScalarF64, &buf);
+            let simd = run(KernelPrecision::F64, &buf);
+            let mixed = run(KernelPrecision::MixedF32, &buf);
+            assert_eq!(scalar.len(), simd.len());
+            assert_eq!(scalar.len(), mixed.len());
+            for ((s, v), m) in scalar.iter().zip(&simd).zip(&mixed) {
+                assert_eq!(s.0, v.0);
+                assert_eq!(s.3, v.3, "interaction counts are precision-independent");
+                assert_eq!(s.3, m.3);
+                let tol = 1e-12;
+                assert!((s.1 - v.1).abs() <= tol * s.1.abs().max(1.0), "phi f64 simd");
+                assert!(s.2.dist(v.2) <= tol * s.2.norm().max(1.0), "acc f64 simd");
+                // f32 lanes: single-precision noise, f64 accumulation.
+                let tol32 = 1e-4;
+                assert!(
+                    (s.1 - m.1).abs() <= tol32 * s.1.abs().max(1.0),
+                    "phi mixed {} vs {}",
+                    m.1,
+                    s.1
+                );
+                assert!(s.2.dist(m.2) <= tol32 * s.2.norm().max(1.0), "acc mixed");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prepare_f32")]
+    fn mixed_without_prepare_panics() {
+        let set = uniform_cube(50, 1.0, 3);
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let mut buf = InteractionBuffers::new();
+        let leaf = leaf_schedule(&tree)[0];
+        gather_group(&tree, &set.particles, leaf, &mac, &mut buf);
+        eval_gathered_monopole_masked(
+            &tree,
+            &set.particles,
+            leaf,
+            &mac,
+            EPS,
+            KernelPrecision::MixedF32,
+            &buf,
+            None,
+            |_, _, _, _| {},
+        );
+    }
+
+    #[test]
+    fn slabs_are_padded_to_lane_width() {
+        let set = plummer(PlummerSpec { n: 300, seed: 6, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let mut buf = InteractionBuffers::new();
+        for leaf in leaf_schedule(&tree) {
+            gather_group(&tree, &set.particles, leaf, &mac, &mut buf);
+            for (len, padded) in
+                [(buf.px.len(), buf.px.padded_len()), (buf.com_x.len(), buf.com_x.padded_len())]
+            {
+                assert_eq!(padded % bhut_simd::PAD_MULTIPLE, 0);
+                assert!(padded >= len && padded < len + bhut_simd::PAD_MULTIPLE);
+            }
+            // Sentinels: zero mass, id u32::MAX.
+            for &m in &buf.pmass.padded()[buf.pmass.len()..] {
+                assert_eq!(m, 0.0);
+            }
+            for &id in &buf.pid.padded()[buf.pid.len()..] {
+                assert_eq!(id, u32::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn high_water_shrink_releases_transient_capacity() {
+        let mut buf = InteractionBuffers::new();
+        let blow_up = |buf: &mut InteractionBuffers, n: usize| {
+            for i in 0..n {
+                buf.px.push(i as f64);
+                buf.py.push(0.0);
+                buf.pz.push(0.0);
+                buf.pmass.push(1.0);
+                buf.pid.push(i as u32);
+            }
+        };
+        // One transient dense group...
+        blow_up(&mut buf, 50_000);
+        buf.clear();
+        buf.maybe_shrink(); // window containing the spike: capacity retained
+        assert!(buf.px.capacity() >= 50_000, "in-window spike must not be dropped");
+        // ...followed by a window of small fills.
+        for _ in 0..4 {
+            blow_up(&mut buf, 100);
+            buf.clear();
+        }
+        let before = buf.px.capacity();
+        buf.maybe_shrink();
+        assert!(buf.px.capacity() < before, "stale spike capacity must be released");
+        assert!(buf.px.capacity() >= 100);
+        // Small buffers are left alone (below the shrink floor).
+        let mut small = InteractionBuffers::new();
+        blow_up(&mut small, 64);
+        small.clear();
+        small.maybe_shrink();
+        let cap = small.px.capacity();
+        blow_up(&mut small, 8);
+        small.clear();
+        small.maybe_shrink();
+        assert_eq!(small.px.capacity(), cap, "sub-floor capacity is never shrunk");
+    }
+
+    #[test]
+    fn lane_counters_reflect_padding_and_precision() {
+        let set = plummer(PlummerSpec { n: 400, seed: 31, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let mut buf = InteractionBuffers::new();
+        for leaf in leaf_schedule(&tree) {
+            gather_group(&tree, &set.particles, leaf, &mac, &mut buf);
+            for precision in [KernelPrecision::ScalarF64, KernelPrecision::F64] {
+                buf.take_lane_counters();
+                eval_gathered_monopole_masked(
+                    &tree,
+                    &set.particles,
+                    leaf,
+                    &mac,
+                    EPS,
+                    precision,
+                    &buf,
+                    None,
+                    |_, _, _, _| {},
+                );
+                let (slots, useful) = buf.take_lane_counters();
+                assert!(useful > 0);
+                if precision == KernelPrecision::ScalarF64 {
+                    assert_eq!(slots, useful, "scalar path has no padding overhead");
+                } else {
+                    assert!(slots >= useful);
+                    assert_eq!(slots % bhut_simd::PAD_MULTIPLE as u64, 0);
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1457 @@
+//! Vectorized slab kernels for the grouped-walk SoA interaction lists.
+//!
+//! These are the SIMD counterparts of [`crate::group::accel_batch_m2p`] /
+//! [`crate::group::accel_batch_p2p`]. They iterate the *padded* slabs
+//! ([`bhut_simd::AlignedF64Slab::padded`]) so the lane loops never straddle a
+//! ragged tail: padding sentinels carry zero mass, so their lanes contribute
+//! exactly zero.
+//!
+//! Each kernel has up to three bodies dispatched at runtime by
+//! [`bhut_simd::isa`]:
+//!
+//! * a **portable** body on the [`bhut_simd`] lane types — safe code, the
+//!   correctness reference, and the only path on non-x86_64 or under the
+//!   `force-scalar` feature;
+//! * an **AVX2** body in `core::arch` intrinsics. Autovectorizing the
+//!   portable body inside a `#[target_feature]` clone looks tempting but is
+//!   fragile in practice — LLVM's SLP pass splits the compare/sqrt chain
+//!   into per-lane branches (sinking the "expensive" sqrt behind the `r² >
+//!   0` guard), which re-scalarizes the hot loop. Explicit intrinsics make
+//!   the 256-bit shape unconditional.
+//! * an **AVX-512** body for the f64 kernels only: the same chunk
+//!   arithmetic at eight lanes, with each 512-bit result split lo/hi into
+//!   the 256-bit accumulators in lane order — i.e. exactly the operations
+//!   the AVX2 body would perform on two consecutive 4-lane chunks, so the
+//!   wider tier changes nothing but speed. (The f32 kernels run their AVX2
+//!   body under this tier.)
+//!
+//! All bodies perform the *same IEEE operations in the same order* —
+//! correctly-rounded add/sub/mul (plus the one fused
+//! negative-multiply-add inside the NR rsqrt below, where `f64::mul_add`
+//! and `vfnmadd` compute the identical IEEE fma) and lane-order horizontal
+//! sums. LLVM never contracts anything else into an FMA without fast-math,
+//! so dispatch changes speed, never results.
+//!
+//! The arithmetic differs from the scalar kernels only in two deliberate
+//! ways:
+//!
+//! * **Division-free rsqrt** — one `inv ≈ 1/√r²` from
+//!   [`bhut_simd::rsqrt_nr_f64`] (magic-constant seed + four
+//!   Newton–Raphson steps, ≤2 ulp) feeds both halves of the kernel:
+//!   `φ -= m·inv` and `w = m·inv³`, instead of the scalar `m/(r²·√r²)` /
+//!   `-m/√r²`. `vsqrtpd`/`vdivpd` share one unpipelined divider port that
+//!   caps the f64 kernel at roughly half its mul/add throughput; the NR
+//!   form is pure mul/FMA and lifts that ceiling on wide parts (it is
+//!   about neutral on AVX2-only parts, which trade the divider for port
+//!   pressure — one arithmetic family for every tier is what keeps
+//!   dispatch bit-stable). Same math as the scalar kernels, different
+//!   rounding (≤ a few ulp per interaction), which is why
+//!   grouped-vs-scalar equivalence is asserted at ≤1e-12 relative rather
+//!   than bitwise. The f32 kernels keep the exact sqrt+div: the f32
+//!   divider is cheap enough that NR would cost more than it saves.
+//! * **Lane-order summation** — four (f64) or eight (f32) partial
+//!   accumulators reduced in fixed lane order at the end.
+//!
+//! The `r² = 0` singularity (unsoftened self-interaction) and the zero-mass
+//! padding sentinels are both neutralized without branches: `r²` is clamped
+//! to a tiny positive floor ([`bhut_simd::R2_FLOOR_F64`]) so the rsqrt runs
+//! unconditionally on every lane and never produces an Inf or NaN, while
+//! the padding sentinels' zero mass multiplies their lanes away to exactly
+//! `+0.0`. The clamp is a bitwise no-op on every physical lane —
+//! a single `max` replaces the compare/blend dance a conditional guard
+//! would need (and which LLVM happily re-branches, see above).
+//!
+//! The `_f32` variants implement [`bhut_simd::KernelPrecision::MixedF32`]:
+//! eight f32 lanes per chunk with each chunk widened into f64 accumulators
+//! ([`bhut_simd::F64w`]), so single-precision roundoff does not compound
+//! with slab length.
+
+use bhut_simd::{F32_LANES, F64_LANES};
+
+/// Monopole M2P over a padded f64 slab: returns `(ax, ay, az, phi)` at
+/// `(px, py, pz)` with Plummer softening `eps2 = ε²`.
+#[allow(clippy::too_many_arguments)] // SoA slabs are separate slices by design
+pub fn accel_slab_m2p_f64(
+    px: f64,
+    py: f64,
+    pz: f64,
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    ms: &[f64],
+    eps2: f64,
+) -> (f64, f64, f64, f64) {
+    debug_assert_eq!(xs.len() % F64_LANES, 0, "slab must be padded to the lane width");
+    // SAFETY (both arms): `isa()` returned the tier only after runtime
+    // feature detection (AVX-512F implies the AVX2+FMA tier).
+    #[cfg(target_arch = "x86_64")]
+    match bhut_simd::isa() {
+        bhut_simd::Isa::Avx512 => {
+            return unsafe { avx512::accel_slab_m2p_f64(px, py, pz, xs, ys, zs, ms, eps2) }
+        }
+        bhut_simd::Isa::Avx2 => {
+            return unsafe { avx2::accel_slab_m2p_f64(px, py, pz, xs, ys, zs, ms, eps2) }
+        }
+        bhut_simd::Isa::Portable => {}
+    }
+    portable::accel_slab_m2p_f64(px, py, pz, xs, ys, zs, ms, eps2)
+}
+
+/// Monopole P2P over a padded f64 particle slab: as [`accel_slab_m2p_f64`],
+/// with the lane whose id equals `target_id` masked to zero mass. Padding
+/// sentinels carry id `u32::MAX` and zero mass, so they contribute nothing
+/// either way.
+#[allow(clippy::too_many_arguments)] // SoA slabs are separate slices by design
+pub fn accel_slab_p2p_f64(
+    px: f64,
+    py: f64,
+    pz: f64,
+    target_id: u32,
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    ms: &[f64],
+    ids: &[u32],
+    eps2: f64,
+) -> (f64, f64, f64, f64) {
+    debug_assert_eq!(xs.len() % F64_LANES, 0, "slab must be padded to the lane width");
+    debug_assert_eq!(xs.len(), ids.len());
+    // SAFETY (both arms): `isa()` returned the tier only after runtime
+    // feature detection (AVX-512F implies the AVX2+FMA tier).
+    #[cfg(target_arch = "x86_64")]
+    match bhut_simd::isa() {
+        bhut_simd::Isa::Avx512 => {
+            return unsafe {
+                avx512::accel_slab_p2p_f64(px, py, pz, target_id, xs, ys, zs, ms, ids, eps2)
+            }
+        }
+        bhut_simd::Isa::Avx2 => {
+            return unsafe {
+                avx2::accel_slab_p2p_f64(px, py, pz, target_id, xs, ys, zs, ms, ids, eps2)
+            }
+        }
+        bhut_simd::Isa::Portable => {}
+    }
+    portable::accel_slab_p2p_f64(px, py, pz, target_id, xs, ys, zs, ms, ids, eps2)
+}
+
+/// A borrowed view of one padded SoA slab (positions + masses), bundling the
+/// four parallel slices the f64 kernels walk together.
+#[derive(Clone, Copy)]
+pub struct SlabView<'a> {
+    pub xs: &'a [f64],
+    pub ys: &'a [f64],
+    pub zs: &'a [f64],
+    pub ms: &'a [f64],
+}
+
+impl<'a> SlabView<'a> {
+    /// An empty view (a zero-length slab is trivially padded).
+    pub const EMPTY: SlabView<'static> = SlabView { xs: &[], ys: &[], zs: &[], ms: &[] };
+}
+
+/// Fused per-member evaluation: one call accumulates the accepted-node M2P
+/// slab, the id-masked near-field P2P slab, and the member's private tail
+/// segment into a *single* set of lane accumulators, reduced by one
+/// horizontal sum at the end.
+///
+/// This is the hot entry point of the grouped executor. Relative to three
+/// separate kernel calls it saves two dispatches, two splat preambles and
+/// two horizontal-sum reductions per member — overhead that dominates once
+/// the slabs themselves vectorize. The summation *grouping* differs from
+/// three separate calls (one running sum instead of three partial sums added
+/// scalar), so results agree to a few ulp, not bitwise; grouped-vs-scalar
+/// equivalence stays ≤1e-12 as before.
+#[allow(clippy::too_many_arguments)] // SoA slabs are separate slices by design
+pub fn accel_slab_member_f64(
+    px: f64,
+    py: f64,
+    pz: f64,
+    target_id: u32,
+    nodes: SlabView<'_>,
+    parts: SlabView<'_>,
+    ids: &[u32],
+    tail: SlabView<'_>,
+    eps2: f64,
+) -> (f64, f64, f64, f64) {
+    debug_assert_eq!(nodes.xs.len() % F64_LANES, 0, "node slab must be padded");
+    debug_assert_eq!(parts.xs.len() % F64_LANES, 0, "particle slab must be padded");
+    debug_assert_eq!(tail.xs.len() % F64_LANES, 0, "tail segment must be padded");
+    debug_assert_eq!(parts.xs.len(), ids.len());
+    // SAFETY (both arms): `isa()` returned the tier only after runtime
+    // feature detection (AVX-512F implies the AVX2+FMA tier).
+    #[cfg(target_arch = "x86_64")]
+    match bhut_simd::isa() {
+        bhut_simd::Isa::Avx512 => {
+            return unsafe {
+                avx512::accel_slab_member_f64(px, py, pz, target_id, nodes, parts, ids, tail, eps2)
+            }
+        }
+        bhut_simd::Isa::Avx2 => {
+            return unsafe {
+                avx2::accel_slab_member_f64(px, py, pz, target_id, nodes, parts, ids, tail, eps2)
+            }
+        }
+        bhut_simd::Isa::Portable => {}
+    }
+    portable::accel_slab_member_f64(px, py, pz, target_id, nodes, parts, ids, tail, eps2)
+}
+
+/// Mixed-precision M2P: f32 lane arithmetic over the f32 mirror slabs, each
+/// 8-lane chunk widened into f64 accumulators. Returns f64
+/// `(ax, ay, az, phi)`.
+#[allow(clippy::too_many_arguments)] // SoA slabs are separate slices by design
+pub fn accel_slab_m2p_f32(
+    px: f32,
+    py: f32,
+    pz: f32,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    ms: &[f32],
+    eps2: f32,
+) -> (f64, f64, f64, f64) {
+    debug_assert_eq!(xs.len() % F32_LANES, 0, "slab must be padded to the lane width");
+    #[cfg(target_arch = "x86_64")]
+    if bhut_simd::isa() != bhut_simd::Isa::Portable {
+        // SAFETY: both non-portable tiers runtime-detected AVX2+FMA.
+        return unsafe { avx2::accel_slab_m2p_f32(px, py, pz, xs, ys, zs, ms, eps2) };
+    }
+    portable::accel_slab_m2p_f32(px, py, pz, xs, ys, zs, ms, eps2)
+}
+
+/// Mixed-precision P2P over the f32 mirror slabs, target id masked as in
+/// [`accel_slab_p2p_f64`].
+#[allow(clippy::too_many_arguments)] // SoA slabs are separate slices by design
+pub fn accel_slab_p2p_f32(
+    px: f32,
+    py: f32,
+    pz: f32,
+    target_id: u32,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    ms: &[f32],
+    ids: &[u32],
+    eps2: f32,
+) -> (f64, f64, f64, f64) {
+    debug_assert_eq!(xs.len() % F32_LANES, 0, "slab must be padded to the lane width");
+    debug_assert_eq!(xs.len(), ids.len());
+    #[cfg(target_arch = "x86_64")]
+    if bhut_simd::isa() != bhut_simd::Isa::Portable {
+        // SAFETY: both non-portable tiers runtime-detected AVX2+FMA.
+        return unsafe {
+            avx2::accel_slab_p2p_f32(px, py, pz, target_id, xs, ys, zs, ms, ids, eps2)
+        };
+    }
+    portable::accel_slab_p2p_f32(px, py, pz, target_id, xs, ys, zs, ms, ids, eps2)
+}
+
+/// The safe lane-type bodies: correctness reference and non-AVX2 fallback.
+mod portable {
+    use super::SlabView;
+    use bhut_simd::{
+        masked_mass_f32, masked_mass_f64, F32s, F64s, F64w, F32_LANES, F64_LANES, R2_FLOOR_F32,
+        R2_FLOOR_F64,
+    };
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn accel_slab_member_f64(
+        px: f64,
+        py: f64,
+        pz: f64,
+        target_id: u32,
+        nodes: SlabView<'_>,
+        parts: SlabView<'_>,
+        ids: &[u32],
+        tail: SlabView<'_>,
+        eps2: f64,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (F64s::splat(px), F64s::splat(py), F64s::splat(pz));
+        let eps2v = F64s::splat(eps2);
+        let floorv = F64s::splat(R2_FLOOR_F64);
+        let (mut axv, mut ayv, mut azv) = (F64s::zero(), F64s::zero(), F64s::zero());
+        let mut phv = F64s::zero();
+        for slab in [nodes, tail] {
+            for i in (0..slab.xs.len()).step_by(F64_LANES) {
+                let dx = F64s::load(&slab.xs[i..]).sub(pxv);
+                let dy = F64s::load(&slab.ys[i..]).sub(pyv);
+                let dz = F64s::load(&slab.zs[i..]).sub(pzv);
+                let r2 = dx.mul(dx).add(dy.mul(dy)).add(dz.mul(dz)).add(eps2v);
+                let inv = r2.max(floorv).rsqrt_nr();
+                let im = F64s::load(&slab.ms[i..]).mul(inv);
+                phv = phv.add(im);
+                let w = im.mul(inv).mul(inv);
+                axv = axv.add(dx.mul(w));
+                ayv = ayv.add(dy.mul(w));
+                azv = azv.add(dz.mul(w));
+            }
+        }
+        for i in (0..parts.xs.len()).step_by(F64_LANES) {
+            let dx = F64s::load(&parts.xs[i..]).sub(pxv);
+            let dy = F64s::load(&parts.ys[i..]).sub(pyv);
+            let dz = F64s::load(&parts.zs[i..]).sub(pzv);
+            let r2 = dx.mul(dx).add(dy.mul(dy)).add(dz.mul(dz)).add(eps2v);
+            let inv = r2.max(floorv).rsqrt_nr();
+            let im = masked_mass_f64(&parts.ms[i..], &ids[i..], target_id).mul(inv);
+            phv = phv.add(im);
+            let w = im.mul(inv).mul(inv);
+            axv = axv.add(dx.mul(w));
+            ayv = ayv.add(dy.mul(w));
+            azv = azv.add(dz.mul(w));
+        }
+        (axv.hsum(), ayv.hsum(), azv.hsum(), -phv.hsum())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn accel_slab_m2p_f64(
+        px: f64,
+        py: f64,
+        pz: f64,
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        ms: &[f64],
+        eps2: f64,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (F64s::splat(px), F64s::splat(py), F64s::splat(pz));
+        let eps2v = F64s::splat(eps2);
+        let floorv = F64s::splat(R2_FLOOR_F64);
+        let (mut axv, mut ayv, mut azv) = (F64s::zero(), F64s::zero(), F64s::zero());
+        let mut phv = F64s::zero();
+        for i in (0..xs.len()).step_by(F64_LANES) {
+            let dx = F64s::load(&xs[i..]).sub(pxv);
+            let dy = F64s::load(&ys[i..]).sub(pyv);
+            let dz = F64s::load(&zs[i..]).sub(pzv);
+            let r2 = dx.mul(dx).add(dy.mul(dy)).add(dz.mul(dz)).add(eps2v);
+            let inv = r2.max(floorv).rsqrt_nr();
+            let im = F64s::load(&ms[i..]).mul(inv);
+            phv = phv.add(im);
+            let w = im.mul(inv).mul(inv);
+            axv = axv.add(dx.mul(w));
+            ayv = ayv.add(dy.mul(w));
+            azv = azv.add(dz.mul(w));
+        }
+        (axv.hsum(), ayv.hsum(), azv.hsum(), -phv.hsum())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn accel_slab_p2p_f64(
+        px: f64,
+        py: f64,
+        pz: f64,
+        target_id: u32,
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        ms: &[f64],
+        ids: &[u32],
+        eps2: f64,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (F64s::splat(px), F64s::splat(py), F64s::splat(pz));
+        let eps2v = F64s::splat(eps2);
+        let floorv = F64s::splat(R2_FLOOR_F64);
+        let (mut axv, mut ayv, mut azv) = (F64s::zero(), F64s::zero(), F64s::zero());
+        let mut phv = F64s::zero();
+        for i in (0..xs.len()).step_by(F64_LANES) {
+            let dx = F64s::load(&xs[i..]).sub(pxv);
+            let dy = F64s::load(&ys[i..]).sub(pyv);
+            let dz = F64s::load(&zs[i..]).sub(pzv);
+            let r2 = dx.mul(dx).add(dy.mul(dy)).add(dz.mul(dz)).add(eps2v);
+            let inv = r2.max(floorv).rsqrt_nr();
+            let im = masked_mass_f64(&ms[i..], &ids[i..], target_id).mul(inv);
+            phv = phv.add(im);
+            let w = im.mul(inv).mul(inv);
+            axv = axv.add(dx.mul(w));
+            ayv = ayv.add(dy.mul(w));
+            azv = azv.add(dz.mul(w));
+        }
+        (axv.hsum(), ayv.hsum(), azv.hsum(), -phv.hsum())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn accel_slab_m2p_f32(
+        px: f32,
+        py: f32,
+        pz: f32,
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        ms: &[f32],
+        eps2: f32,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (F32s::splat(px), F32s::splat(py), F32s::splat(pz));
+        let eps2v = F32s::splat(eps2);
+        let floorv = F32s::splat(R2_FLOOR_F32);
+        let (mut axw, mut ayw, mut azw) = (F64w::zero(), F64w::zero(), F64w::zero());
+        let mut phw = F64w::zero();
+        for i in (0..xs.len()).step_by(F32_LANES) {
+            let dx = F32s::load(&xs[i..]).sub(pxv);
+            let dy = F32s::load(&ys[i..]).sub(pyv);
+            let dz = F32s::load(&zs[i..]).sub(pzv);
+            let r2 = dx.mul(dx).add(dy.mul(dy)).add(dz.mul(dz)).add(eps2v);
+            let inv = r2.max(floorv).rsqrt();
+            let im = F32s::load(&ms[i..]).mul(inv);
+            phw.add_widened(im);
+            let w = im.mul(inv).mul(inv);
+            axw.add_widened(dx.mul(w));
+            ayw.add_widened(dy.mul(w));
+            azw.add_widened(dz.mul(w));
+        }
+        (axw.hsum(), ayw.hsum(), azw.hsum(), -phw.hsum())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn accel_slab_p2p_f32(
+        px: f32,
+        py: f32,
+        pz: f32,
+        target_id: u32,
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        ms: &[f32],
+        ids: &[u32],
+        eps2: f32,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (F32s::splat(px), F32s::splat(py), F32s::splat(pz));
+        let eps2v = F32s::splat(eps2);
+        let floorv = F32s::splat(R2_FLOOR_F32);
+        let (mut axw, mut ayw, mut azw) = (F64w::zero(), F64w::zero(), F64w::zero());
+        let mut phw = F64w::zero();
+        for i in (0..xs.len()).step_by(F32_LANES) {
+            let dx = F32s::load(&xs[i..]).sub(pxv);
+            let dy = F32s::load(&ys[i..]).sub(pyv);
+            let dz = F32s::load(&zs[i..]).sub(pzv);
+            let r2 = dx.mul(dx).add(dy.mul(dy)).add(dz.mul(dz)).add(eps2v);
+            let inv = r2.max(floorv).rsqrt();
+            let im = masked_mass_f32(&ms[i..], &ids[i..], target_id).mul(inv);
+            phw.add_widened(im);
+            let w = im.mul(inv).mul(inv);
+            axw.add_widened(dx.mul(w));
+            ayw.add_widened(dy.mul(w));
+            azw.add_widened(dz.mul(w));
+        }
+        (axw.hsum(), ayw.hsum(), azw.hsum(), -phw.hsum())
+    }
+}
+
+/// Explicit 256-bit bodies. Every operation here is the correctly-rounded
+/// IEEE counterpart of the portable body's, executed in the same order, so
+/// the two paths return bit-identical results (asserted in the tests on
+/// AVX2 hardware).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::SlabView;
+    use core::arch::x86_64::*;
+
+    /// `rsqrt_nr(max(r², floor))` — the branch-free singularity guard plus
+    /// the division-free Newton–Raphson rsqrt shared by all f64 kernels.
+    /// `_mm256_max_pd` has the `a > b ? a : b` convention the portable
+    /// [`bhut_simd::F64s::max`] mirrors; the seed/refine sequence is
+    /// op-for-op [`bhut_simd::rsqrt_nr_f64`] (`_mm256_sub_epi64` is the
+    /// wrapping subtract, `_mm256_fnmadd_pd(a, b, c)` is the IEEE
+    /// `fma(-a, b, c)` that `f64::mul_add` computes) — so the bodies stay
+    /// bit-identical.
+    #[inline(always)]
+    pub(super) unsafe fn floored_rsqrt_pd(r2: __m256d) -> __m256d {
+        let x = _mm256_max_pd(r2, _mm256_set1_pd(bhut_simd::R2_FLOOR_F64));
+        let xh = _mm256_mul_pd(_mm256_set1_pd(0.5), x);
+        let three_half = _mm256_set1_pd(1.5);
+        let mut y = _mm256_castsi256_pd(_mm256_sub_epi64(
+            _mm256_set1_epi64x(bhut_simd::RSQRT_MAGIC_F64 as i64),
+            _mm256_srli_epi64::<1>(_mm256_castpd_si256(x)),
+        ));
+        for _ in 0..4 {
+            let t = _mm256_mul_pd(y, y);
+            let r = _mm256_fnmadd_pd(xh, t, three_half);
+            y = _mm256_mul_pd(y, r);
+        }
+        y
+    }
+
+    #[inline(always)]
+    unsafe fn floored_rsqrt_ps(r2: __m256) -> __m256 {
+        let clamped = _mm256_max_ps(r2, _mm256_set1_ps(bhut_simd::R2_FLOOR_F32));
+        _mm256_div_ps(_mm256_set1_ps(1.0), _mm256_sqrt_ps(clamped))
+    }
+
+    /// Horizontal sum in lane order (matches the portable `hsum`).
+    #[inline(always)]
+    unsafe fn hsum_pd(v: __m256d) -> f64 {
+        let mut a = [0.0f64; 4];
+        _mm256_storeu_pd(a.as_mut_ptr(), v);
+        ((a[0] + a[1]) + a[2]) + a[3]
+    }
+
+    /// 4-wide accumulator set shared by the f64 bodies.
+    #[derive(Clone, Copy)]
+    pub(super) struct Acc4 {
+        pub(super) ax: __m256d,
+        pub(super) ay: __m256d,
+        pub(super) az: __m256d,
+        pub(super) ph: __m256d,
+    }
+
+    impl Acc4 {
+        #[inline(always)]
+        pub(super) unsafe fn zero() -> Self {
+            let z = _mm256_setzero_pd();
+            Acc4 { ax: z, ay: z, az: z, ph: z }
+        }
+
+        #[inline(always)]
+        pub(super) unsafe fn finish(self) -> (f64, f64, f64, f64) {
+            (hsum_pd(self.ax), hsum_pd(self.ay), hsum_pd(self.az), -hsum_pd(self.ph))
+        }
+    }
+
+    /// One 4-lane M2P chunk at slab offset `i`, accumulated into `acc`.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn m2p_chunk_f64(
+        acc: &mut Acc4,
+        i: usize,
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        ms: &[f64],
+        pxv: __m256d,
+        pyv: __m256d,
+        pzv: __m256d,
+        eps2v: __m256d,
+    ) {
+        let dx = _mm256_sub_pd(_mm256_loadu_pd(xs.as_ptr().add(i)), pxv);
+        let dy = _mm256_sub_pd(_mm256_loadu_pd(ys.as_ptr().add(i)), pyv);
+        let dz = _mm256_sub_pd(_mm256_loadu_pd(zs.as_ptr().add(i)), pzv);
+        let r2 = _mm256_add_pd(
+            _mm256_add_pd(
+                _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+                _mm256_mul_pd(dz, dz),
+            ),
+            eps2v,
+        );
+        let inv = floored_rsqrt_pd(r2);
+        let im = _mm256_mul_pd(_mm256_loadu_pd(ms.as_ptr().add(i)), inv);
+        acc.ph = _mm256_add_pd(acc.ph, im);
+        let w = _mm256_mul_pd(_mm256_mul_pd(im, inv), inv);
+        acc.ax = _mm256_add_pd(acc.ax, _mm256_mul_pd(dx, w));
+        acc.ay = _mm256_add_pd(acc.ay, _mm256_mul_pd(dy, w));
+        acc.az = _mm256_add_pd(acc.az, _mm256_mul_pd(dz, w));
+    }
+
+    /// One 4-lane P2P chunk: as [`m2p_chunk_f64`] with the `target` id
+    /// (an `_mm_set1_epi32` splat) masked to zero mass.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn p2p_chunk_f64(
+        acc: &mut Acc4,
+        i: usize,
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        ms: &[f64],
+        ids: &[u32],
+        target: __m128i,
+        pxv: __m256d,
+        pyv: __m256d,
+        pzv: __m256d,
+        eps2v: __m256d,
+    ) {
+        let one = _mm256_set1_pd(1.0);
+        let dx = _mm256_sub_pd(_mm256_loadu_pd(xs.as_ptr().add(i)), pxv);
+        let dy = _mm256_sub_pd(_mm256_loadu_pd(ys.as_ptr().add(i)), pyv);
+        let dz = _mm256_sub_pd(_mm256_loadu_pd(zs.as_ptr().add(i)), pzv);
+        let r2 = _mm256_add_pd(
+            _mm256_add_pd(
+                _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+                _mm256_mul_pd(dz, dz),
+            ),
+            eps2v,
+        );
+        // idf = 1.0 where id != target, 0.0 where it matches: widen the
+        // 4×32-bit equality mask to 64-bit lanes and andnot against 1.0
+        // (the portable `masked_mass_f64` factor).
+        let eq = _mm_cmpeq_epi32(_mm_loadu_si128(ids.as_ptr().add(i) as *const __m128i), target);
+        let idf = _mm256_andnot_pd(_mm256_castsi256_pd(_mm256_cvtepi32_epi64(eq)), one);
+        let inv = floored_rsqrt_pd(r2);
+        let m = _mm256_mul_pd(_mm256_loadu_pd(ms.as_ptr().add(i)), idf);
+        let im = _mm256_mul_pd(m, inv);
+        acc.ph = _mm256_add_pd(acc.ph, im);
+        let w = _mm256_mul_pd(_mm256_mul_pd(im, inv), inv);
+        acc.ax = _mm256_add_pd(acc.ax, _mm256_mul_pd(dx, w));
+        acc.ay = _mm256_add_pd(acc.ay, _mm256_mul_pd(dy, w));
+        acc.az = _mm256_add_pd(acc.az, _mm256_mul_pd(dz, w));
+    }
+
+    /// Lane-order sum of a widened pair (lanes 0–3 in `lo`, 4–7 in `hi`).
+    #[inline(always)]
+    unsafe fn hsum_wide(lo: __m256d, hi: __m256d) -> f64 {
+        let mut a = [0.0f64; 8];
+        _mm256_storeu_pd(a.as_mut_ptr(), lo);
+        _mm256_storeu_pd(a.as_mut_ptr().add(4), hi);
+        a.iter().fold(0.0, |acc, &x| acc + x)
+    }
+
+    /// Widen an 8-lane f32 chunk and add it to the `(lo, hi)` f64
+    /// accumulator pair (the portable `F64w::add_widened`).
+    #[inline(always)]
+    unsafe fn add_widened(lo: &mut __m256d, hi: &mut __m256d, v: __m256) {
+        *lo = _mm256_add_pd(*lo, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+        *hi = _mm256_add_pd(*hi, _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(v)));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn accel_slab_m2p_f64(
+        px: f64,
+        py: f64,
+        pz: f64,
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        ms: &[f64],
+        eps2: f64,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (_mm256_set1_pd(px), _mm256_set1_pd(py), _mm256_set1_pd(pz));
+        let eps2v = _mm256_set1_pd(eps2);
+        let mut acc = Acc4::zero();
+        for i in (0..xs.len()).step_by(4) {
+            m2p_chunk_f64(&mut acc, i, xs, ys, zs, ms, pxv, pyv, pzv, eps2v);
+        }
+        acc.finish()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn accel_slab_p2p_f64(
+        px: f64,
+        py: f64,
+        pz: f64,
+        target_id: u32,
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        ms: &[f64],
+        ids: &[u32],
+        eps2: f64,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (_mm256_set1_pd(px), _mm256_set1_pd(py), _mm256_set1_pd(pz));
+        let eps2v = _mm256_set1_pd(eps2);
+        let target = _mm_set1_epi32(target_id as i32);
+        let mut acc = Acc4::zero();
+        for i in (0..xs.len()).step_by(4) {
+            p2p_chunk_f64(&mut acc, i, xs, ys, zs, ms, ids, target, pxv, pyv, pzv, eps2v);
+        }
+        acc.finish()
+    }
+
+    /// Fused member body: same chunk arithmetic as the single-slab kernels,
+    /// accumulated into one [`Acc4`] in the order nodes → tail → particles
+    /// (matching the portable body exactly).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn accel_slab_member_f64(
+        px: f64,
+        py: f64,
+        pz: f64,
+        target_id: u32,
+        nodes: SlabView<'_>,
+        parts: SlabView<'_>,
+        ids: &[u32],
+        tail: SlabView<'_>,
+        eps2: f64,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (_mm256_set1_pd(px), _mm256_set1_pd(py), _mm256_set1_pd(pz));
+        let eps2v = _mm256_set1_pd(eps2);
+        let target = _mm_set1_epi32(target_id as i32);
+        let mut acc = Acc4::zero();
+        for slab in [nodes, tail] {
+            for i in (0..slab.xs.len()).step_by(4) {
+                m2p_chunk_f64(
+                    &mut acc, i, slab.xs, slab.ys, slab.zs, slab.ms, pxv, pyv, pzv, eps2v,
+                );
+            }
+        }
+        for i in (0..parts.xs.len()).step_by(4) {
+            p2p_chunk_f64(
+                &mut acc, i, parts.xs, parts.ys, parts.zs, parts.ms, ids, target, pxv, pyv, pzv,
+                eps2v,
+            );
+        }
+        acc.finish()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accel_slab_m2p_f32(
+        px: f32,
+        py: f32,
+        pz: f32,
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        ms: &[f32],
+        eps2: f32,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (_mm256_set1_ps(px), _mm256_set1_ps(py), _mm256_set1_ps(pz));
+        let eps2v = _mm256_set1_ps(eps2);
+        let (mut axl, mut axh) = (_mm256_setzero_pd(), _mm256_setzero_pd());
+        let (mut ayl, mut ayh) = (_mm256_setzero_pd(), _mm256_setzero_pd());
+        let (mut azl, mut azh) = (_mm256_setzero_pd(), _mm256_setzero_pd());
+        let (mut phl, mut phh) = (_mm256_setzero_pd(), _mm256_setzero_pd());
+        for i in (0..xs.len()).step_by(8) {
+            let dx = _mm256_sub_ps(_mm256_loadu_ps(xs.as_ptr().add(i)), pxv);
+            let dy = _mm256_sub_ps(_mm256_loadu_ps(ys.as_ptr().add(i)), pyv);
+            let dz = _mm256_sub_ps(_mm256_loadu_ps(zs.as_ptr().add(i)), pzv);
+            let r2 = _mm256_add_ps(
+                _mm256_add_ps(
+                    _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy)),
+                    _mm256_mul_ps(dz, dz),
+                ),
+                eps2v,
+            );
+            let inv = floored_rsqrt_ps(r2);
+            let im = _mm256_mul_ps(_mm256_loadu_ps(ms.as_ptr().add(i)), inv);
+            add_widened(&mut phl, &mut phh, im);
+            let w = _mm256_mul_ps(_mm256_mul_ps(im, inv), inv);
+            add_widened(&mut axl, &mut axh, _mm256_mul_ps(dx, w));
+            add_widened(&mut ayl, &mut ayh, _mm256_mul_ps(dy, w));
+            add_widened(&mut azl, &mut azh, _mm256_mul_ps(dz, w));
+        }
+        (hsum_wide(axl, axh), hsum_wide(ayl, ayh), hsum_wide(azl, azh), -hsum_wide(phl, phh))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accel_slab_p2p_f32(
+        px: f32,
+        py: f32,
+        pz: f32,
+        target_id: u32,
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        ms: &[f32],
+        ids: &[u32],
+        eps2: f32,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (_mm256_set1_ps(px), _mm256_set1_ps(py), _mm256_set1_ps(pz));
+        let eps2v = _mm256_set1_ps(eps2);
+        let one = _mm256_set1_ps(1.0);
+        let target = _mm256_set1_epi32(target_id as i32);
+        let (mut axl, mut axh) = (_mm256_setzero_pd(), _mm256_setzero_pd());
+        let (mut ayl, mut ayh) = (_mm256_setzero_pd(), _mm256_setzero_pd());
+        let (mut azl, mut azh) = (_mm256_setzero_pd(), _mm256_setzero_pd());
+        let (mut phl, mut phh) = (_mm256_setzero_pd(), _mm256_setzero_pd());
+        for i in (0..xs.len()).step_by(8) {
+            let dx = _mm256_sub_ps(_mm256_loadu_ps(xs.as_ptr().add(i)), pxv);
+            let dy = _mm256_sub_ps(_mm256_loadu_ps(ys.as_ptr().add(i)), pyv);
+            let dz = _mm256_sub_ps(_mm256_loadu_ps(zs.as_ptr().add(i)), pzv);
+            let r2 = _mm256_add_ps(
+                _mm256_add_ps(
+                    _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy)),
+                    _mm256_mul_ps(dz, dz),
+                ),
+                eps2v,
+            );
+            let eq = _mm256_cmpeq_epi32(
+                _mm256_loadu_si256(ids.as_ptr().add(i) as *const __m256i),
+                target,
+            );
+            let idf = _mm256_andnot_ps(_mm256_castsi256_ps(eq), one);
+            let inv = floored_rsqrt_ps(r2);
+            let m = _mm256_mul_ps(_mm256_loadu_ps(ms.as_ptr().add(i)), idf);
+            let im = _mm256_mul_ps(m, inv);
+            add_widened(&mut phl, &mut phh, im);
+            let w = _mm256_mul_ps(_mm256_mul_ps(im, inv), inv);
+            add_widened(&mut axl, &mut axh, _mm256_mul_ps(dx, w));
+            add_widened(&mut ayl, &mut ayh, _mm256_mul_ps(dy, w));
+            add_widened(&mut azl, &mut azh, _mm256_mul_ps(dz, w));
+        }
+        (hsum_wide(axl, axh), hsum_wide(ayl, ayh), hsum_wide(azl, azh), -hsum_wide(phl, phh))
+    }
+}
+
+/// Explicit 512-bit bodies for the f64 kernels. Same chunk arithmetic as
+/// [`avx2`] at eight lanes: every elementwise op is the correctly-rounded
+/// IEEE counterpart of two consecutive 4-lane AVX2 chunks, and each 512-bit
+/// result is folded lo-then-hi into the shared 256-bit [`avx2::Acc4`] — the
+/// exact accumulation order of the narrower body — so this tier is bitwise
+/// the AVX2 (and portable) result, just faster. The win is real only
+/// because the NR rsqrt is pure mul/FMA: with a hardware sqrt+div the
+/// 256-bit-wide divider would serialize the doubled lanes right back.
+///
+/// Slabs are padded to [`bhut_simd::PAD_MULTIPLE`] (8) in practice, but the
+/// public contract only promises a multiple of [`F64_LANES`] (4), so each
+/// loop finishes a possible trailing 4-lane chunk with the AVX2 helper.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use super::avx2::{self, Acc4};
+    use super::SlabView;
+    use core::arch::x86_64::*;
+
+    /// Eight-lane [`avx2::floored_rsqrt_pd`]: same clamp, same seed
+    /// subtract, same four FNMA-refined Newton steps.
+    #[inline(always)]
+    unsafe fn floored_rsqrt_pd8(r2: __m512d) -> __m512d {
+        let x = _mm512_max_pd(r2, _mm512_set1_pd(bhut_simd::R2_FLOOR_F64));
+        let xh = _mm512_mul_pd(_mm512_set1_pd(0.5), x);
+        let three_half = _mm512_set1_pd(1.5);
+        let mut y = _mm512_castsi512_pd(_mm512_sub_epi64(
+            _mm512_set1_epi64(bhut_simd::RSQRT_MAGIC_F64 as i64),
+            _mm512_srli_epi64::<1>(_mm512_castpd_si512(x)),
+        ));
+        for _ in 0..4 {
+            let t = _mm512_mul_pd(y, y);
+            let r = _mm512_fnmadd_pd(xh, t, three_half);
+            y = _mm512_mul_pd(y, r);
+        }
+        y
+    }
+
+    /// Fold an 8-lane value into a 4-lane accumulator, low half first —
+    /// the order the AVX2 body adds its two consecutive chunks in.
+    #[inline(always)]
+    unsafe fn add_lo_hi(acc: &mut __m256d, v: __m512d) {
+        *acc = _mm256_add_pd(*acc, _mm512_castpd512_pd256(v));
+        *acc = _mm256_add_pd(*acc, _mm512_extractf64x4_pd::<1>(v));
+    }
+
+    /// One 8-lane M2P chunk at slab offset `i`, accumulated into `acc`.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn m2p_chunk8_f64(
+        acc: &mut Acc4,
+        i: usize,
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        ms: &[f64],
+        pxv: __m512d,
+        pyv: __m512d,
+        pzv: __m512d,
+        eps2v: __m512d,
+    ) {
+        let dx = _mm512_sub_pd(_mm512_loadu_pd(xs.as_ptr().add(i)), pxv);
+        let dy = _mm512_sub_pd(_mm512_loadu_pd(ys.as_ptr().add(i)), pyv);
+        let dz = _mm512_sub_pd(_mm512_loadu_pd(zs.as_ptr().add(i)), pzv);
+        let r2 = _mm512_add_pd(
+            _mm512_add_pd(
+                _mm512_add_pd(_mm512_mul_pd(dx, dx), _mm512_mul_pd(dy, dy)),
+                _mm512_mul_pd(dz, dz),
+            ),
+            eps2v,
+        );
+        let inv = floored_rsqrt_pd8(r2);
+        let im = _mm512_mul_pd(_mm512_loadu_pd(ms.as_ptr().add(i)), inv);
+        add_lo_hi(&mut acc.ph, im);
+        let w = _mm512_mul_pd(_mm512_mul_pd(im, inv), inv);
+        add_lo_hi(&mut acc.ax, _mm512_mul_pd(dx, w));
+        add_lo_hi(&mut acc.ay, _mm512_mul_pd(dy, w));
+        add_lo_hi(&mut acc.az, _mm512_mul_pd(dz, w));
+    }
+
+    /// One 8-lane P2P chunk: as [`m2p_chunk8_f64`] with the `target` id
+    /// (an `_mm256_set1_epi32` splat over the eight 32-bit ids) masked to
+    /// zero mass. The andnot runs in the integer domain
+    /// (`_mm512_andnot_si512` is AVX-512F; the `_pd` form is not) — bitwise
+    /// the same operation as the AVX2 body's `_mm256_andnot_pd`.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn p2p_chunk8_f64(
+        acc: &mut Acc4,
+        i: usize,
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        ms: &[f64],
+        ids: &[u32],
+        target: __m256i,
+        pxv: __m512d,
+        pyv: __m512d,
+        pzv: __m512d,
+        eps2v: __m512d,
+    ) {
+        let one = _mm512_set1_pd(1.0);
+        let dx = _mm512_sub_pd(_mm512_loadu_pd(xs.as_ptr().add(i)), pxv);
+        let dy = _mm512_sub_pd(_mm512_loadu_pd(ys.as_ptr().add(i)), pyv);
+        let dz = _mm512_sub_pd(_mm512_loadu_pd(zs.as_ptr().add(i)), pzv);
+        let r2 = _mm512_add_pd(
+            _mm512_add_pd(
+                _mm512_add_pd(_mm512_mul_pd(dx, dx), _mm512_mul_pd(dy, dy)),
+                _mm512_mul_pd(dz, dz),
+            ),
+            eps2v,
+        );
+        let eq =
+            _mm256_cmpeq_epi32(_mm256_loadu_si256(ids.as_ptr().add(i) as *const __m256i), target);
+        let idf = _mm512_castsi512_pd(_mm512_andnot_si512(
+            _mm512_cvtepi32_epi64(eq),
+            _mm512_castpd_si512(one),
+        ));
+        let inv = floored_rsqrt_pd8(r2);
+        let m = _mm512_mul_pd(_mm512_loadu_pd(ms.as_ptr().add(i)), idf);
+        let im = _mm512_mul_pd(m, inv);
+        add_lo_hi(&mut acc.ph, im);
+        let w = _mm512_mul_pd(_mm512_mul_pd(im, inv), inv);
+        add_lo_hi(&mut acc.ax, _mm512_mul_pd(dx, w));
+        add_lo_hi(&mut acc.ay, _mm512_mul_pd(dy, w));
+        add_lo_hi(&mut acc.az, _mm512_mul_pd(dz, w));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    pub unsafe fn accel_slab_m2p_f64(
+        px: f64,
+        py: f64,
+        pz: f64,
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        ms: &[f64],
+        eps2: f64,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (_mm512_set1_pd(px), _mm512_set1_pd(py), _mm512_set1_pd(pz));
+        let eps2v = _mm512_set1_pd(eps2);
+        let mut acc = Acc4::zero();
+        let n8 = xs.len() & !7;
+        for i in (0..n8).step_by(8) {
+            m2p_chunk8_f64(&mut acc, i, xs, ys, zs, ms, pxv, pyv, pzv, eps2v);
+        }
+        if n8 < xs.len() {
+            avx2::m2p_chunk_f64(
+                &mut acc,
+                n8,
+                xs,
+                ys,
+                zs,
+                ms,
+                _mm512_castpd512_pd256(pxv),
+                _mm512_castpd512_pd256(pyv),
+                _mm512_castpd512_pd256(pzv),
+                _mm512_castpd512_pd256(eps2v),
+            );
+        }
+        acc.finish()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    pub unsafe fn accel_slab_p2p_f64(
+        px: f64,
+        py: f64,
+        pz: f64,
+        target_id: u32,
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        ms: &[f64],
+        ids: &[u32],
+        eps2: f64,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (_mm512_set1_pd(px), _mm512_set1_pd(py), _mm512_set1_pd(pz));
+        let eps2v = _mm512_set1_pd(eps2);
+        let target = _mm256_set1_epi32(target_id as i32);
+        let mut acc = Acc4::zero();
+        let n8 = xs.len() & !7;
+        for i in (0..n8).step_by(8) {
+            p2p_chunk8_f64(&mut acc, i, xs, ys, zs, ms, ids, target, pxv, pyv, pzv, eps2v);
+        }
+        if n8 < xs.len() {
+            avx2::p2p_chunk_f64(
+                &mut acc,
+                n8,
+                xs,
+                ys,
+                zs,
+                ms,
+                ids,
+                _mm_set1_epi32(target_id as i32),
+                _mm512_castpd512_pd256(pxv),
+                _mm512_castpd512_pd256(pyv),
+                _mm512_castpd512_pd256(pzv),
+                _mm512_castpd512_pd256(eps2v),
+            );
+        }
+        acc.finish()
+    }
+
+    /// Fused member body: nodes → tail → particles into one [`Acc4`],
+    /// matching the AVX2 and portable bodies exactly.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    pub unsafe fn accel_slab_member_f64(
+        px: f64,
+        py: f64,
+        pz: f64,
+        target_id: u32,
+        nodes: SlabView<'_>,
+        parts: SlabView<'_>,
+        ids: &[u32],
+        tail: SlabView<'_>,
+        eps2: f64,
+    ) -> (f64, f64, f64, f64) {
+        let (pxv, pyv, pzv) = (_mm512_set1_pd(px), _mm512_set1_pd(py), _mm512_set1_pd(pz));
+        let eps2v = _mm512_set1_pd(eps2);
+        let (px4, py4, pz4, eps24) = (
+            _mm512_castpd512_pd256(pxv),
+            _mm512_castpd512_pd256(pyv),
+            _mm512_castpd512_pd256(pzv),
+            _mm512_castpd512_pd256(eps2v),
+        );
+        let target = _mm256_set1_epi32(target_id as i32);
+        let mut acc = Acc4::zero();
+        for slab in [nodes, tail] {
+            let n8 = slab.xs.len() & !7;
+            for i in (0..n8).step_by(8) {
+                m2p_chunk8_f64(
+                    &mut acc, i, slab.xs, slab.ys, slab.zs, slab.ms, pxv, pyv, pzv, eps2v,
+                );
+            }
+            if n8 < slab.xs.len() {
+                avx2::m2p_chunk_f64(
+                    &mut acc, n8, slab.xs, slab.ys, slab.zs, slab.ms, px4, py4, pz4, eps24,
+                );
+            }
+        }
+        let n8 = parts.xs.len() & !7;
+        for i in (0..n8).step_by(8) {
+            p2p_chunk8_f64(
+                &mut acc, i, parts.xs, parts.ys, parts.zs, parts.ms, ids, target, pxv, pyv, pzv,
+                eps2v,
+            );
+        }
+        if n8 < parts.xs.len() {
+            avx2::p2p_chunk_f64(
+                &mut acc,
+                n8,
+                parts.xs,
+                parts.ys,
+                parts.zs,
+                parts.ms,
+                ids,
+                _mm_set1_epi32(target_id as i32),
+                px4,
+                py4,
+                pz4,
+                eps24,
+            );
+        }
+        acc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{accel_batch_m2p, accel_batch_p2p};
+    use bhut_geom::Vec3;
+    use bhut_simd::{AlignedF32Slab, AlignedF64Slab, AlignedU32Slab, PAD_MULTIPLE};
+
+    const EPS: f64 = 1e-3;
+
+    struct Slabs {
+        xs: AlignedF64Slab,
+        ys: AlignedF64Slab,
+        zs: AlignedF64Slab,
+        ms: AlignedF64Slab,
+        ids: AlignedU32Slab,
+    }
+
+    fn make_slabs(n: usize, seed: u64) -> Slabs {
+        // Small deterministic LCG; no external RNG needed here.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut s = Slabs {
+            xs: AlignedF64Slab::new(),
+            ys: AlignedF64Slab::new(),
+            zs: AlignedF64Slab::new(),
+            ms: AlignedF64Slab::new(),
+            ids: AlignedU32Slab::new(),
+        };
+        for i in 0..n {
+            s.xs.push(next() * 2.0 - 1.0);
+            s.ys.push(next() * 2.0 - 1.0);
+            s.zs.push(next() * 2.0 - 1.0);
+            s.ms.push(next() + 0.1);
+            s.ids.push(i as u32);
+        }
+        s.xs.pad_to(PAD_MULTIPLE, 0.0);
+        s.ys.pad_to(PAD_MULTIPLE, 0.0);
+        s.zs.pad_to(PAD_MULTIPLE, 0.0);
+        s.ms.pad_to(PAD_MULTIPLE, 0.0);
+        s.ids.pad_to(PAD_MULTIPLE, u32::MAX);
+        s
+    }
+
+    fn to_f32(s: &AlignedF64Slab) -> AlignedF32Slab {
+        let mut out = AlignedF32Slab::new();
+        for &v in s.padded() {
+            out.push(v as f32);
+        }
+        out.pad_to(PAD_MULTIPLE, 0.0);
+        out
+    }
+
+    #[test]
+    fn f64_slab_kernels_match_scalar_batch_within_1e12() {
+        for n in [0usize, 1, 3, 8, 37, 200] {
+            let s = make_slabs(n, 42 + n as u64);
+            let p = Vec3::new(0.13, -0.27, 0.61);
+            let (acc_ref, phi_ref) = accel_batch_m2p(p, &s.xs, &s.ys, &s.zs, &s.ms, EPS);
+            let (ax, ay, az, phi) = accel_slab_m2p_f64(
+                p.x,
+                p.y,
+                p.z,
+                s.xs.padded(),
+                s.ys.padded(),
+                s.zs.padded(),
+                s.ms.padded(),
+                EPS * EPS,
+            );
+            let tol = 1e-12;
+            assert!(acc_ref.dist(Vec3::new(ax, ay, az)) <= tol * acc_ref.norm().max(1.0), "n={n}");
+            assert!((phi - phi_ref).abs() <= tol * phi_ref.abs().max(1.0), "n={n}");
+
+            let target = if n > 0 { (n / 2) as u32 } else { 0 };
+            let (acc_ref, phi_ref) =
+                accel_batch_p2p(p, target, &s.xs, &s.ys, &s.zs, &s.ms, &s.ids, EPS);
+            let (ax, ay, az, phi) = accel_slab_p2p_f64(
+                p.x,
+                p.y,
+                p.z,
+                target,
+                s.xs.padded(),
+                s.ys.padded(),
+                s.zs.padded(),
+                s.ms.padded(),
+                s.ids.padded(),
+                EPS * EPS,
+            );
+            assert!(acc_ref.dist(Vec3::new(ax, ay, az)) <= tol * acc_ref.norm().max(1.0), "n={n}");
+            assert!((phi - phi_ref).abs() <= tol * phi_ref.abs().max(1.0), "n={n}");
+        }
+    }
+
+    fn view(s: &Slabs) -> SlabView<'_> {
+        SlabView { xs: s.xs.padded(), ys: s.ys.padded(), zs: s.zs.padded(), ms: s.ms.padded() }
+    }
+
+    #[test]
+    fn fused_member_kernel_matches_three_scalar_batches_within_1e12() {
+        for (nn, np, nt) in [(0usize, 0usize, 0usize), (5, 3, 0), (0, 9, 17), (40, 16, 7)] {
+            let nodes = make_slabs(nn, 11 + nn as u64);
+            let parts = make_slabs(np, 23 + np as u64);
+            let tail = make_slabs(nt, 31 + nt as u64);
+            let p = Vec3::new(0.31, 0.07, -0.55);
+            let target = 1u32;
+            let (an, pn) = accel_batch_m2p(p, &nodes.xs, &nodes.ys, &nodes.zs, &nodes.ms, EPS);
+            let (ap, pp) = accel_batch_p2p(
+                p, target, &parts.xs, &parts.ys, &parts.zs, &parts.ms, &parts.ids, EPS,
+            );
+            let (at, pt) = accel_batch_m2p(p, &tail.xs, &tail.ys, &tail.zs, &tail.ms, EPS);
+            let acc_ref = an + ap + at;
+            let phi_ref = pn + pp + pt;
+            let (ax, ay, az, phi) = accel_slab_member_f64(
+                p.x,
+                p.y,
+                p.z,
+                target,
+                view(&nodes),
+                view(&parts),
+                parts.ids.padded(),
+                view(&tail),
+                EPS * EPS,
+            );
+            let tol = 1e-12;
+            assert!(
+                acc_ref.dist(Vec3::new(ax, ay, az)) <= tol * acc_ref.norm().max(1.0),
+                "n={nn}/{np}/{nt}"
+            );
+            assert!((phi - phi_ref).abs() <= tol * phi_ref.abs().max(1.0), "n={nn}/{np}/{nt}");
+        }
+    }
+
+    #[test]
+    fn dispatched_member_kernel_is_bitwise_the_portable_body() {
+        for (nn, np, nt) in [(0usize, 4usize, 0usize), (13, 16, 5), (64, 7, 33)] {
+            let nodes = make_slabs(nn, 301 + nn as u64);
+            let parts = make_slabs(np, 401 + np as u64);
+            let tail = make_slabs(nt, 501 + nt as u64);
+            let p = Vec3::new(-0.2, 0.9, 0.4);
+            let target = (np / 2) as u32;
+            let got = accel_slab_member_f64(
+                p.x,
+                p.y,
+                p.z,
+                target,
+                view(&nodes),
+                view(&parts),
+                parts.ids.padded(),
+                view(&tail),
+                EPS * EPS,
+            );
+            let want = portable::accel_slab_member_f64(
+                p.x,
+                p.y,
+                p.z,
+                target,
+                view(&nodes),
+                view(&parts),
+                parts.ids.padded(),
+                view(&tail),
+                EPS * EPS,
+            );
+            assert_eq!(got, want, "member f64, n={nn}/{np}/{nt}");
+        }
+    }
+
+    #[test]
+    fn dispatched_kernels_are_bitwise_the_portable_bodies() {
+        // The AVX2 bodies perform the same IEEE operations in the same
+        // order as the portable ones, so on AVX2 hardware the public
+        // (dispatched) kernels must agree with the portable bodies bit for
+        // bit. On non-AVX2 hosts both sides take the portable path and the
+        // assertion is trivially true.
+        for n in [0usize, 5, 8, 64, 333] {
+            let s = make_slabs(n, 1000 + n as u64);
+            let p = Vec3::new(-0.4, 0.8, 0.2);
+            let target = (n / 3) as u32;
+            let got = accel_slab_m2p_f64(
+                p.x,
+                p.y,
+                p.z,
+                s.xs.padded(),
+                s.ys.padded(),
+                s.zs.padded(),
+                s.ms.padded(),
+                EPS * EPS,
+            );
+            let want = portable::accel_slab_m2p_f64(
+                p.x,
+                p.y,
+                p.z,
+                s.xs.padded(),
+                s.ys.padded(),
+                s.zs.padded(),
+                s.ms.padded(),
+                EPS * EPS,
+            );
+            assert_eq!(got, want, "m2p f64, n={n}");
+            let got = accel_slab_p2p_f64(
+                p.x,
+                p.y,
+                p.z,
+                target,
+                s.xs.padded(),
+                s.ys.padded(),
+                s.zs.padded(),
+                s.ms.padded(),
+                s.ids.padded(),
+                EPS * EPS,
+            );
+            let want = portable::accel_slab_p2p_f64(
+                p.x,
+                p.y,
+                p.z,
+                target,
+                s.xs.padded(),
+                s.ys.padded(),
+                s.zs.padded(),
+                s.ms.padded(),
+                s.ids.padded(),
+                EPS * EPS,
+            );
+            assert_eq!(got, want, "p2p f64, n={n}");
+
+            let xs = to_f32(&s.xs);
+            let ys = to_f32(&s.ys);
+            let zs = to_f32(&s.zs);
+            let ms = to_f32(&s.ms);
+            let e2 = (EPS * EPS) as f32;
+            let got = accel_slab_m2p_f32(
+                p.x as f32,
+                p.y as f32,
+                p.z as f32,
+                xs.padded(),
+                ys.padded(),
+                zs.padded(),
+                ms.padded(),
+                e2,
+            );
+            let want = portable::accel_slab_m2p_f32(
+                p.x as f32,
+                p.y as f32,
+                p.z as f32,
+                xs.padded(),
+                ys.padded(),
+                zs.padded(),
+                ms.padded(),
+                e2,
+            );
+            assert_eq!(got, want, "m2p f32, n={n}");
+            let got = accel_slab_p2p_f32(
+                p.x as f32,
+                p.y as f32,
+                p.z as f32,
+                target,
+                xs.padded(),
+                ys.padded(),
+                zs.padded(),
+                ms.padded(),
+                s.ids.padded(),
+                e2,
+            );
+            let want = portable::accel_slab_p2p_f32(
+                p.x as f32,
+                p.y as f32,
+                p.z as f32,
+                target,
+                xs.padded(),
+                ys.padded(),
+                zs.padded(),
+                ms.padded(),
+                s.ids.padded(),
+                e2,
+            );
+            assert_eq!(got, want, "p2p f32, n={n}");
+        }
+    }
+
+    #[test]
+    fn zero_mass_padding_contributes_exactly_nothing() {
+        // Same logical data, different padded tail lengths → identical sums.
+        let a = make_slabs(9, 7);
+        let mut b = make_slabs(9, 7);
+        for s in [&mut b.xs, &mut b.ys, &mut b.zs, &mut b.ms] {
+            s.pad_to(PAD_MULTIPLE * 4, 0.0);
+        }
+        b.ids.pad_to(PAD_MULTIPLE * 4, u32::MAX);
+        let p = Vec3::new(0.5, 0.5, 0.5);
+        let ra = accel_slab_m2p_f64(
+            p.x,
+            p.y,
+            p.z,
+            a.xs.padded(),
+            a.ys.padded(),
+            a.zs.padded(),
+            a.ms.padded(),
+            EPS * EPS,
+        );
+        let rb = accel_slab_m2p_f64(
+            p.x,
+            p.y,
+            p.z,
+            b.xs.padded(),
+            b.ys.padded(),
+            b.zs.padded(),
+            b.ms.padded(),
+            EPS * EPS,
+        );
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn unsoftened_self_interaction_is_guarded() {
+        // eps = 0 and the target sitting exactly on a source: the r² = 0 lane
+        // must contribute zero, not NaN.
+        let s = make_slabs(5, 3);
+        // Evaluate exactly on top of source 2.
+        let p = Vec3::new(s.xs[2], s.ys[2], s.zs[2]);
+        let (ax, ay, az, phi) = accel_slab_m2p_f64(
+            p.x,
+            p.y,
+            p.z,
+            s.xs.padded(),
+            s.ys.padded(),
+            s.zs.padded(),
+            s.ms.padded(),
+            0.0,
+        );
+        assert!(ax.is_finite() && ay.is_finite() && az.is_finite() && phi.is_finite());
+        let (bx, by, bz, bphi) = accel_slab_p2p_f64(
+            p.x,
+            p.y,
+            p.z,
+            u32::MAX - 1, // no id matches; only the r² guard protects
+            s.xs.padded(),
+            s.ys.padded(),
+            s.zs.padded(),
+            s.ms.padded(),
+            s.ids.padded(),
+            0.0,
+        );
+        assert!(bx.is_finite() && by.is_finite() && bz.is_finite() && bphi.is_finite());
+        // The f32 path hits the same guard.
+        let xs = to_f32(&s.xs);
+        let ys = to_f32(&s.ys);
+        let zs = to_f32(&s.zs);
+        let ms = to_f32(&s.ms);
+        let (cx, cy, cz, cphi) = accel_slab_m2p_f32(
+            p.x as f32,
+            p.y as f32,
+            p.z as f32,
+            xs.padded(),
+            ys.padded(),
+            zs.padded(),
+            ms.padded(),
+            0.0,
+        );
+        assert!(cx.is_finite() && cy.is_finite() && cz.is_finite() && cphi.is_finite());
+    }
+
+    #[test]
+    fn mixed_precision_tracks_f64_to_single_precision() {
+        let s = make_slabs(300, 99);
+        let xs = to_f32(&s.xs);
+        let ys = to_f32(&s.ys);
+        let zs = to_f32(&s.zs);
+        let ms = to_f32(&s.ms);
+        let p = Vec3::new(2.0, 2.0, 2.0); // outside the cloud: well-conditioned
+        let (acc_ref, phi_ref) = accel_batch_m2p(p, &s.xs, &s.ys, &s.zs, &s.ms, EPS);
+        let (ax, ay, az, phi) = accel_slab_m2p_f32(
+            p.x as f32,
+            p.y as f32,
+            p.z as f32,
+            xs.padded(),
+            ys.padded(),
+            zs.padded(),
+            ms.padded(),
+            (EPS * EPS) as f32,
+        );
+        // f32 lanes carry ~1e-7 relative noise per interaction; the f64
+        // accumulator keeps the sum from drifting beyond ~1e-5 relative.
+        let tol = 1e-5;
+        assert!(
+            acc_ref.dist(Vec3::new(ax, ay, az)) <= tol * acc_ref.norm(),
+            "mixed {:?} vs f64 {:?}",
+            (ax, ay, az),
+            acc_ref
+        );
+        assert!((phi - phi_ref).abs() <= tol * phi_ref.abs());
+
+        let target = 150u32;
+        let (acc_ref, phi_ref) =
+            accel_batch_p2p(p, target, &s.xs, &s.ys, &s.zs, &s.ms, &s.ids, EPS);
+        let (ax, ay, az, phi) = accel_slab_p2p_f32(
+            p.x as f32,
+            p.y as f32,
+            p.z as f32,
+            target,
+            xs.padded(),
+            ys.padded(),
+            zs.padded(),
+            ms.padded(),
+            s.ids.padded(),
+            (EPS * EPS) as f32,
+        );
+        assert!(acc_ref.dist(Vec3::new(ax, ay, az)) <= tol * acc_ref.norm());
+        assert!((phi - phi_ref).abs() <= tol * phi_ref.abs());
+    }
+}

@@ -24,10 +24,12 @@ pub mod binary;
 pub mod build;
 pub mod direct;
 pub mod group;
+pub mod kernel;
 pub mod mac;
 pub mod node;
 pub mod traverse;
 
+pub use bhut_simd::KernelPrecision;
 pub use binary::BinaryTree;
 pub use build::BuildParams;
 pub use group::{

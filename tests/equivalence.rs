@@ -15,9 +15,12 @@ use barnes_hut::sim::{Simulation, SimulationConfig};
 use barnes_hut::threads::{ThreadConfig, ThreadSim};
 use barnes_hut::timestep::{ActiveSet, BlockConfig, TimestepMode};
 use barnes_hut::tree::build::{build, build_in_cell, BuildParams};
-use barnes_hut::tree::group::{eval_group_monopole, leaf_schedule, InteractionBuffers};
+use barnes_hut::tree::group::{
+    eval_gathered_monopole_masked, eval_group_monopole, gather_group, leaf_schedule,
+    resolve_mixed_tails, InteractionBuffers,
+};
 use barnes_hut::tree::traverse::TraversalStats;
-use barnes_hut::tree::{BarnesHutMac, GroupClass, GroupMac, Mac, MinDistMac};
+use barnes_hut::tree::{BarnesHutMac, GroupClass, GroupMac, KernelPrecision, Mac, MinDistMac};
 use proptest::prelude::*;
 
 fn arb_particles(max_n: usize) -> impl Strategy<Value = ParticleSet> {
@@ -318,6 +321,112 @@ proptest! {
         }
         prop_assert_eq!(grouped.p2p, reference.p2p);
         prop_assert_eq!(grouped, reference);
+    }
+
+    /// The vectorised f64 kernels agree with the scalar grouped path to
+    /// ≤1e-12 relative across every kernel entry point — split, masked, and
+    /// with resolved mixed tails — with exact interaction counts throughout.
+    /// (The fused entry point is the split pair by construction; see
+    /// `grouped_walk_is_exact_for_random_sets` above.)
+    #[test]
+    fn simd_f64_kernels_match_scalar_grouped_path(
+        set in arb_particles(150),
+        alpha in 0.3f64..1.3,
+        s in 1usize..16,
+        stride in 2usize..5,
+    ) {
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(s));
+        let mac = BarnesHutMac::new(alpha);
+        let eps = 1e-4;
+        let mask: Vec<bool> = (0..set.len()).map(|i| i % stride != 1).collect();
+        let mut buf = InteractionBuffers::new();
+        let tol = 1e-12;
+        for leaf in leaf_schedule(&tree) {
+            gather_group(&tree, &set.particles, leaf, &mac, &mut buf);
+            let run = |precision: KernelPrecision,
+                       active: Option<&[bool]>,
+                       buf: &InteractionBuffers| {
+                let mut out: Vec<(u32, f64, Vec3, u64)> = Vec::new();
+                eval_gathered_monopole_masked(
+                    &tree, &set.particles, leaf, &mac, eps, precision, buf, active,
+                    |pi, phi, acc, it| out.push((pi, phi, acc, it)),
+                );
+                out
+            };
+            // Replay path (tails unresolved), full and masked; then the
+            // tails-resolved path. Each must put the SIMD kernels within
+            // 1e-12 relative of the scalar grouped loop.
+            let compare = |active: Option<&[bool]>, buf: &InteractionBuffers| {
+                let scalar = run(KernelPrecision::ScalarF64, active, buf);
+                let simd = run(KernelPrecision::F64, active, buf);
+                prop_assert_eq!(scalar.len(), simd.len());
+                for (a, b) in scalar.iter().zip(&simd) {
+                    prop_assert_eq!(a.0, b.0);
+                    prop_assert_eq!(a.3, b.3, "interaction counts are precision-independent");
+                    prop_assert!(
+                        (a.1 - b.1).abs() <= tol * a.1.abs().max(1.0),
+                        "phi {} vs scalar {}", b.1, a.1,
+                    );
+                    prop_assert!(
+                        a.2.dist(b.2) <= tol * a.2.norm().max(1.0),
+                        "acc {:?} vs scalar {:?}", b.2, a.2,
+                    );
+                }
+                Ok(())
+            };
+            compare(None, &buf)?;
+            compare(Some(mask.as_slice()), &buf)?;
+            resolve_mixed_tails(&tree, &set.particles, leaf, &mac, &mut buf, None);
+            compare(None, &buf)?;
+        }
+    }
+
+    /// Mixed precision (f32 lanes, f64 accumulation) stays inside the θ-MAC
+    /// discretisation envelope at the paper's α = 0.67: its RMS force error
+    /// against O(n²) direct summation exceeds the f64 path's by at most 25%
+    /// plus an absolute floor for near-cancelling configurations.
+    #[test]
+    fn mixed_f32_error_stays_within_mac_envelope(
+        set in arb_particles(150),
+        s in 2usize..16,
+    ) {
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(s));
+        let mac = BarnesHutMac::new(0.67);
+        let eps = 1e-4;
+        let n = set.len();
+        let mut buf = InteractionBuffers::new();
+        let mut acc_f64 = vec![Vec3::ZERO; n];
+        let mut acc_mixed = vec![Vec3::ZERO; n];
+        for leaf in leaf_schedule(&tree) {
+            gather_group(&tree, &set.particles, leaf, &mac, &mut buf);
+            buf.prepare_f32();
+            eval_gathered_monopole_masked(
+                &tree, &set.particles, leaf, &mac, eps, KernelPrecision::F64, &buf, None,
+                |pi, _, acc, _| acc_f64[pi as usize] = acc,
+            );
+            eval_gathered_monopole_masked(
+                &tree, &set.particles, leaf, &mac, eps, KernelPrecision::MixedF32, &buf, None,
+                |pi, _, acc, _| acc_mixed[pi as usize] = acc,
+            );
+        }
+        let exact: Vec<Vec3> = set
+            .iter()
+            .map(|p| barnes_hut::tree::direct::accel_direct(&set.particles, p.pos, Some(p.id), eps))
+            .collect();
+        let rms = |approx: &[Vec3]| {
+            let (mut num, mut den) = (0.0f64, 0.0f64);
+            for (a, e) in approx.iter().zip(&exact) {
+                num += a.dist_sq(*e);
+                den += e.norm_sq();
+            }
+            if den == 0.0 { 0.0 } else { (num / den).sqrt() }
+        };
+        let err_f64 = rms(&acc_f64);
+        let err_mixed = rms(&acc_mixed);
+        prop_assert!(
+            err_mixed <= err_f64 * 1.25 + 5e-6,
+            "mixed rms error {} exceeds envelope of f64 rms error {}", err_mixed, err_f64,
+        );
     }
 }
 
