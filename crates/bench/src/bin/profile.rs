@@ -21,6 +21,7 @@
 //! at the same `--n` and prints the relative overhead of instrumentation
 //! (the acceptance bar is <2% at n = 100k).
 
+use bhut_bench::gate::{parse_baseline, require_baseline, GateTable};
 use bhut_core::balance::Scheme;
 use bhut_core::driver::{ParallelSim, SimConfig};
 use bhut_geom::{plummer, PlummerSpec};
@@ -28,7 +29,7 @@ use bhut_machine::{CostModel, Hypercube, Machine};
 use bhut_obs::{phase, StepProfile};
 use bhut_threads::{EvalMode, KernelPrecision, Partitioning, ThreadConfig, ThreadSim};
 use serde::{Deserialize, Serialize};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 #[derive(Serialize, Deserialize)]
@@ -232,11 +233,14 @@ fn print_phase_table(t: &ThreadedReport, profile: &StepProfile) {
     }
 }
 
-fn check_baseline(path: &PathBuf, current: &Report, max_regression: f64) -> Result<(), String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
-    let baseline: Report =
-        serde_json::from_str(&text).map_err(|e| format!("cannot parse baseline: {e}"))?;
+/// Record the throughput-regression check against the committed baseline.
+/// A missing or unparsable baseline is a hard failure (see `gate`).
+fn check_baseline(path: &Path, current: &Report, max_regression: f64, gate: &mut GateTable) {
+    let text = require_baseline(
+        path,
+        "cargo run --release -p bhut-bench --bin profile -- --out results/profile.json",
+    );
+    let baseline: Report = parse_baseline(path, &text);
     let was = baseline.threaded.interactions_per_s;
     let now = current.threaded.interactions_per_s;
     let ratio = if now > 0.0 { was / now } else { f64::INFINITY };
@@ -247,13 +251,12 @@ fn check_baseline(path: &PathBuf, current: &Report, max_regression: f64) -> Resu
         if now >= was { "+" } else { "" },
         (now / was - 1.0) * 100.0
     );
-    if ratio > max_regression {
-        return Err(format!(
-            "throughput regressed {ratio:.2}x (limit {max_regression:.2}x): \
-             {was:.2e} -> {now:.2e} interactions/s"
-        ));
-    }
-    Ok(())
+    gate.check(
+        "throughput vs baseline",
+        format!("{now:.2e}/s ({ratio:.2}x slower)"),
+        format!("<= {max_regression:.2}x slower"),
+        ratio <= max_regression,
+    );
 }
 
 fn main() {
@@ -291,7 +294,12 @@ fn main() {
         profile,
     };
 
-    let gate = args.baseline.as_ref().map(|p| check_baseline(p, &report, args.max_regression));
+    let mut gate = GateTable::new("profile");
+    gate.info("config", format!("n={} threads={} reps={}", args.n, args.threads, args.reps));
+    gate.info("interactions/s", format!("{:.2e}", report.threaded.interactions_per_s));
+    if let Some(p) = args.baseline.as_ref() {
+        check_baseline(p, &report, args.max_regression, &mut gate);
+    }
 
     if let Some(dir) = args.out.parent() {
         std::fs::create_dir_all(dir).expect("create output dir");
@@ -300,8 +308,5 @@ fn main() {
     std::fs::write(&args.out, &json).expect("write report");
     println!("wrote {}", args.out.display());
 
-    if let Some(Err(msg)) = gate {
-        eprintln!("PERF GATE FAILED: {msg}");
-        std::process::exit(1);
-    }
+    gate.finish();
 }

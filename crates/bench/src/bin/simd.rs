@@ -25,13 +25,14 @@
 //!   than `--max-regression` against the committed report (coarse CI gate,
 //!   like the `profile` bin's).
 
+use bhut_bench::gate::{parse_baseline, require_baseline, GateTable};
 use bhut_geom::{plummer, PlummerSpec, Vec3};
 use bhut_obs::{phase, StepProfile};
 use bhut_threads::{EvalMode, Partitioning, ThreadConfig, ThreadSim};
 use bhut_tree::direct::accel_direct;
 use bhut_tree::KernelPrecision;
 use serde::{Deserialize, Serialize};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Multiplicative slack on the f64 tree-code error when bounding mixed_f32.
@@ -174,20 +175,23 @@ fn sampled_error(accels: &[Vec3], targets: &[usize], exact: &[Vec3]) -> (f64, f6
     (if targets.is_empty() { 0.0 } else { (sum_sq / targets.len() as f64).sqrt() }, max)
 }
 
-fn check_baseline(path: &PathBuf, current: &Report, max_regression: f64) -> Result<(), String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
-    let baseline: Report =
-        serde_json::from_str(&text).map_err(|e| format!("cannot parse baseline: {e}"))?;
+/// Record the f64 kernel-throughput regression check against the committed
+/// baseline. A missing or unparsable baseline is a hard failure (see `gate`).
+fn check_baseline(path: &Path, current: &Report, max_regression: f64, gate: &mut GateTable) {
+    let text = require_baseline(
+        path,
+        "cargo run --release -p bhut-bench --bin simd -- --out results/simd.json",
+    );
+    let baseline: Report = parse_baseline(path, &text);
     let row = |r: &Report| {
         r.rows
             .iter()
             .find(|row| row.precision == "f64")
             .map(|row| row.kernel_interactions_per_s)
-            .ok_or("baseline has no f64 row".to_string())
+            .unwrap_or(0.0)
     };
-    let was = row(&baseline)?;
-    let now = row(current)?;
+    let was = row(&baseline);
+    let now = row(current);
     let ratio = if now > 0.0 { was / now } else { f64::INFINITY };
     println!(
         "baseline f64 kernel {:.2e} interactions/s, current {:.2e} ({}{:.0}% of baseline)",
@@ -196,13 +200,12 @@ fn check_baseline(path: &PathBuf, current: &Report, max_regression: f64) -> Resu
         if now >= was { "+" } else { "" },
         (now / was - 1.0) * 100.0
     );
-    if ratio > max_regression {
-        return Err(format!(
-            "f64 kernel throughput regressed {ratio:.2}x (limit {max_regression:.2}x): \
-             {was:.2e} -> {now:.2e} interactions/s"
-        ));
-    }
-    Ok(())
+    gate.check(
+        "f64 kernel throughput vs baseline",
+        format!("{now:.2e}/s ({ratio:.2}x slower)"),
+        format!("<= {max_regression:.2}x slower"),
+        was > 0.0 && ratio <= max_regression,
+    );
 }
 
 fn main() {
@@ -296,8 +299,24 @@ fn main() {
         rows,
     };
 
-    let gate_baseline =
-        args.baseline.as_ref().map(|p| check_baseline(p, &report, args.max_regression));
+    let mut gate = GateTable::new("simd");
+    gate.info("config", format!("n={} threads={} reps={}", args.n, args.threads, args.reps));
+    let f64_speedup = report.rows[1].kernel_speedup;
+    gate.check(
+        "f64 kernel speedup over scalar",
+        format!("{f64_speedup:.2}x"),
+        format!(">= {:.2}x", args.min_kernel_speedup),
+        f64_speedup >= args.min_kernel_speedup,
+    );
+    gate.check(
+        "mixed_f32 rms error vs MAC envelope",
+        format!("{mixed_rms:.2e}"),
+        format!("<= {envelope:.2e}"),
+        mixed_rms <= envelope,
+    );
+    if let Some(p) = args.baseline.as_ref() {
+        check_baseline(p, &report, args.max_regression, &mut gate);
+    }
 
     if let Some(dir) = args.out.parent() {
         std::fs::create_dir_all(dir).expect("create output dir");
@@ -306,27 +325,5 @@ fn main() {
     std::fs::write(&args.out, &json).expect("write report");
     println!("wrote {}", args.out.display());
 
-    let mut failed = false;
-    let f64_speedup = report.rows[1].kernel_speedup;
-    if f64_speedup < args.min_kernel_speedup {
-        eprintln!(
-            "SPEEDUP GATE FAILED: f64 kernel speedup {f64_speedup:.2}x < required {:.2}x",
-            args.min_kernel_speedup
-        );
-        failed = true;
-    }
-    if mixed_rms > envelope {
-        eprintln!(
-            "ACCURACY GATE FAILED: mixed_f32 rms error {mixed_rms:.2e} \
-             exceeds the MAC envelope {envelope:.2e}"
-        );
-        failed = true;
-    }
-    if let Some(Err(msg)) = gate_baseline {
-        eprintln!("PERF GATE FAILED: {msg}");
-        failed = true;
-    }
-    if failed {
-        std::process::exit(1);
-    }
+    gate.finish();
 }

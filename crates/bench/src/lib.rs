@@ -14,6 +14,7 @@
 //! scheme wins, how times scale with `p`, `k`, α and cluster count, where
 //! efficiency rises and falls.
 
+pub mod gate;
 pub mod runner;
 pub mod tables;
 pub mod text;

@@ -106,6 +106,16 @@ pub struct IterationOutcome {
     pub profile: StepProfile,
 }
 
+impl IterationOutcome {
+    /// The iteration's phase breakdown folded onto the canonical
+    /// build/exchange/force/balance groups — the machine model's
+    /// *prediction* that the real multi-process backend is compared
+    /// against (see [`bhut_machine::phases`]).
+    pub fn phase_shares(&self) -> bhut_machine::PhaseShares {
+        bhut_machine::PhaseShares::from_profile(&self.profile)
+    }
+}
+
 /// Scheme state carried across iterations.
 #[derive(Debug, Clone, Default)]
 struct SchemeState {
@@ -510,6 +520,21 @@ mod tests {
         // simulated path reports totals only
         assert!(prof.per_worker.is_empty());
         assert_eq!(prof.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn phase_shares_fold_the_table3_breakdown() {
+        let set = uniform_cube(700, 100.0, 47);
+        let mut s = sim(Scheme::Spda, 8, 8);
+        let out = s.run_iteration(&set.particles);
+        let shares = out.phase_shares();
+        assert!(shares.is_normalized(), "{shares:?}");
+        assert!(shares.force > shares.build, "force dominates the prediction");
+        // Busy-time shares: each group is the sum over ranks of its phases'
+        // spans, so the force group must match the profile's share directly.
+        let prof = &out.profile;
+        let total: f64 = prof.spans.iter().map(bhut_obs::Span::duration).sum();
+        assert!((shares.force - prof.phase_total("force") / total).abs() < 1e-12);
     }
 
     #[test]

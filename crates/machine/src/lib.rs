@@ -21,6 +21,9 @@
 //!   Karypis \[20\] applied per topology.
 //! * [`stats`] — run reports: per-processor clocks, flops, message and word
 //!   counts, parallel time, efficiency, load imbalance.
+//! * [`phases`] — the canonical phase grouping that folds a simulated
+//!   profile and a real multi-process profile onto one comparable
+//!   [`PhaseShares`] table (the simulator-vs-reality CI gate's metric).
 //!
 //! The substitution preserves the paper's observable behaviour: *who wins
 //! and by how much* is a function of work distribution and communication
@@ -30,6 +33,7 @@
 pub mod bsp;
 pub mod collectives;
 pub mod cost;
+pub mod phases;
 pub mod stats;
 pub mod topology;
 pub mod trace;
@@ -37,6 +41,7 @@ pub mod trace;
 pub use bsp::{Ctx, Envelope, Machine, Program, Status};
 pub use collectives::Collectives;
 pub use cost::CostModel;
+pub use phases::PhaseShares;
 pub use stats::RunReport;
 pub use topology::{Crossbar, FatTree, Hypercube, Mesh2D, Topology};
 pub use trace::{Span, Trace};

@@ -1,0 +1,172 @@
+//! Canonical phase grouping for simulator-vs-reality comparison.
+//!
+//! The virtual-clock simulator reports the paper's five phases
+//! (`local_tree`, `tree_merge`, `broadcast`, `force`, `load_balance`); the
+//! real multi-process backend reports its own six (`exchange`, `build`,
+//! `walk`, `kernel`, `update`, `load_balance`). To put a prediction and a
+//! measurement in the same table, both are folded onto four canonical
+//! groups:
+//!
+//! | group      | simulated phases          | real phases              |
+//! |------------|---------------------------|--------------------------|
+//! | `build`    | local_tree                | build                    |
+//! | `exchange` | tree_merge + broadcast    | exchange                 |
+//! | `force`    | force                     | walk + kernel (or eval)  |
+//! | `balance`  | load_balance              | load_balance + update    |
+//!
+//! [`PhaseShares`] holds the normalized per-group share of total busy time;
+//! [`PhaseShares::max_abs_error`] is the comparison metric the `proc-smoke`
+//! CI gate consumes: the largest absolute difference in share points
+//! between prediction and measurement. Shares are dimensionless fractions,
+//! so virtual seconds and wall seconds compare directly.
+
+use bhut_obs::{phase, StepProfile};
+use serde::{Deserialize, Serialize};
+
+/// The four canonical phase groups.
+pub const GROUPS: [&str; 4] = ["build", "exchange", "force", "balance"];
+
+/// Normalized share of total busy time per canonical phase group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseShares {
+    pub build: f64,
+    pub exchange: f64,
+    pub force: f64,
+    pub balance: f64,
+}
+
+/// Canonical group of a raw phase name, `None` for phases outside the
+/// comparison (e.g. `scatter`, raw BSP supersteps).
+pub fn group_of(phase_name: &str) -> Option<&'static str> {
+    match phase_name {
+        phase::LOCAL_TREE | phase::BUILD => Some("build"),
+        phase::TREE_MERGE | phase::BROADCAST | phase::EXCHANGE => Some("exchange"),
+        phase::FORCE | phase::WALK | phase::KERNEL | phase::EVAL => Some("force"),
+        phase::LOAD_BALANCE | phase::UPDATE => Some("balance"),
+        _ => None,
+    }
+}
+
+impl PhaseShares {
+    /// Fold a profile's spans onto the canonical groups and normalize to
+    /// shares of the grouped busy time. A profile with no groupable spans
+    /// yields all-zero shares.
+    pub fn from_profile(profile: &StepProfile) -> PhaseShares {
+        let mut sums = [0.0f64; 4];
+        for span in &profile.spans {
+            if let Some(g) = group_of(&span.phase) {
+                let slot = GROUPS.iter().position(|&n| n == g).expect("known group");
+                sums[slot] += span.duration();
+            }
+        }
+        let total: f64 = sums.iter().sum();
+        if total <= 0.0 {
+            return PhaseShares::default();
+        }
+        PhaseShares {
+            build: sums[0] / total,
+            exchange: sums[1] / total,
+            force: sums[2] / total,
+            balance: sums[3] / total,
+        }
+    }
+
+    /// Shares in [`GROUPS`] order.
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.build, self.exchange, self.force, self.balance]
+    }
+
+    /// Largest absolute share difference against `other`, in share points
+    /// (0.25 = a phase's share of the step was mispredicted by 25 points).
+    pub fn max_abs_error(&self, other: &PhaseShares) -> f64 {
+        self.as_array().iter().zip(other.as_array()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    }
+
+    /// Per-group absolute errors against `other`, in [`GROUPS`] order.
+    pub fn abs_errors(&self, other: &PhaseShares) -> [f64; 4] {
+        let (a, b) = (self.as_array(), other.as_array());
+        [0, 1, 2, 3].map(|i| (a[i] - b[i]).abs())
+    }
+
+    /// Shares sum to 1 (within roundoff) unless the profile was empty.
+    pub fn is_normalized(&self) -> bool {
+        (self.as_array().iter().sum::<f64>() - 1.0).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhut_obs::Span;
+
+    fn profile(spans: &[(&str, f64)]) -> StepProfile {
+        let mut p = StepProfile::new(1);
+        let mut t = 0.0;
+        for (i, (name, d)) in spans.iter().enumerate() {
+            p.record(Span::new(0, i as u64, name, t, t + d));
+            t += d;
+        }
+        p
+    }
+
+    #[test]
+    fn simulated_phases_fold_onto_groups() {
+        let p = profile(&[
+            (phase::LOCAL_TREE, 1.0),
+            (phase::TREE_MERGE, 0.5),
+            (phase::BROADCAST, 0.5),
+            (phase::FORCE, 7.0),
+            (phase::LOAD_BALANCE, 1.0),
+        ]);
+        let s = PhaseShares::from_profile(&p);
+        assert!((s.build - 0.1).abs() < 1e-12);
+        assert!((s.exchange - 0.1).abs() < 1e-12);
+        assert!((s.force - 0.7).abs() < 1e-12);
+        assert!((s.balance - 0.1).abs() < 1e-12);
+        assert!(s.is_normalized());
+    }
+
+    #[test]
+    fn real_phases_fold_onto_the_same_groups() {
+        let p = profile(&[
+            (phase::EXCHANGE, 1.0),
+            (phase::BUILD, 2.0),
+            (phase::WALK, 3.0),
+            (phase::KERNEL, 3.0),
+            (phase::UPDATE, 0.5),
+            (phase::LOAD_BALANCE, 0.5),
+        ]);
+        let s = PhaseShares::from_profile(&p);
+        assert!((s.build - 0.2).abs() < 1e-12);
+        assert!((s.exchange - 0.1).abs() < 1e-12);
+        assert!((s.force - 0.6).abs() < 1e-12);
+        assert!((s.balance - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ungroupable_phases_are_excluded() {
+        let p = profile(&[(phase::FORCE, 1.0), (phase::SCATTER, 9.0), ("bsp", 5.0)]);
+        let s = PhaseShares::from_profile(&p);
+        assert_eq!(s.force, 1.0);
+        assert!(s.is_normalized());
+    }
+
+    #[test]
+    fn error_metric_is_symmetric_max_over_groups() {
+        let a = PhaseShares { build: 0.1, exchange: 0.1, force: 0.7, balance: 0.1 };
+        let b = PhaseShares { build: 0.3, exchange: 0.05, force: 0.6, balance: 0.05 };
+        assert!((a.max_abs_error(&b) - 0.2).abs() < 1e-12);
+        assert_eq!(a.max_abs_error(&b), b.max_abs_error(&a));
+        assert_eq!(a.max_abs_error(&a), 0.0);
+        let errs = a.abs_errors(&b);
+        assert!((errs[0] - 0.2).abs() < 1e-12);
+        assert!((errs[2] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_yields_zero_shares() {
+        let s = PhaseShares::from_profile(&StepProfile::new(2));
+        assert_eq!(s, PhaseShares::default());
+        assert!(!s.is_normalized());
+    }
+}

@@ -48,6 +48,11 @@ pub mod phase {
     pub const FORCE: &str = "force";
     /// Simulated: load balancing (SPDA remap / DPDA costzones).
     pub const LOAD_BALANCE: &str = "load_balance";
+    /// Multi-process: all-gather of owned particle state (the real-transport
+    /// analog of tree merge + broadcast).
+    pub const EXCHANGE: &str = "exchange";
+    /// Multi-process: leapfrog kick+drift of the owned particles.
+    pub const UPDATE: &str = "update";
 }
 
 /// One busy interval of one worker (real thread or virtual processor).
@@ -316,6 +321,27 @@ impl StepProfile {
         StepProfile { threads, ..Default::default() }
     }
 
+    /// Assemble one multi-rank profile from per-rank profiles, each recorded
+    /// independently on its own worker (e.g. serialized over a control
+    /// channel from real OS processes). Span ranks are rewritten to the
+    /// profile's position, per-rank totals become `per_worker[rank]`, and
+    /// `wall_s` is the slowest rank's wall clock — the makespan of the step.
+    pub fn from_rank_profiles(ranks: Vec<StepProfile>) -> StepProfile {
+        let mut out = StepProfile::new(ranks.len());
+        for (rank, rp) in ranks.into_iter().enumerate() {
+            out.step = out.step.max(rp.step);
+            out.wall_s = out.wall_s.max(rp.wall_s);
+            for mut span in rp.spans {
+                span.rank = rank;
+                out.spans.push(span);
+            }
+            out.totals.merge(&rp.totals);
+            out.per_worker.push(rp.totals);
+            out.rung_migrations += rp.rung_migrations;
+        }
+        out
+    }
+
     pub fn record(&mut self, span: Span) {
         self.spans.push(span);
     }
@@ -479,6 +505,29 @@ mod tests {
         assert_eq!(p.utilization(), 1.0);
         assert_eq!(p.phase_share(phase::FORCE), 0.0);
         assert!(p.phases().is_empty());
+    }
+
+    #[test]
+    fn rank_profiles_merge_into_one_table() {
+        let mut r0 = StepProfile::new(1);
+        r0.record(Span::new(0, 0, phase::BUILD, 0.0, 1.0));
+        r0.totals = Counters { p2p: 10, messages: 2, ..Default::default() };
+        r0.wall_s = 1.0;
+        let mut r1 = StepProfile::new(1);
+        r1.record(Span::new(0, 0, phase::BUILD, 0.0, 2.0));
+        r1.record(Span::new(0, 1, phase::FORCE, 2.0, 2.5));
+        r1.totals = Counters { p2p: 30, messages: 4, ..Default::default() };
+        r1.wall_s = 2.5;
+        let merged = StepProfile::from_rank_profiles(vec![r0, r1]);
+        assert_eq!(merged.threads, 2);
+        assert_eq!(merged.spans.len(), 3);
+        assert_eq!(merged.spans[1].rank, 1, "span ranks rewritten to position");
+        assert_eq!(merged.totals.p2p, 40);
+        assert_eq!(merged.totals.messages, 6);
+        assert_eq!(merged.per_worker.len(), 2);
+        assert_eq!(merged.per_worker[1].p2p, 30);
+        assert_eq!(merged.wall_s, 2.5);
+        assert!((merged.imbalance() - 30.0 / 20.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! Parent-side process launcher and the child-side entry hook.
+//!
+//! The parent binds a control socket, spawns one child per rank (same
+//! executable, rank identity in environment variables), and collects each
+//! rank's [`RankOutcome`] over the control channel. Any host binary
+//! becomes multi-process capable by calling [`maybe_child`] at the top of
+//! `main`: in a child process it runs the rank loop and exits; in the
+//! parent (or any ordinary invocation) it returns immediately.
+//!
+//! Failure handling is explicit: the parent polls child liveness while
+//! waiting on the control channel, so a rank that panics (its peers then
+//! fail their step with `PeerClosed` and exit) surfaces as
+//! [`ProcError::DeadRank`] naming the rank — never a parent hang. On any
+//! error the parent kills and reaps every remaining child before
+//! returning, and the rendezvous directory is removed either way.
+
+use crate::rank::{run_rank, ProcConfig, RankOutcome};
+use crate::transport::{ProcError, SocketMesh};
+use crate::wire::{
+    decode_forces, decode_particles, encode_forces, encode_particles, read_frame, write_frame,
+};
+use bhut_obs::StepProfile;
+use std::io::ErrorKind;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Environment variables carrying the child's identity.
+pub const ENV_RANK: &str = "BHUT_PROC_RANK";
+pub const ENV_RANKS: &str = "BHUT_PROC_RANKS";
+pub const ENV_DIR: &str = "BHUT_PROC_DIR";
+pub const ENV_CFG: &str = "BHUT_PROC_CFG";
+pub const ENV_TIMEOUT_MS: &str = "BHUT_PROC_TIMEOUT_MS";
+
+/// Control-channel frame tags (child → parent).
+mod ctrl {
+    pub const HELLO: u16 = 0x10;
+    pub const FORCES: u16 = 0x11;
+    pub const OWNED: u16 = 0x12;
+    pub const PROFILE: u16 = 0x13;
+    pub const DONE: u16 = 0x14;
+}
+
+/// Spawns ranks as OS processes and gathers their outcomes.
+pub struct Launcher {
+    /// Executable to spawn; defaults to the current executable, which must
+    /// call [`maybe_child`] before doing anything else.
+    pub program: PathBuf,
+    /// Arguments passed through to the child (the child's own CLI never
+    /// sees them before `maybe_child` takes over).
+    pub args: Vec<String>,
+    /// Deadline for mesh setup, any single collective wait, and the
+    /// parent's wait for results.
+    pub timeout: Duration,
+}
+
+/// One completed multi-process run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Per-rank outcomes, indexed by rank.
+    pub ranks: Vec<RankOutcome>,
+    /// Per-step profiles folded across ranks
+    /// ([`StepProfile::from_rank_profiles`]) — measured shares in the same
+    /// schema the simulator's predictions use.
+    pub merged: Vec<StepProfile>,
+}
+
+/// Run the rank loop and exit if this process is a spawned child; return
+/// immediately otherwise. Call first in `main`.
+pub fn maybe_child() {
+    if std::env::var_os(ENV_RANK).is_none() {
+        return;
+    }
+    let code = match child_main() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("bhut-proc child failed: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str) -> Result<T, ProcError> {
+    std::env::var(key)
+        .map_err(|_| ProcError::Protocol(format!("{key} not set")))?
+        .parse()
+        .map_err(|_| ProcError::Protocol(format!("{key} unparsable")))
+}
+
+fn child_main() -> Result<(), ProcError> {
+    let rank: usize = env_parse(ENV_RANK)?;
+    let p: usize = env_parse(ENV_RANKS)?;
+    let dir: PathBuf = env_parse::<String>(ENV_DIR)?.into();
+    let timeout = Duration::from_millis(env_parse::<u64>(ENV_TIMEOUT_MS).unwrap_or(30_000));
+    let cfg = ProcConfig::decode(&env_parse::<String>(ENV_CFG)?).map_err(ProcError::Protocol)?;
+
+    let mut mesh = SocketMesh::connect(&dir, rank, p, timeout)?;
+    let outcome = run_rank(&mut mesh, &cfg)?;
+
+    let mut conn = UnixStream::connect(dir.join("ctrl.sock"))?;
+    write_frame(&mut conn, ctrl::HELLO, &(rank as u32).to_le_bytes())?;
+    write_frame(&mut conn, ctrl::FORCES, &encode_forces(&outcome.forces))?;
+    write_frame(&mut conn, ctrl::OWNED, &encode_particles(&outcome.owned))?;
+    for prof in &outcome.profiles {
+        write_frame(&mut conn, ctrl::PROFILE, prof.to_json().as_bytes())?;
+    }
+    write_frame(&mut conn, ctrl::DONE, &[])?;
+    Ok(())
+}
+
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn rendezvous_dir() -> PathBuf {
+    // Unique per (process, run); short, because Unix socket paths cap out
+    // around 100 bytes.
+    let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("bhut-proc-{}-{seq}", std::process::id()))
+}
+
+impl Default for Launcher {
+    fn default() -> Self {
+        Launcher {
+            program: std::env::current_exe().expect("current executable path"),
+            args: Vec::new(),
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+impl Launcher {
+    /// Launch `p` ranks running `cfg` and collect every outcome. Children
+    /// are killed and reaped on any failure; the rendezvous directory is
+    /// always removed.
+    pub fn run(&self, p: usize, cfg: &ProcConfig) -> Result<RunResult, ProcError> {
+        assert!(p >= 1);
+        let dir = rendezvous_dir();
+        std::fs::create_dir_all(&dir)?;
+        let result = self.run_in(&dir, p, cfg);
+        let _ = std::fs::remove_dir_all(&dir);
+        result
+    }
+
+    fn run_in(&self, dir: &Path, p: usize, cfg: &ProcConfig) -> Result<RunResult, ProcError> {
+        let listener = UnixListener::bind(dir.join("ctrl.sock"))?;
+        listener.set_nonblocking(true)?;
+
+        let mut children: Vec<Child> = Vec::with_capacity(p);
+        for rank in 0..p {
+            let spawned = Command::new(&self.program)
+                .args(&self.args)
+                .env(ENV_RANK, rank.to_string())
+                .env(ENV_RANKS, p.to_string())
+                .env(ENV_DIR, dir)
+                .env(ENV_CFG, cfg.encode())
+                .env(ENV_TIMEOUT_MS, self.timeout.as_millis().to_string())
+                .stdin(Stdio::null())
+                .spawn();
+            match spawned {
+                Ok(child) => children.push(child),
+                Err(e) => {
+                    kill_all(&mut children);
+                    return Err(ProcError::Io(e));
+                }
+            }
+        }
+
+        let result = collect(&listener, &mut children, p, self.timeout);
+        match result {
+            Ok(run) => {
+                // Children exit right after reporting; reap them.
+                for (rank, child) in children.iter_mut().enumerate() {
+                    match child.wait() {
+                        Ok(status) if !status.success() => {
+                            return Err(ProcError::DeadRank {
+                                rank,
+                                detail: format!("exited {status} after reporting"),
+                            });
+                        }
+                        Ok(_) => {}
+                        Err(e) => return Err(ProcError::Io(e)),
+                    }
+                }
+                Ok(run)
+            }
+            Err(e) => {
+                kill_all(&mut children);
+                Err(e)
+            }
+        }
+    }
+}
+
+fn kill_all(children: &mut [Child]) {
+    for child in children.iter_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+/// Accept one control connection per rank, interleaved with liveness polls
+/// so a dead child is reported as [`ProcError::DeadRank`] instead of
+/// waiting out the full deadline.
+fn collect(
+    listener: &UnixListener,
+    children: &mut [Child],
+    p: usize,
+    timeout: Duration,
+) -> Result<RunResult, ProcError> {
+    let deadline = Instant::now() + timeout;
+    let mut outcomes: Vec<Option<RankOutcome>> = (0..p).map(|_| None).collect();
+    let mut done = 0usize;
+    while done < p {
+        // A child that died before reporting will never connect; fail fast
+        // with its identity and exit status.
+        for (rank, child) in children.iter_mut().enumerate() {
+            if outcomes[rank].is_some() {
+                continue;
+            }
+            if let Some(status) = child.try_wait()? {
+                if !status.success() {
+                    return Err(ProcError::DeadRank {
+                        rank,
+                        detail: format!("exited {status} before reporting"),
+                    });
+                }
+            }
+        }
+        match listener.accept() {
+            Ok((mut conn, _)) => {
+                conn.set_nonblocking(false)?;
+                conn.set_read_timeout(Some(timeout))?;
+                let (rank, outcome) = read_report(&mut conn)?;
+                if rank >= p || outcomes[rank].is_some() {
+                    return Err(ProcError::Protocol(format!("bad report from rank {rank}")));
+                }
+                outcomes[rank] = Some(outcome);
+                done += 1;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    let missing: Vec<usize> = (0..p).filter(|&r| outcomes[r].is_none()).collect();
+                    return Err(ProcError::DeadRank {
+                        rank: missing[0],
+                        detail: format!("no report within {timeout:?} (missing {missing:?})"),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(ProcError::Io(e)),
+        }
+    }
+
+    let ranks: Vec<RankOutcome> = outcomes.into_iter().map(|o| o.expect("all done")).collect();
+    let steps = ranks.first().map_or(0, |r| r.profiles.len());
+    let merged = (0..steps)
+        .map(|s| {
+            StepProfile::from_rank_profiles(ranks.iter().map(|r| r.profiles[s].clone()).collect())
+        })
+        .collect();
+    Ok(RunResult { ranks, merged })
+}
+
+fn read_report(conn: &mut UnixStream) -> Result<(usize, RankOutcome), ProcError> {
+    let proto = |m: String| ProcError::Protocol(m);
+    let (tag, hello) = read_frame(conn)?;
+    if tag != ctrl::HELLO || hello.len() != 4 {
+        return Err(proto(format!("control channel opened with tag {tag}")));
+    }
+    let rank = u32::from_le_bytes(hello.try_into().expect("4 bytes")) as usize;
+    let mut outcome = RankOutcome::default();
+    let mut saw_forces = false;
+    let mut saw_owned = false;
+    loop {
+        let (tag, payload) = read_frame(conn)?;
+        match tag {
+            ctrl::FORCES => {
+                outcome.forces = decode_forces(&payload).map_err(proto)?;
+                saw_forces = true;
+            }
+            ctrl::OWNED => {
+                outcome.owned = decode_particles(&payload).map_err(proto)?;
+                saw_owned = true;
+            }
+            ctrl::PROFILE => {
+                let text = std::str::from_utf8(&payload)
+                    .map_err(|e| proto(format!("profile not utf-8: {e}")))?;
+                outcome.profiles.push(StepProfile::from_json(text).map_err(proto)?);
+            }
+            ctrl::DONE => break,
+            other => return Err(proto(format!("unexpected control tag {other}"))),
+        }
+    }
+    if !saw_forces || !saw_owned {
+        return Err(proto(format!("rank {rank} report incomplete")));
+    }
+    Ok((rank, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A child that exits without ever joining the mesh must surface as a
+    /// named dead rank, not a hang: the parent's liveness poll catches it.
+    #[test]
+    fn dead_child_is_reported_not_hung() {
+        let launcher = Launcher {
+            program: "/bin/sh".into(),
+            args: vec!["-c".into(), "exit 7".into()],
+            timeout: Duration::from_secs(20),
+        };
+        let started = Instant::now();
+        let err = launcher.run(2, &ProcConfig::default()).unwrap_err();
+        match err {
+            ProcError::DeadRank { detail, .. } => {
+                assert!(detail.contains("before reporting"), "{detail}");
+            }
+            other => panic!("expected DeadRank, got {other}"),
+        }
+        assert!(started.elapsed() < Duration::from_secs(15), "parent waited out the deadline");
+    }
+
+    /// A child that never connects *and* never exits trips the deadline
+    /// with the missing ranks named; the parent then kills it.
+    #[test]
+    fn wedged_child_trips_the_deadline() {
+        // Spawn `sleep` directly (not via `sh -c`, which may fork and leave
+        // an orphan holding the test harness's output pipe after the kill).
+        let launcher = Launcher {
+            program: "/bin/sleep".into(),
+            args: vec!["600".into()],
+            timeout: Duration::from_millis(300),
+        };
+        let err = launcher.run(1, &ProcConfig::default()).unwrap_err();
+        match err {
+            ProcError::DeadRank { rank: 0, detail } => {
+                assert!(detail.contains("no report"), "{detail}");
+            }
+            other => panic!("expected deadline DeadRank, got {other}"),
+        }
+    }
+}

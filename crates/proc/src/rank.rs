@@ -1,0 +1,482 @@
+//! The per-rank step driver: one OS process (or loopback endpoint) running
+//! one of the three Grama–Kumar–Sameh formulations for real.
+//!
+//! Every rank executes the same bulk-synchronous loop per time-step:
+//!
+//! 1. **exchange** — all-gather owned particles into the canonical
+//!    id-indexed array, so every rank holds an identical global state.
+//! 2. **build / walk / kernel** — build the (replicated) global tree and
+//!    evaluate forces for *owned* particles only, by masking the
+//!    shared-memory executor with an [`ActiveSet`]. The masked evaluation
+//!    is bitwise identical to the corresponding rows of a full run, which
+//!    is what makes the ≤1e-12 force-equivalence gate hold exactly: a
+//!    `p`-rank run and the single-process reference produce the same bits.
+//! 3. **update** — leapfrog kick-drift of the owned rows.
+//! 4. **load_balance** — scheme-specific reassignment (SPSA re-bins to the
+//!    static gray-code owners; SPDA all-reduces measured cluster loads and
+//!    re-carves the Morton runs; DPDA all-gathers measured particle
+//!    weights and recomputes costzones), then a pairwise bin exchange
+//!    migrates particles to their new owners.
+//!
+//! Each step emits a rank-local [`StepProfile`] whose spans use the real
+//! phase names (`exchange`/`build`/`walk`/`kernel`/`update`/
+//! `load_balance`); rank 0 of a launched run folds them into one profile
+//! per step with [`StepProfile::from_rank_profiles`], landing measured
+//! shares in the same table as the simulator's predictions.
+
+use crate::collectives::{all_gather, all_reduce_sum_f64, broadcast, exchange};
+use crate::transport::{ProcError, Transport};
+use crate::wire::{decode_particles, decode_weights, encode_particles, encode_weights};
+use bhut_core::balance::{spda_initial, spda_rebalance, spsa_assignment, Curve, Scheme};
+use bhut_core::{ClusterGrid, Partition};
+use bhut_geom::{plummer, Aabb, Particle, PlummerSpec, Vec3};
+use bhut_obs::{now, phase, Span, StepProfile};
+use bhut_sim::kick_drift_owned;
+use bhut_threads::{ThreadConfig, ThreadSim};
+use bhut_timestep::ActiveSet;
+
+/// Frame tags of the rank↔rank mesh protocol.
+pub mod tags {
+    /// Initial conditions, rank 0 → all.
+    pub const IC: u16 = 1;
+    /// Per-step owned-state all-gather.
+    pub const STATE: u16 = 2;
+    /// SPDA per-cluster load all-reduce.
+    pub const LOADS: u16 = 3;
+    /// DPDA per-particle weight all-gather.
+    pub const WEIGHTS: u16 = 4;
+    /// Post-rebalance particle migration.
+    pub const MIGRATE: u16 = 5;
+}
+
+/// One multi-process run's shared configuration. Every rank derives the
+/// whole setup (IC, grid, initial ownership) deterministically from this,
+/// so only the struct itself crosses the process boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcConfig {
+    pub scheme: Scheme,
+    pub n: usize,
+    pub steps: usize,
+    pub dt: f64,
+    pub seed: u64,
+    /// Barnes–Hut opening parameter α.
+    pub alpha: f64,
+    /// Softening length.
+    pub eps: f64,
+    /// Cluster-grid side `c` (r = c² clusters) for SPSA/SPDA.
+    pub grid_c: u32,
+    /// SPDA curve ordering.
+    pub curve: Curve,
+}
+
+impl Default for ProcConfig {
+    fn default() -> Self {
+        ProcConfig {
+            scheme: Scheme::Spsa,
+            n: 1000,
+            steps: 2,
+            dt: 1e-3,
+            seed: 42,
+            alpha: 0.67,
+            eps: 1e-4,
+            grid_c: 8,
+            curve: Curve::Morton,
+        }
+    }
+}
+
+impl ProcConfig {
+    /// Exact textual encoding for the parent→child environment hop. Floats
+    /// travel as hex bit patterns, so the child reconstructs the identical
+    /// config — decimal formatting must never perturb the run.
+    pub fn encode(&self) -> String {
+        let scheme = match self.scheme {
+            Scheme::Spsa => "spsa",
+            Scheme::Spda => "spda",
+            Scheme::Dpda => "dpda",
+        };
+        let curve = match self.curve {
+            Curve::Morton => "morton",
+            Curve::Hilbert => "hilbert",
+        };
+        format!(
+            "scheme={scheme};n={};steps={};dt={:016x};seed={};alpha={:016x};eps={:016x};grid_c={};curve={curve}",
+            self.n,
+            self.steps,
+            self.dt.to_bits(),
+            self.seed,
+            self.alpha.to_bits(),
+            self.eps.to_bits(),
+            self.grid_c,
+        )
+    }
+
+    pub fn decode(s: &str) -> Result<ProcConfig, String> {
+        let mut cfg = ProcConfig::default();
+        for kv in s.split(';') {
+            let (k, v) = kv.split_once('=').ok_or_else(|| format!("bad field {kv:?}"))?;
+            let bits = || u64::from_str_radix(v, 16).map_err(|e| format!("{k}: {e}"));
+            match k {
+                "scheme" => {
+                    cfg.scheme = match v {
+                        "spsa" => Scheme::Spsa,
+                        "spda" => Scheme::Spda,
+                        "dpda" => Scheme::Dpda,
+                        _ => return Err(format!("unknown scheme {v:?}")),
+                    }
+                }
+                "curve" => {
+                    cfg.curve = match v {
+                        "morton" => Curve::Morton,
+                        "hilbert" => Curve::Hilbert,
+                        _ => return Err(format!("unknown curve {v:?}")),
+                    }
+                }
+                "n" => cfg.n = v.parse().map_err(|e| format!("n: {e}"))?,
+                "steps" => cfg.steps = v.parse().map_err(|e| format!("steps: {e}"))?,
+                "seed" => cfg.seed = v.parse().map_err(|e| format!("seed: {e}"))?,
+                "grid_c" => cfg.grid_c = v.parse().map_err(|e| format!("grid_c: {e}"))?,
+                "dt" => cfg.dt = f64::from_bits(bits()?),
+                "alpha" => cfg.alpha = f64::from_bits(bits()?),
+                "eps" => cfg.eps = f64::from_bits(bits()?),
+                _ => return Err(format!("unknown field {k:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Everything one rank reports back from a run.
+#[derive(Debug, Clone, Default)]
+pub struct RankOutcome {
+    /// Final owned particles (post-update, post-migration).
+    pub owned: Vec<Particle>,
+    /// Last step's `(id, accel, potential)` for the particles this rank
+    /// owned at evaluation time — the force-equivalence evidence.
+    pub forces: Vec<(u32, Vec3, f64)>,
+    /// One rank-local profile per step (span ranks are all 0; the collector
+    /// rewrites them with [`StepProfile::from_rank_profiles`]).
+    pub profiles: Vec<StepProfile>,
+}
+
+fn protocol(err: String) -> ProcError {
+    ProcError::Protocol(err)
+}
+
+/// Assemble the canonical id-indexed global array from per-rank slices;
+/// every id must appear exactly once.
+fn assemble(n: usize, views: &[Vec<u8>]) -> Result<Vec<Particle>, ProcError> {
+    let mut all = vec![Particle::new(0, 0.0, Vec3::ZERO, Vec3::ZERO); n];
+    let mut seen = vec![false; n];
+    for bytes in views {
+        for p in decode_particles(bytes).map_err(protocol)? {
+            let id = p.id as usize;
+            if id >= n || seen[id] {
+                return Err(protocol(format!("particle id {id} out of range or duplicated")));
+            }
+            seen[id] = true;
+            all[id] = p;
+        }
+    }
+    if let Some(missing) = seen.iter().position(|s| !s) {
+        return Err(protocol(format!("no rank owns particle {missing}")));
+    }
+    Ok(all)
+}
+
+/// Run the full step loop on this rank. Deterministic: the outcome is a
+/// pure function of `cfg` and the transport's `(rank, size)`.
+pub fn run_rank(t: &mut dyn Transport, cfg: &ProcConfig) -> Result<RankOutcome, ProcError> {
+    let (rank, p) = (t.rank(), t.size());
+    if cfg.scheme == Scheme::Spsa {
+        assert!(p.is_power_of_two(), "SPSA requires power-of-two ranks");
+    }
+
+    // IC: rank 0 samples the Plummer sphere and broadcasts it, so the bits
+    // every rank starts from are rank 0's by construction.
+    let ic_bytes = (rank == 0).then(|| {
+        let spec = PlummerSpec { n: cfg.n, seed: cfg.seed, ..Default::default() };
+        encode_particles(&plummer(spec).particles)
+    });
+    let ic = decode_particles(&broadcast(t, 0, tags::IC, ic_bytes)?).map_err(protocol)?;
+    let n = ic.len();
+
+    // The cluster grid is fixed for the whole run and derived identically
+    // on every rank: 4× the IC bounding cube, so drifting particles stay
+    // inside (strays clamp to boundary clusters).
+    let ic_cell = Aabb::bounding_cube(ic.iter().map(|q| q.pos), 1e-9)
+        .ok_or_else(|| protocol("empty initial conditions".into()))?;
+    let grid = ClusterGrid::new(cfg.grid_c, Aabb::cube(ic_cell.center(), ic_cell.side() * 4.0));
+
+    let mut sim = ThreadSim::new(ThreadConfig {
+        threads: 1,
+        alpha: cfg.alpha,
+        eps: cfg.eps,
+        ..ThreadConfig::default()
+    });
+
+    // Initial ownership.
+    let mut cluster_owner: Vec<usize> = match cfg.scheme {
+        Scheme::Spsa => spsa_assignment(&grid, p),
+        Scheme::Spda => spda_initial(&grid, p, cfg.curve),
+        Scheme::Dpda => Vec::new(),
+    };
+    let owner_of_ic: Vec<usize> = match cfg.scheme {
+        Scheme::Spsa | Scheme::Spda => {
+            ic.iter().map(|q| cluster_owner[grid.cluster_of(q.pos) as usize]).collect()
+        }
+        Scheme::Dpda => {
+            // No loads measured yet: costzones over the IC tree with zero
+            // weights degenerates to equal particle counts.
+            let tree = sim.build_tree(&ic);
+            Partition::costzones_weighted(&tree, &vec![0.0; n], p).owner_of_particle
+        }
+    };
+    let mut owned: Vec<Particle> =
+        ic.iter().filter(|q| owner_of_ic[q.id as usize] == rank).copied().collect();
+
+    let mut profiles = Vec::with_capacity(cfg.steps);
+    let mut last_forces: Vec<(u32, Vec3, f64)> = Vec::new();
+
+    for step in 0..cfg.steps {
+        let t0 = now();
+        let traffic0 = t.traffic();
+
+        // ---- exchange: replicate the global state -----------------------
+        let views = all_gather(t, tags::STATE, &encode_particles(&owned))?;
+        let all = assemble(n, &views)?;
+        let t_ex = now();
+        let traffic_ex = t.traffic();
+
+        // ---- build + walk + kernel: masked force evaluation -------------
+        let active = if p == 1 {
+            ActiveSet::all(n)
+        } else {
+            let mut mask = vec![false; n];
+            for q in &owned {
+                mask[q.id as usize] = true;
+            }
+            ActiveSet::from_mask(mask)
+        };
+        let fr = sim.compute_forces_active_profiled(&all, &active);
+        let t_force = now();
+        if step + 1 == cfg.steps {
+            last_forces = owned
+                .iter()
+                .map(|q| (q.id, fr.accels[q.id as usize], fr.potentials[q.id as usize]))
+                .collect();
+        }
+
+        // ---- update: leapfrog the owned rows ----------------------------
+        kick_drift_owned(&mut owned, &fr.accels, cfg.dt);
+        let t_upd = now();
+
+        // ---- load_balance: scheme-specific reassignment + migration -----
+        let weights = sim.work_weights().expect("weights exist after a force step");
+        let new_owner: Vec<usize> = match cfg.scheme {
+            Scheme::Spsa => {
+                owned.iter().map(|q| cluster_owner[grid.cluster_of(q.pos) as usize]).collect()
+            }
+            Scheme::Spda => {
+                // All ranks see the same reduced loads (folded in rank
+                // order), so they carve identical Morton runs.
+                let mut loads = vec![0.0f64; grid.r()];
+                for q in &owned {
+                    loads[grid.cluster_of(q.pos) as usize] += weights[q.id as usize] as f64;
+                }
+                let loads = all_reduce_sum_f64(t, tags::LOADS, &loads)?;
+                cluster_owner = spda_rebalance(&grid, &loads, p, cfg.curve);
+                owned.iter().map(|q| cluster_owner[grid.cluster_of(q.pos) as usize]).collect()
+            }
+            Scheme::Dpda => {
+                // All-gather measured per-particle weights, rebuild the
+                // (identical) tree, recompute costzones — every rank derives
+                // the same partition from the same inputs.
+                let mine: Vec<(u32, u64)> =
+                    owned.iter().map(|q| (q.id, weights[q.id as usize])).collect();
+                let views = all_gather(t, tags::WEIGHTS, &encode_weights(&mine))?;
+                let mut w = vec![0.0f64; n];
+                for bytes in &views {
+                    for (id, wt) in decode_weights(bytes).map_err(protocol)? {
+                        w[id as usize] = wt as f64;
+                    }
+                }
+                let tree = sim.build_tree(&all);
+                let part = Partition::costzones_weighted(&tree, &w, p);
+                owned.iter().map(|q| part.owner_of_particle[q.id as usize]).collect()
+            }
+        };
+
+        let mut bins: Vec<Vec<Particle>> = vec![Vec::new(); p];
+        let mut keep = Vec::with_capacity(owned.len());
+        for (q, &dest) in owned.iter().zip(&new_owner) {
+            if dest == rank {
+                keep.push(*q);
+            } else {
+                bins[dest].push(*q);
+            }
+        }
+        let outgoing: Vec<Vec<u8>> = bins.iter().map(|b| encode_particles(b)).collect();
+        let incoming = exchange(t, tags::MIGRATE, &outgoing)?;
+        owned = keep;
+        for bytes in &incoming {
+            owned.extend(decode_particles(bytes).map_err(protocol)?);
+        }
+        let t_lb = now();
+        let traffic_end = t.traffic();
+
+        // ---- profile: rank-local spans in real phase names --------------
+        let mut prof = StepProfile::new(1);
+        prof.step = step as u64;
+        prof.wall_s = t_lb - t0;
+        let mut rec = |ph: &str, s: f64, e: f64, sent: u64| {
+            let mut span = Span::new(0, step as u64, ph, s - t0, e - t0);
+            span.sent = sent;
+            prof.record(span);
+        };
+        rec(phase::EXCHANGE, t0, t_ex, traffic_ex.0 - traffic0.0);
+        // Split the force interval by the executor's own sub-phase profile
+        // (build / walk / kernel); if the clock is compiled out the totals
+        // are zero and the whole interval lands under `force`.
+        let sub = fr.profile.as_ref();
+        let b = sub.map_or(0.0, |pr| pr.phase_total(phase::BUILD));
+        let wk = sub.map_or(0.0, |pr| pr.phase_total(phase::WALK) + pr.phase_total(phase::EVAL));
+        let k = sub.map_or(0.0, |pr| pr.phase_total(phase::KERNEL));
+        let total = b + wk + k;
+        if total > 0.0 {
+            let span_len = t_force - t_ex;
+            let t_b = t_ex + span_len * b / total;
+            let t_w = t_b + span_len * wk / total;
+            rec(phase::BUILD, t_ex, t_b, 0);
+            rec(phase::WALK, t_b, t_w, 0);
+            rec(phase::KERNEL, t_w, t_force, 0);
+        } else {
+            rec(phase::FORCE, t_ex, t_force, 0);
+        }
+        rec(phase::UPDATE, t_force, t_upd, 0);
+        rec(phase::LOAD_BALANCE, t_upd, t_lb, traffic_end.0 - traffic_ex.0);
+        if let Some(pr) = sub {
+            prof.totals = pr.totals;
+        }
+        prof.totals.messages = traffic_end.0 - traffic0.0;
+        prof.totals.words = (traffic_end.1 - traffic0.1) / 8;
+        profiles.push(prof);
+    }
+
+    Ok(RankOutcome { owned, forces: last_forces, profiles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::local_mesh;
+    use std::collections::BTreeMap;
+
+    fn run_scheme(scheme: Scheme, p: usize, cfg_base: ProcConfig) -> Vec<RankOutcome> {
+        let cfg = ProcConfig { scheme, ..cfg_base };
+        let handles: Vec<_> = local_mesh(p)
+            .into_iter()
+            .map(|mut t| std::thread::spawn(move || run_rank(&mut t, &cfg).expect("rank run")))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    }
+
+    fn by_id(outcomes: &[RankOutcome]) -> (BTreeMap<u32, Particle>, BTreeMap<u32, (Vec3, f64)>) {
+        let mut parts = BTreeMap::new();
+        let mut forces = BTreeMap::new();
+        for o in outcomes {
+            for q in &o.owned {
+                assert!(parts.insert(q.id, *q).is_none(), "particle {} owned twice", q.id);
+            }
+            for &(id, a, phi) in &o.forces {
+                assert!(forces.insert(id, (a, phi)).is_none());
+            }
+        }
+        (parts, forces)
+    }
+
+    fn small() -> ProcConfig {
+        ProcConfig { n: 192, steps: 3, dt: 1e-3, seed: 7, grid_c: 4, ..ProcConfig::default() }
+    }
+
+    #[test]
+    fn config_roundtrips_exactly() {
+        let cfg = ProcConfig {
+            scheme: Scheme::Dpda,
+            n: 5000,
+            steps: 4,
+            dt: 0.1 + 0.2,
+            seed: 99,
+            alpha: 1.0 / 3.0,
+            eps: 1e-4,
+            grid_c: 16,
+            curve: Curve::Hilbert,
+        };
+        let back = ProcConfig::decode(&cfg.encode()).unwrap();
+        assert_eq!(back, cfg);
+        assert_eq!(back.dt.to_bits(), cfg.dt.to_bits());
+        assert!(ProcConfig::decode("bogus").is_err());
+    }
+
+    #[test]
+    fn all_three_schemes_match_single_process_bitwise() {
+        for scheme in [Scheme::Spsa, Scheme::Spda, Scheme::Dpda] {
+            let reference = run_scheme(scheme, 1, small());
+            let (ref_parts, ref_forces) = by_id(&reference);
+            assert_eq!(ref_parts.len(), small().n);
+
+            let outcomes = run_scheme(scheme, 4, small());
+            let (parts, forces) = by_id(&outcomes);
+            assert_eq!(parts.len(), small().n, "{scheme:?}: every particle owned once");
+            for (id, q) in &parts {
+                let r = &ref_parts[id];
+                assert_eq!(q.pos.x.to_bits(), r.pos.x.to_bits(), "{scheme:?} id {id} pos.x");
+                assert_eq!(q.pos.y.to_bits(), r.pos.y.to_bits());
+                assert_eq!(q.pos.z.to_bits(), r.pos.z.to_bits());
+                assert_eq!(q.vel.x.to_bits(), r.vel.x.to_bits());
+                assert_eq!(q.vel.y.to_bits(), r.vel.y.to_bits());
+                assert_eq!(q.vel.z.to_bits(), r.vel.z.to_bits());
+            }
+            for (id, (a, phi)) in &forces {
+                let (ra, rphi) = &ref_forces[id];
+                assert_eq!(a.x.to_bits(), ra.x.to_bits(), "{scheme:?} id {id} accel.x");
+                assert_eq!(a.y.to_bits(), ra.y.to_bits());
+                assert_eq!(a.z.to_bits(), ra.z.to_bits());
+                assert_eq!(phi.to_bits(), rphi.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rank_runs_actually_distribute_work() {
+        for scheme in [Scheme::Spsa, Scheme::Spda, Scheme::Dpda] {
+            let outcomes = run_scheme(scheme, 4, small());
+            let nonempty = outcomes.iter().filter(|o| !o.owned.is_empty()).count();
+            assert!(nonempty >= 2, "{scheme:?}: work stuck on {nonempty} rank(s)");
+            for o in &outcomes {
+                assert_eq!(o.profiles.len(), small().steps);
+                for pr in &o.profiles {
+                    assert!(pr.totals.messages > 0, "{scheme:?}: no traffic recorded");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_carry_the_real_phase_vocabulary() {
+        let outcomes = run_scheme(Scheme::Spda, 2, small());
+        let phases = outcomes[0].profiles[0].phases();
+        for must in [phase::EXCHANGE, phase::UPDATE, phase::LOAD_BALANCE] {
+            assert!(phases.iter().any(|p| p == must), "missing {must} in {phases:?}");
+        }
+        // Folding per-rank profiles yields a grouped, normalized share
+        // vector — the object the proc_compare gate consumes.
+        let merged = StepProfile::from_rank_profiles(
+            outcomes.iter().map(|o| o.profiles[0].clone()).collect(),
+        );
+        if bhut_obs::RECORDING {
+            let shares = bhut_machine::PhaseShares::from_profile(&merged);
+            assert!(shares.is_normalized(), "{shares:?}");
+        }
+    }
+}

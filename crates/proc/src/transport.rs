@@ -1,0 +1,379 @@
+//! The point-to-point message layer under the collectives.
+//!
+//! [`Transport`] is the one interface both backends implement, so the
+//! collectives, the rank driver and every test run the same code path over
+//! either:
+//!
+//! * [`local_mesh`] — `p` in-process endpoints joined by lock-and-condvar
+//!   mailboxes. This is the loopback transport: `p = 1` is the
+//!   single-process reference path of the force-equivalence gate, and
+//!   multi-endpoint meshes let unit tests drive every collective from
+//!   plain threads.
+//! * [`SocketMesh`] — a full mesh of Unix-domain stream sockets, one
+//!   framed stream per peer pair, for real OS processes. Connection setup
+//!   retries with a deadline (peers bind in arbitrary order), accepts are
+//!   polled against the same deadline, and reads carry a timeout so a
+//!   wedged peer surfaces as [`ProcError::Timeout`] instead of a hang. A
+//!   peer that dies mid-step closes its streams, which surfaces as
+//!   [`ProcError::PeerClosed`] naming the rank.
+//!
+//! Messages between a fixed (sender, receiver) pair are FIFO; the rank
+//! driver is bulk-synchronous, so a tag mismatch on receive is a protocol
+//! bug and reported as [`ProcError::Protocol`], never silently skipped.
+
+use crate::wire::{read_frame, write_frame};
+use std::collections::VecDeque;
+use std::io::ErrorKind;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Anything that can go wrong in the distributed runtime.
+#[derive(Debug)]
+pub enum ProcError {
+    Io(std::io::Error),
+    /// A peer's stream closed (the process died or dropped its transport).
+    PeerClosed {
+        rank: usize,
+    },
+    /// A read or connection deadline expired.
+    Timeout(String),
+    /// Framing/tag/handshake violation — a bug, not an environment failure.
+    Protocol(String),
+    /// Parent-side: a child exited (or wedged) before reporting results.
+    DeadRank {
+        rank: usize,
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcError::Io(e) => write!(f, "io error: {e}"),
+            ProcError::PeerClosed { rank } => write!(f, "peer rank {rank} closed its stream"),
+            ProcError::Timeout(what) => write!(f, "timed out: {what}"),
+            ProcError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ProcError::DeadRank { rank, detail } => {
+                write!(f, "rank {rank} died before reporting: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+impl From<std::io::Error> for ProcError {
+    fn from(e: std::io::Error) -> Self {
+        ProcError::Io(e)
+    }
+}
+
+/// Point-to-point framed messaging between `size()` ranks.
+pub trait Transport: Send {
+    fn rank(&self) -> usize;
+    fn size(&self) -> usize;
+    /// Send `payload` to rank `to` under `tag`. Blocking, FIFO per pair.
+    fn send(&mut self, to: usize, tag: u16, payload: &[u8]) -> Result<(), ProcError>;
+    /// Receive the next frame from rank `from`; its tag must be `tag`.
+    fn recv(&mut self, from: usize, tag: u16) -> Result<Vec<u8>, ProcError>;
+    /// Cumulative (messages, payload bytes) sent since construction.
+    fn traffic(&self) -> (u64, u64);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback: in-process mailboxes.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Mailbox {
+    q: Mutex<MailboxState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct MailboxState {
+    frames: VecDeque<(u16, Vec<u8>)>,
+    closed: bool,
+}
+
+/// One endpoint of an in-process mesh; create with [`local_mesh`].
+pub struct LocalTransport {
+    rank: usize,
+    p: usize,
+    /// `boxes[from * p + to]`.
+    boxes: Arc<Vec<Mailbox>>,
+    recv_timeout: Duration,
+    sent_msgs: u64,
+    sent_bytes: u64,
+}
+
+/// `p` connected loopback endpoints (index = rank).
+pub fn local_mesh(p: usize) -> Vec<LocalTransport> {
+    assert!(p >= 1);
+    let boxes = Arc::new((0..p * p).map(|_| Mailbox::default()).collect::<Vec<_>>());
+    (0..p)
+        .map(|rank| LocalTransport {
+            rank,
+            p,
+            boxes: Arc::clone(&boxes),
+            recv_timeout: Duration::from_secs(30),
+            sent_msgs: 0,
+            sent_bytes: 0,
+        })
+        .collect()
+}
+
+impl LocalTransport {
+    /// Lower the blocking-receive deadline (tests exercising failure paths).
+    pub fn set_recv_timeout(&mut self, d: Duration) {
+        self.recv_timeout = d;
+    }
+}
+
+impl Transport for LocalTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.p
+    }
+
+    fn send(&mut self, to: usize, tag: u16, payload: &[u8]) -> Result<(), ProcError> {
+        assert!(to < self.p && to != self.rank, "send to {to} from {}", self.rank);
+        let mb = &self.boxes[self.rank * self.p + to];
+        let mut st = mb.q.lock().expect("mailbox poisoned");
+        st.frames.push_back((tag, payload.to_vec()));
+        self.sent_msgs += 1;
+        self.sent_bytes += payload.len() as u64;
+        mb.cv.notify_all();
+        Ok(())
+    }
+
+    fn recv(&mut self, from: usize, tag: u16) -> Result<Vec<u8>, ProcError> {
+        assert!(from < self.p && from != self.rank);
+        let mb = &self.boxes[from * self.p + self.rank];
+        let deadline = Instant::now() + self.recv_timeout;
+        let mut st = mb.q.lock().expect("mailbox poisoned");
+        loop {
+            if let Some((got_tag, payload)) = st.frames.pop_front() {
+                if got_tag != tag {
+                    return Err(ProcError::Protocol(format!(
+                        "rank {} expected tag {tag} from {from}, got {got_tag}",
+                        self.rank
+                    )));
+                }
+                return Ok(payload);
+            }
+            if st.closed {
+                return Err(ProcError::PeerClosed { rank: from });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ProcError::Timeout(format!(
+                    "rank {} waiting for tag {tag} from {from}",
+                    self.rank
+                )));
+            }
+            let (next, timed_out) =
+                mb.cv.wait_timeout(st, deadline - now).expect("mailbox poisoned");
+            st = next;
+            let _ = timed_out;
+        }
+    }
+
+    fn traffic(&self) -> (u64, u64) {
+        (self.sent_msgs, self.sent_bytes)
+    }
+}
+
+impl Drop for LocalTransport {
+    /// Mark every outgoing mailbox closed so peers blocked on this rank
+    /// observe the death instead of waiting out their timeout — the
+    /// loopback analog of a child process closing its sockets.
+    fn drop(&mut self) {
+        for to in 0..self.p {
+            if to == self.rank {
+                continue;
+            }
+            let mb = &self.boxes[self.rank * self.p + to];
+            if let Ok(mut st) = mb.q.lock() {
+                st.closed = true;
+                mb.cv.notify_all();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Socket mesh: one Unix stream per peer pair.
+// ---------------------------------------------------------------------------
+
+/// Handshake tag carrying the connector's rank.
+const TAG_HELLO: u16 = 0xBEEF;
+
+/// Full mesh of Unix-domain sockets for one rank of a multi-process run.
+pub struct SocketMesh {
+    rank: usize,
+    p: usize,
+    /// `streams[peer]`; `None` at `peer == rank`.
+    streams: Vec<Option<UnixStream>>,
+    sent_msgs: u64,
+    sent_bytes: u64,
+}
+
+/// Socket path of `rank`'s listener inside the rendezvous directory.
+pub fn mesh_path(dir: &Path, rank: usize) -> std::path::PathBuf {
+    dir.join(format!("rank{rank}.sock"))
+}
+
+impl SocketMesh {
+    /// Join the mesh: bind our listener, connect to every lower rank
+    /// (retrying until `timeout` — they may not have bound yet), accept
+    /// every higher rank (polling until `timeout`). Read timeouts are set
+    /// to `timeout` on every stream, so a wedged peer becomes
+    /// [`ProcError::Timeout`], not a hang.
+    pub fn connect(
+        dir: &Path,
+        rank: usize,
+        p: usize,
+        timeout: Duration,
+    ) -> Result<Self, ProcError> {
+        assert!(rank < p);
+        let deadline = Instant::now() + timeout;
+        let mut streams: Vec<Option<UnixStream>> = (0..p).map(|_| None).collect();
+        if p == 1 {
+            return Ok(SocketMesh { rank, p, streams, sent_msgs: 0, sent_bytes: 0 });
+        }
+
+        let listener = UnixListener::bind(mesh_path(dir, rank))?;
+        listener.set_nonblocking(true)?;
+
+        // Connect downward, retrying while the peer's listener appears.
+        #[allow(clippy::needless_range_loop)] // peer IS the protocol-ordered index
+        for peer in 0..rank {
+            let path = mesh_path(dir, peer);
+            let stream = loop {
+                match UnixStream::connect(&path) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(ProcError::Timeout(format!(
+                                "rank {rank} connecting to rank {peer}: {e}"
+                            )));
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            };
+            let mut s = stream;
+            write_frame(&mut s, TAG_HELLO, &(rank as u32).to_le_bytes())?;
+            streams[peer] = Some(s);
+        }
+
+        // Accept upward; the hello frame says which peer arrived.
+        let mut pending = p - 1 - rank;
+        while pending > 0 {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let mut s = stream;
+                    s.set_nonblocking(false)?;
+                    s.set_read_timeout(Some(timeout))?;
+                    let (tag, payload) = read_frame(&mut s).map_err(ProcError::Io)?;
+                    if tag != TAG_HELLO || payload.len() != 4 {
+                        return Err(ProcError::Protocol(format!(
+                            "rank {rank}: bad hello (tag {tag}, {} bytes)",
+                            payload.len()
+                        )));
+                    }
+                    let peer = u32::from_le_bytes(payload.try_into().expect("4 bytes")) as usize;
+                    if peer <= rank || peer >= p || streams[peer].is_some() {
+                        return Err(ProcError::Protocol(format!(
+                            "rank {rank}: unexpected hello from rank {peer}"
+                        )));
+                    }
+                    streams[peer] = Some(s);
+                    pending -= 1;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(ProcError::Timeout(format!(
+                            "rank {rank} accepting {pending} more peers"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(ProcError::Io(e)),
+            }
+        }
+
+        for (peer, s) in streams.iter().enumerate() {
+            if let Some(s) = s {
+                s.set_read_timeout(Some(timeout))?;
+                let _ = peer;
+            }
+        }
+        Ok(SocketMesh { rank, p, streams, sent_msgs: 0, sent_bytes: 0 })
+    }
+
+    fn stream(&mut self, peer: usize) -> Result<&mut UnixStream, ProcError> {
+        assert!(peer < self.p && peer != self.rank);
+        self.streams[peer]
+            .as_mut()
+            .ok_or_else(|| ProcError::Protocol(format!("no stream to rank {peer}")))
+    }
+}
+
+impl Transport for SocketMesh {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.p
+    }
+
+    fn send(&mut self, to: usize, tag: u16, payload: &[u8]) -> Result<(), ProcError> {
+        let rank = self.rank;
+        let len = payload.len() as u64;
+        let stream = self.stream(to)?;
+        write_frame(stream, tag, payload).map_err(|e| match e.kind() {
+            ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::UnexpectedEof => {
+                ProcError::PeerClosed { rank: to }
+            }
+            _ => {
+                let _ = rank;
+                ProcError::Io(e)
+            }
+        })?;
+        self.sent_msgs += 1;
+        self.sent_bytes += len;
+        Ok(())
+    }
+
+    fn recv(&mut self, from: usize, tag: u16) -> Result<Vec<u8>, ProcError> {
+        let rank = self.rank;
+        let stream = self.stream(from)?;
+        let (got_tag, payload) = read_frame(stream).map_err(|e| match e.kind() {
+            ErrorKind::UnexpectedEof | ErrorKind::ConnectionReset | ErrorKind::BrokenPipe => {
+                ProcError::PeerClosed { rank: from }
+            }
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                ProcError::Timeout(format!("rank {rank} reading tag {tag} from {from}"))
+            }
+            _ => ProcError::Io(e),
+        })?;
+        if got_tag != tag {
+            return Err(ProcError::Protocol(format!(
+                "rank {rank} expected tag {tag} from {from}, got {got_tag}"
+            )));
+        }
+        Ok(payload)
+    }
+
+    fn traffic(&self) -> (u64, u64) {
+        (self.sent_msgs, self.sent_bytes)
+    }
+}

@@ -1,0 +1,57 @@
+//! End-to-end: real OS processes over the Unix-socket mesh.
+//!
+//! `harness = false`, because this binary is its own child executable: the
+//! launcher re-invokes it with the rank environment set, and
+//! [`bhut_proc::maybe_child`] takes over before the parent logic runs.
+//! This is exactly the pattern host bench binaries use, exercised inside
+//! `cargo test`.
+
+use bhut_core::Scheme;
+use bhut_proc::{local_mesh, maybe_child, run_rank, Launcher, ProcConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    maybe_child(); // child ranks run the step loop in here and exit
+
+    let cfg = ProcConfig {
+        scheme: Scheme::Spda,
+        n: 96,
+        steps: 2,
+        grid_c: 4,
+        seed: 11,
+        ..ProcConfig::default()
+    };
+
+    // Single-process reference over the loopback transport.
+    let mut t = local_mesh(1).pop().expect("one endpoint");
+    let reference = run_rank(&mut t, &cfg).expect("reference run");
+    let ref_by_id: BTreeMap<u32, _> = reference.owned.iter().map(|p| (p.id, *p)).collect();
+    assert_eq!(ref_by_id.len(), cfg.n);
+
+    // Two real child processes joined by the socket mesh.
+    let run = Launcher::default().run(2, &cfg).expect("multi-process run");
+    assert_eq!(run.ranks.len(), 2);
+    assert_eq!(run.merged.len(), cfg.steps);
+
+    let mut seen = 0usize;
+    for rank in &run.ranks {
+        for q in &rank.owned {
+            let r = ref_by_id.get(&q.id).expect("known particle");
+            assert_eq!(q.pos.x.to_bits(), r.pos.x.to_bits(), "id {} pos.x", q.id);
+            assert_eq!(q.pos.y.to_bits(), r.pos.y.to_bits());
+            assert_eq!(q.pos.z.to_bits(), r.pos.z.to_bits());
+            assert_eq!(q.vel.x.to_bits(), r.vel.x.to_bits());
+            assert_eq!(q.vel.y.to_bits(), r.vel.y.to_bits());
+            assert_eq!(q.vel.z.to_bits(), r.vel.z.to_bits());
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, cfg.n, "every particle owned exactly once across processes");
+
+    // The merged profile carries both ranks' spans in the shared schema.
+    let merged = &run.merged[0];
+    assert_eq!(merged.threads, 2);
+    assert!(merged.spans.iter().any(|s| s.rank == 1), "rank 1 spans present");
+
+    println!("proc_e2e: 2 real processes matched the single-process path bitwise");
+}

@@ -1,0 +1,127 @@
+//! Property tests for the collective operations.
+//!
+//! The contract under test: a collective's result is a pure function of
+//! the per-rank inputs — independent of thread scheduling, message arrival
+//! order, and which rank reads the result. For floating-point reductions
+//! that only holds because contributions are folded in fixed rank index
+//! order; these tests pin it bitwise, under deliberately staggered rank
+//! start-ups.
+
+use bhut_proc::collectives::{all_gather, all_reduce_sum_f64, exchange};
+use bhut_proc::{local_mesh, Transport};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// splitmix64 — deterministic value synthesis from a proptest-chosen seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Per-rank value vectors whose sums actually round (irrational-ish
+/// ratios at mixed magnitudes), so fold order matters.
+fn inputs(seed: u64, p: usize, len: usize) -> Vec<Vec<f64>> {
+    let mut s = seed;
+    (0..p)
+        .map(|_| {
+            (0..len)
+                .map(|_| {
+                    let a = (splitmix(&mut s) % 2_000_003) as f64 - 1_000_001.0;
+                    let b = (splitmix(&mut s) % 997) as f64 + 1.0;
+                    let scale = 10f64.powi((splitmix(&mut s) % 13) as i32 - 6);
+                    a / b * scale
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Run one collective round over a loopback mesh. With `stagger`, ranks
+/// start in reverse order with small per-rank delays, shuffling message
+/// arrival orders relative to the unstaggered run.
+fn reduce_round(vals: &[Vec<f64>], stagger: bool) -> Vec<Vec<f64>> {
+    let p = vals.len();
+    let handles: Vec<_> = local_mesh(p)
+        .into_iter()
+        .zip(vals.to_vec())
+        .map(|(mut t, mine)| {
+            std::thread::spawn(move || {
+                if stagger {
+                    let delay = ((t.size() - t.rank()) % 3) as u64;
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+                all_reduce_sum_f64(&mut t, 7, &mine).expect("reduce")
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// all-reduce is bitwise rank-order independent: every rank sees the
+    /// same bits, staggered and unstaggered runs agree, and both equal the
+    /// serial rank-index-order fold.
+    #[test]
+    fn all_reduce_is_rank_order_independent(seed: u64, p in 2usize..=5, len in 1usize..6) {
+        let vals = inputs(seed, p, len);
+        let mut serial = vec![0.0f64; len];
+        for rank_vals in &vals {
+            for (acc, v) in serial.iter_mut().zip(rank_vals) {
+                *acc += *v;
+            }
+        }
+        let plain = reduce_round(&vals, false);
+        let staggered = reduce_round(&vals, true);
+        for view in plain.iter().chain(&staggered) {
+            prop_assert_eq!(view.len(), len);
+            for (got, want) in view.iter().zip(&serial) {
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    /// all-gather delivers every contribution rank-indexed, and the
+    /// pairwise exchange routes bin (i → j) exactly to j, regardless of
+    /// payload sizes (including empty bins).
+    #[test]
+    fn gather_and_exchange_route_by_rank(seed: u64, p in 2usize..=5) {
+        let mut s = seed;
+        let payloads: Vec<Vec<u8>> = (0..p)
+            .map(|_| {
+                let len = (splitmix(&mut s) % 64) as usize;
+                (0..len).map(|_| splitmix(&mut s) as u8).collect()
+            })
+            .collect();
+        let expect = payloads.clone();
+        let handles: Vec<_> = local_mesh(p)
+            .into_iter()
+            .zip(payloads)
+            .map(|(mut t, mine)| {
+                std::thread::spawn(move || {
+                    let gathered = all_gather(&mut t, 8, &mine).expect("gather");
+                    let rank = t.rank();
+                    let bins: Vec<Vec<u8>> =
+                        (0..t.size()).map(|to| vec![rank as u8; to]).collect();
+                    let received = exchange(&mut t, 9, &bins).expect("exchange");
+                    (gathered, received)
+                })
+            })
+            .collect();
+        for (rank, h) in handles.into_iter().enumerate() {
+            let (gathered, received) = h.join().expect("rank panicked");
+            prop_assert_eq!(&gathered, &expect);
+            for (from, bin) in received.iter().enumerate() {
+                if from == rank {
+                    prop_assert!(bin.is_empty());
+                } else {
+                    prop_assert_eq!(bin, &vec![from as u8; rank]);
+                }
+            }
+        }
+    }
+}

@@ -29,6 +29,22 @@ pub fn drift(particles: &mut [Particle], dt: f64) {
     }
 }
 
+/// Kick-then-drift for a rank's *owned* slice of a distributed particle
+/// set: `accels` is indexed by particle id (the canonical full-set index),
+/// so a rank holding an arbitrary subset advances exactly the rows it owns.
+/// With the full set in id order this reduces to `kick` + `drift`.
+///
+/// This is the drift-kick half-step pairing of the multi-process backend:
+/// the closing kick of step `t` and the opening kick of step `t+1` are
+/// fused into one `a·dt`, so per-step state stays one (position, velocity,
+/// acceleration) triple per owned particle.
+pub fn kick_drift_owned(owned: &mut [Particle], accels_by_id: &[Vec3], dt: f64) {
+    for p in owned.iter_mut() {
+        p.vel += accels_by_id[p.id as usize] * dt;
+        p.pos += p.vel * dt;
+    }
+}
+
 /// One full kick-drift-kick step. `forces` must return the acceleration on
 /// every particle for the *current* positions; it is called once (for the
 /// closing kick). The opening kick uses `accels`, the accelerations at the
@@ -77,6 +93,26 @@ mod tests {
         let p0 = set.particles[0].pos;
         drift(&mut set.particles, 2.0);
         assert_eq!(set.particles[0].pos, p0 + set.particles[0].vel * 2.0);
+    }
+
+    #[test]
+    fn owned_subset_update_matches_full_kick_drift() {
+        // Advancing two disjoint owned slices with id-indexed accelerations
+        // must reproduce kick+drift of the full set, regardless of the order
+        // the owned rows appear in.
+        let set = binary();
+        let accels = vec![Vec3::new(0.3, -0.1, 0.0), Vec3::new(-0.3, 0.1, 0.5)];
+        let dt = 0.25;
+        let mut full = set.particles.clone();
+        kick(&mut full, &accels, dt);
+        drift(&mut full, dt);
+        // Owned slices in reversed order: accels must follow the id.
+        let mut owned = vec![set.particles[1], set.particles[0]];
+        kick_drift_owned(&mut owned, &accels, dt);
+        assert_eq!(owned[0].pos, full[1].pos);
+        assert_eq!(owned[0].vel, full[1].vel);
+        assert_eq!(owned[1].pos, full[0].pos);
+        assert_eq!(owned[1].vel, full[0].vel);
     }
 
     #[test]

@@ -13,7 +13,7 @@ pub mod simulation;
 pub mod snapshot;
 
 pub use diagnostics::{Diagnostics, EnergyReport};
-pub use leapfrog::{drift, kick, leapfrog_step};
+pub use leapfrog::{drift, kick, kick_drift_owned, leapfrog_step};
 pub use simulation::{Simulation, SimulationConfig, StepReport};
 pub use snapshot::{
     load_snapshot, save_snapshot, save_snapshot_state, write_positions_csv, Snapshot,

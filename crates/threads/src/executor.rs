@@ -147,6 +147,15 @@ impl ThreadSim {
         self.prev_work = None;
     }
 
+    /// Per-particle interaction counts measured by the last force
+    /// computation (the costzones weights), indexed by particle id. `None`
+    /// before the first step. The multi-process backend reads these to
+    /// derive SPDA cluster loads and DPDA particle weights from real
+    /// measurements instead of modeled ones.
+    pub fn work_weights(&self) -> Option<&[u64]> {
+        self.prev_work.as_deref()
+    }
+
     /// Build the tree (and expansions if degree > 0) and compute the force
     /// and potential on every particle, in parallel.
     pub fn compute_forces(&mut self, particles: &[Particle]) -> ForceResult {

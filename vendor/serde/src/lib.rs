@@ -148,6 +148,27 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Arr(items) => {
+                if items.len() != N {
+                    return Err(format!("expected {N}-element array, got {}", items.len()));
+                }
+                let elems: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+                elems.try_into().map_err(|_| format!("array length mismatch for [_; {N}]"))
+            }
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
