@@ -53,6 +53,54 @@ pub mod phase {
     pub const EXCHANGE: &str = "exchange";
     /// Multi-process: leapfrog kick+drift of the owned particles.
     pub const UPDATE: &str = "update";
+    /// Multi-process: writing a per-rank checkpoint shard to disk.
+    pub const CHECKPOINT: &str = "checkpoint";
+    /// Supervisor: detecting a failure, tearing the mesh down and
+    /// re-launching from the last complete checkpoint epoch.
+    pub const RECOVERY: &str = "recovery";
+}
+
+/// Fault-tolerance counters (S11 schema): injected faults on one side,
+/// recovery actions on the other. Ranks count what they inject and the
+/// checkpoints they write; the supervisor counts respawns, degraded ranks
+/// and rolled-back steps, then merges the rank-side counters in so one
+/// struct prices a whole recovered run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Injected rank kills (process exits or simulated transport deaths).
+    pub kills: u64,
+    /// Injected wedged reads (a rank stops draining a stream).
+    pub wedges: u64,
+    /// Injected message delays.
+    pub delays: u64,
+    /// Injected dropped sends.
+    pub drops: u64,
+    /// Checkpoint shards written.
+    pub checkpoints: u64,
+    /// Supervisor re-launch attempts after a failure.
+    pub respawns: u64,
+    /// Ranks removed by `--degrade` shrink-and-continue recoveries.
+    pub degraded_ranks: u64,
+    /// Steps re-executed because recovery rolled back to a checkpoint.
+    pub rollback_steps: u64,
+}
+
+impl FaultCounters {
+    /// Total faults injected, of any kind.
+    pub fn faults_injected(&self) -> u64 {
+        self.kills + self.wedges + self.delays + self.drops
+    }
+
+    pub fn merge(&mut self, o: &FaultCounters) {
+        self.kills += o.kills;
+        self.wedges += o.wedges;
+        self.delays += o.delays;
+        self.drops += o.drops;
+        self.checkpoints += o.checkpoints;
+        self.respawns += o.respawns;
+        self.degraded_ranks += o.degraded_ranks;
+        self.rollback_steps += o.rollback_steps;
+    }
 }
 
 /// One busy interval of one worker (real thread or virtual processor).

@@ -23,6 +23,7 @@ pub fn broadcast(
     tag: u16,
     payload: Option<Vec<u8>>,
 ) -> Result<Vec<u8>, ProcError> {
+    t.on_collective("broadcast")?;
     let (rank, p) = (t.rank(), t.size());
     if rank == root {
         let payload = payload.expect("root must supply the broadcast payload");
@@ -40,6 +41,7 @@ pub fn broadcast(
 /// Every rank contributes `mine`; every rank receives all contributions,
 /// indexed by rank.
 pub fn all_gather(t: &mut dyn Transport, tag: u16, mine: &[u8]) -> Result<Vec<Vec<u8>>, ProcError> {
+    t.on_collective("all_gather")?;
     let (rank, p) = (t.rank(), t.size());
     let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
     out[rank] = mine.to_vec();
@@ -66,6 +68,7 @@ pub fn all_reduce_sum_f64(
     tag: u16,
     vals: &[f64],
 ) -> Result<Vec<f64>, ProcError> {
+    t.on_collective("all_reduce")?;
     let contributions = all_gather(t, tag, &crate::wire::encode_f64s(vals))?;
     let mut acc = vec![0.0f64; vals.len()];
     for (rank, bytes) in contributions.iter().enumerate() {
@@ -93,6 +96,7 @@ pub fn reduce_sum_f64(
     tag: u16,
     vals: &[f64],
 ) -> Result<Vec<f64>, ProcError> {
+    t.on_collective("reduce")?;
     let (rank, p) = (t.rank(), t.size());
     if rank == root {
         let mut parts: Vec<Option<Vec<f64>>> = vec![None; p];
@@ -130,6 +134,7 @@ pub fn exchange(
     tag: u16,
     outgoing: &[Vec<u8>],
 ) -> Result<Vec<Vec<u8>>, ProcError> {
+    t.on_collective("exchange")?;
     let (rank, p) = (t.rank(), t.size());
     assert_eq!(outgoing.len(), p, "one outgoing bin per rank");
     let mut incoming: Vec<Vec<u8>> = vec![Vec::new(); p];
@@ -150,6 +155,7 @@ pub fn exchange(
 
 /// Every rank blocks until all ranks have arrived.
 pub fn barrier(t: &mut dyn Transport, tag: u16) -> Result<(), ProcError> {
+    t.on_collective("barrier")?;
     all_gather(t, tag, &[]).map(|_| ())
 }
 

@@ -1,0 +1,604 @@
+//! Deterministic fault injection for the multi-process runtime.
+//!
+//! A [`FaultPlan`] is a seeded, explicit list of [`FaultAction`]s — kill a
+//! rank at a step boundary, wedge a read, delay or drop a message — each
+//! pinned to a rank, a recovery attempt, and a [`Trigger`] (step boundary,
+//! n-th collective of a given name, or n-th transport operation). The plan
+//! is installed as a [`FaultyTransport`] wrapper around any
+//! [`Transport`], so the *same* injection machinery drives loopback unit
+//! tests (faults surface as [`ProcError::Injected`] and the dropped
+//! transport unblocks peers) and real `SocketMesh` child processes (a kill
+//! is a genuine `process::exit`, shipped to the child through the launch
+//! environment next to the config).
+//!
+//! Determinism contract: triggers count protocol events (steps,
+//! collectives, point-to-point operations), never wall-clock, so a plan
+//! replays identically on every run of the same configuration. The `seed`
+//! only feeds [`FaultPlan::random`], which synthesizes a plan
+//! deterministically from it.
+
+use crate::transport::{ProcError, Transport};
+use bhut_obs::FaultCounters;
+use std::time::Duration;
+
+/// What the injected fault does when its trigger fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Terminate the rank: `process::exit` in a child process
+    /// ([`FaultMode::Exit`]), an [`ProcError::Injected`] error (and the
+    /// transport drop that follows) in-process ([`FaultMode::Error`]).
+    Kill,
+    /// Stop draining the stream: sleep `ms` before the next receive, so
+    /// peers observe a wedged rank (their read deadlines fire).
+    WedgeRecv { ms: u64 },
+    /// Sleep `ms` at the trigger point — a slow link, not a failure.
+    Delay { ms: u64 },
+    /// Silently skip the next send; the peer's receive times out.
+    DropSend,
+}
+
+/// When the fault fires. All triggers are protocol-event counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// At the start of time-step `s` (before its first collective).
+    Step(u64),
+    /// Immediately before the `nth` (0-based) collective named `name`
+    /// (`broadcast`, `all_gather`, `all_reduce`, `reduce`, `exchange`,
+    /// `barrier`).
+    Collective { name: String, nth: u64 },
+    /// Immediately before the `nth` (0-based) point-to-point operation
+    /// (sends and receives share one counter).
+    Op(u64),
+}
+
+/// One injected fault: who, when (which recovery attempt and trigger), what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultAction {
+    /// Rank the fault is injected into.
+    pub rank: usize,
+    /// Recovery attempt the fault applies to (0 = the initial launch).
+    /// Respawned meshes get the next attempt's actions, so a kill does not
+    /// re-fire on the rank that replaced its victim.
+    pub attempt: u32,
+    pub trigger: Trigger,
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seeded fault schedule for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed the plan was synthesized from (0 for hand-written plans).
+    pub seed: u64,
+    pub actions: Vec<FaultAction>,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// One kill at a step boundary.
+    pub fn kill_at_step(rank: usize, step: u64) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            actions: vec![FaultAction {
+                rank,
+                attempt: 0,
+                trigger: Trigger::Step(step),
+                kind: FaultKind::Kill,
+            }],
+        }
+    }
+
+    /// One wedged read at a step boundary: the rank sleeps `ms` before its
+    /// next receive, so its peers' read deadlines fire first.
+    pub fn wedge_at_step(rank: usize, step: u64, ms: u64) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            actions: vec![FaultAction {
+                rank,
+                attempt: 0,
+                trigger: Trigger::Step(step),
+                kind: FaultKind::WedgeRecv { ms },
+            }],
+        }
+    }
+
+    /// Synthesize a single-kill plan deterministically from `seed`: some
+    /// rank dies at some interior step (never step 0, so the run is
+    /// genuinely mid-flight). Same seed, same plan — chaos runs replay.
+    pub fn random(seed: u64, ranks: usize, steps: u64) -> FaultPlan {
+        assert!(ranks >= 1);
+        let mut s = seed;
+        let rank = (splitmix(&mut s) % ranks as u64) as usize;
+        let step = if steps <= 1 { 0 } else { 1 + splitmix(&mut s) % (steps - 1) };
+        FaultPlan {
+            seed,
+            actions: vec![FaultAction {
+                rank,
+                attempt: 0,
+                trigger: Trigger::Step(step),
+                kind: FaultKind::Kill,
+            }],
+        }
+    }
+
+    /// The actions rank `rank` executes on recovery attempt `attempt`.
+    pub fn actions_for(&self, rank: usize, attempt: u32) -> Vec<FaultAction> {
+        self.actions.iter().filter(|a| a.rank == rank && a.attempt == attempt).cloned().collect()
+    }
+
+    /// Exact textual encoding for the parent→child environment hop
+    /// (mirrors `ProcConfig::encode`): actions joined by `|`, fields by
+    /// `,`.
+    pub fn encode(&self) -> String {
+        let mut out = format!("seed={}", self.seed);
+        for a in &self.actions {
+            let at = match &a.trigger {
+                Trigger::Step(s) => format!("step:{s}"),
+                Trigger::Collective { name, nth } => format!("coll:{name}:{nth}"),
+                Trigger::Op(k) => format!("op:{k}"),
+            };
+            let what = match &a.kind {
+                FaultKind::Kill => "kill".to_string(),
+                FaultKind::WedgeRecv { ms } => format!("wedge:{ms}"),
+                FaultKind::Delay { ms } => format!("delay:{ms}"),
+                FaultKind::DropSend => "drop".to_string(),
+            };
+            out.push_str(&format!("|rank={},attempt={},at={at},do={what}", a.rank, a.attempt));
+        }
+        out
+    }
+
+    pub fn decode(s: &str) -> Result<FaultPlan, String> {
+        let mut parts = s.split('|');
+        let head = parts.next().ok_or("empty fault plan")?;
+        let seed = head
+            .strip_prefix("seed=")
+            .ok_or_else(|| format!("fault plan must start with seed=, got {head:?}"))?
+            .parse::<u64>()
+            .map_err(|e| format!("seed: {e}"))?;
+        let mut actions = Vec::new();
+        for part in parts {
+            let mut rank = None;
+            let mut attempt = 0u32;
+            let mut trigger = None;
+            let mut kind = None;
+            for kv in part.split(',') {
+                let (k, v) = kv.split_once('=').ok_or_else(|| format!("bad field {kv:?}"))?;
+                match k {
+                    "rank" => rank = Some(v.parse().map_err(|e| format!("rank: {e}"))?),
+                    "attempt" => attempt = v.parse().map_err(|e| format!("attempt: {e}"))?,
+                    "at" => {
+                        let mut bits = v.split(':');
+                        trigger = Some(match bits.next() {
+                            Some("step") => Trigger::Step(
+                                bits.next()
+                                    .ok_or("step trigger needs a value")?
+                                    .parse()
+                                    .map_err(|e| format!("step: {e}"))?,
+                            ),
+                            Some("coll") => Trigger::Collective {
+                                name: bits.next().ok_or("collective trigger needs a name")?.into(),
+                                nth: bits
+                                    .next()
+                                    .ok_or("collective trigger needs an index")?
+                                    .parse()
+                                    .map_err(|e| format!("nth: {e}"))?,
+                            },
+                            Some("op") => Trigger::Op(
+                                bits.next()
+                                    .ok_or("op trigger needs a value")?
+                                    .parse()
+                                    .map_err(|e| format!("op: {e}"))?,
+                            ),
+                            other => return Err(format!("unknown trigger {other:?}")),
+                        });
+                    }
+                    "do" => {
+                        let mut bits = v.split(':');
+                        kind = Some(match bits.next() {
+                            Some("kill") => FaultKind::Kill,
+                            Some("wedge") => FaultKind::WedgeRecv {
+                                ms: bits
+                                    .next()
+                                    .ok_or("wedge needs ms")?
+                                    .parse()
+                                    .map_err(|e| format!("wedge ms: {e}"))?,
+                            },
+                            Some("delay") => FaultKind::Delay {
+                                ms: bits
+                                    .next()
+                                    .ok_or("delay needs ms")?
+                                    .parse()
+                                    .map_err(|e| format!("delay ms: {e}"))?,
+                            },
+                            Some("drop") => FaultKind::DropSend,
+                            other => return Err(format!("unknown fault kind {other:?}")),
+                        });
+                    }
+                    _ => return Err(format!("unknown field {k:?}")),
+                }
+            }
+            actions.push(FaultAction {
+                rank: rank.ok_or("action missing rank")?,
+                attempt,
+                trigger: trigger.ok_or("action missing trigger")?,
+                kind: kind.ok_or("action missing kind")?,
+            });
+        }
+        Ok(FaultPlan { seed, actions })
+    }
+}
+
+/// How a fired kill manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Real child process: `process::exit` with the injected-fault exit
+    /// code, exactly like an OOM-killed or crashed rank.
+    Exit,
+    /// In-process endpoint: return [`ProcError::Injected`]; the caller's
+    /// transport drop then closes its mailboxes, unblocking peers.
+    Error,
+}
+
+/// A [`Transport`] wrapper that executes one rank's share of a
+/// [`FaultPlan`]. All higher layers see an ordinary transport; faults fire
+/// from the [`Transport::on_step`] / [`Transport::on_collective`] hooks and
+/// the point-to-point operation counter.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    mode: FaultMode,
+    /// `(action, fired)` — each action fires at most once.
+    armed: Vec<(FaultAction, bool)>,
+    ops: u64,
+    /// Per-collective-name invocation counts.
+    colls: Vec<(String, u64)>,
+    /// Pending one-shot effects set by a fired trigger.
+    wedge_next_recv_ms: Option<u64>,
+    drop_next_send: bool,
+    pub counters: FaultCounters,
+    /// Human-readable log of fired actions.
+    pub fired: Vec<String>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    pub fn new(inner: T, mode: FaultMode, actions: Vec<FaultAction>) -> Self {
+        FaultyTransport {
+            inner,
+            mode,
+            armed: actions.into_iter().map(|a| (a, false)).collect(),
+            ops: 0,
+            colls: Vec::new(),
+            wedge_next_recv_ms: None,
+            drop_next_send: false,
+            counters: FaultCounters::default(),
+            fired: Vec::new(),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Fire every armed action whose trigger matches `here`.
+    fn trip(&mut self, here: &Trigger) -> Result<(), ProcError> {
+        for i in 0..self.armed.len() {
+            if self.armed[i].1 || self.armed[i].0.trigger != *here {
+                continue;
+            }
+            self.armed[i].1 = true;
+            let kind = self.armed[i].0.kind.clone();
+            let what = format!("{kind:?} at {here:?} on rank {}", self.inner.rank());
+            self.fired.push(what.clone());
+            match kind {
+                FaultKind::Kill => {
+                    self.counters.kills += 1;
+                    match self.mode {
+                        FaultMode::Exit => {
+                            eprintln!("bhut-proc fault: {what}");
+                            std::process::exit(ProcError::Injected(what).exit_code());
+                        }
+                        FaultMode::Error => return Err(ProcError::Injected(what)),
+                    }
+                }
+                FaultKind::WedgeRecv { ms } => {
+                    self.counters.wedges += 1;
+                    self.wedge_next_recv_ms = Some(ms);
+                }
+                FaultKind::Delay { ms } => {
+                    self.counters.delays += 1;
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                FaultKind::DropSend => {
+                    // Counted when the send is actually swallowed.
+                    self.drop_next_send = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn next_op(&mut self) -> Result<(), ProcError> {
+        let op = Trigger::Op(self.ops);
+        self.ops += 1;
+        self.trip(&op)
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&mut self, to: usize, tag: u16, payload: &[u8]) -> Result<(), ProcError> {
+        self.next_op()?;
+        if self.drop_next_send {
+            self.drop_next_send = false;
+            self.counters.drops += 1;
+            return Ok(());
+        }
+        self.inner.send(to, tag, payload)
+    }
+
+    fn recv(&mut self, from: usize, tag: u16) -> Result<Vec<u8>, ProcError> {
+        self.next_op()?;
+        if let Some(ms) = self.wedge_next_recv_ms.take() {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        self.inner.recv(from, tag)
+    }
+
+    fn traffic(&self) -> (u64, u64) {
+        self.inner.traffic()
+    }
+
+    fn on_step(&mut self, step: u64) -> Result<(), ProcError> {
+        self.trip(&Trigger::Step(step))?;
+        self.inner.on_step(step)
+    }
+
+    fn on_collective(&mut self, name: &'static str) -> Result<(), ProcError> {
+        let nth = match self.colls.iter_mut().find(|(n, _)| n == name) {
+            Some((_, c)) => {
+                let nth = *c;
+                *c += 1;
+                nth
+            }
+            None => {
+                self.colls.push((name.to_string(), 1));
+                0
+            }
+        };
+        self.trip(&Trigger::Collective { name: name.to_string(), nth })?;
+        self.inner.on_collective(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{all_gather, barrier};
+    use crate::transport::local_mesh;
+
+    #[test]
+    fn plan_roundtrips_exactly() {
+        let plan = FaultPlan {
+            seed: 99,
+            actions: vec![
+                FaultAction {
+                    rank: 2,
+                    attempt: 0,
+                    trigger: Trigger::Step(3),
+                    kind: FaultKind::Kill,
+                },
+                FaultAction {
+                    rank: 0,
+                    attempt: 1,
+                    trigger: Trigger::Collective { name: "all_gather".into(), nth: 4 },
+                    kind: FaultKind::WedgeRecv { ms: 1500 },
+                },
+                FaultAction {
+                    rank: 1,
+                    attempt: 0,
+                    trigger: Trigger::Op(17),
+                    kind: FaultKind::Delay { ms: 5 },
+                },
+                FaultAction {
+                    rank: 3,
+                    attempt: 2,
+                    trigger: Trigger::Op(0),
+                    kind: FaultKind::DropSend,
+                },
+            ],
+        };
+        let back = FaultPlan::decode(&plan.encode()).unwrap();
+        assert_eq!(back, plan);
+        assert!(FaultPlan::decode("bogus").is_err());
+        assert!(FaultPlan::decode("seed=1|rank=0,at=nope:3,do=kill").is_err());
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic_and_interior() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = FaultPlan::random(seed, 4, 6);
+            let b = FaultPlan::random(seed, 4, 6);
+            assert_eq!(a, b);
+            assert_eq!(a.actions.len(), 1);
+            assert!(a.actions[0].rank < 4);
+            match a.actions[0].trigger {
+                Trigger::Step(s) => assert!((1..6).contains(&s), "step {s} not interior"),
+                ref other => panic!("expected step trigger, got {other:?}"),
+            }
+        }
+        // Different seeds eventually pick different victims.
+        let distinct: std::collections::BTreeSet<usize> =
+            (0..32).map(|s| FaultPlan::random(s, 4, 6).actions[0].rank).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn actions_filter_by_rank_and_attempt() {
+        let plan = FaultPlan {
+            seed: 0,
+            actions: vec![
+                FaultAction {
+                    rank: 1,
+                    attempt: 0,
+                    trigger: Trigger::Step(0),
+                    kind: FaultKind::Kill,
+                },
+                FaultAction {
+                    rank: 1,
+                    attempt: 1,
+                    trigger: Trigger::Step(0),
+                    kind: FaultKind::DropSend,
+                },
+            ],
+        };
+        assert_eq!(plan.actions_for(1, 0).len(), 1);
+        assert_eq!(plan.actions_for(1, 0)[0].kind, FaultKind::Kill);
+        assert_eq!(plan.actions_for(1, 1)[0].kind, FaultKind::DropSend);
+        assert!(plan.actions_for(0, 0).is_empty());
+        assert!(plan.actions_for(1, 2).is_empty());
+    }
+
+    /// An in-process kill surfaces as `Injected` on the victim and unblocks
+    /// every peer with `PeerClosed` — the loopback analog of a dead child.
+    /// Failures cascade: a survivor may name another survivor that already
+    /// aborted (because of the victim) and dropped its transport, so the
+    /// invariant is "errors, names a dead peer", not "names the victim".
+    #[test]
+    fn simulated_kill_errors_victim_and_unblocks_peers() {
+        let handles: Vec<_> = local_mesh(3)
+            .into_iter()
+            .map(|mut t| {
+                std::thread::spawn(move || {
+                    t.set_recv_timeout(Duration::from_secs(10));
+                    if t.rank() == 1 {
+                        let actions = FaultPlan::kill_at_step(1, 0).actions_for(1, 0);
+                        let mut ft = FaultyTransport::new(t, FaultMode::Error, actions);
+                        let step = ft.on_step(0);
+                        assert!(matches!(step, Err(ProcError::Injected(_))), "{step:?}");
+                        assert_eq!(ft.counters.kills, 1);
+                        return None;
+                        // `ft` (and the inner transport) drop here: death.
+                    }
+                    Some(barrier(&mut t, 9).unwrap_err())
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for out in outcomes.into_iter().flatten() {
+            assert!(matches!(out, ProcError::PeerClosed { .. }), "{out:?}");
+        }
+    }
+
+    /// A dropped send never corrupts the protocol — the starved peer times
+    /// out instead of reading a later frame under the wrong tag.
+    #[test]
+    fn dropped_send_starves_the_peer_into_a_timeout() {
+        let handles: Vec<_> = local_mesh(2)
+            .into_iter()
+            .map(|mut t| {
+                std::thread::spawn(move || {
+                    t.set_recv_timeout(Duration::from_millis(300));
+                    if t.rank() == 0 {
+                        // Drop rank 0's very first send (its all_gather
+                        // contribution to rank 1).
+                        let actions = vec![FaultAction {
+                            rank: 0,
+                            attempt: 0,
+                            trigger: Trigger::Op(0),
+                            kind: FaultKind::DropSend,
+                        }];
+                        let mut ft = FaultyTransport::new(t, FaultMode::Error, actions);
+                        let r = all_gather(&mut ft, 4, b"x");
+                        (ft.counters.drops, r.is_err())
+                    } else {
+                        let r = all_gather(&mut t, 4, b"y");
+                        (0, r.is_err())
+                    }
+                })
+            })
+            .collect();
+        let got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(got[0].0, 1, "exactly one send dropped");
+        assert!(got[1].1, "starved peer must error, not hang");
+    }
+
+    /// Delays perturb timing only: the collective still completes with the
+    /// right payload, and the delay is counted.
+    #[test]
+    fn delay_preserves_results() {
+        let handles: Vec<_> = local_mesh(2)
+            .into_iter()
+            .map(|mut t| {
+                std::thread::spawn(move || {
+                    if t.rank() == 1 {
+                        let actions = vec![FaultAction {
+                            rank: 1,
+                            attempt: 0,
+                            trigger: Trigger::Collective { name: "all_gather".into(), nth: 0 },
+                            kind: FaultKind::Delay { ms: 20 },
+                        }];
+                        let mut ft = FaultyTransport::new(t, FaultMode::Error, actions);
+                        let out = all_gather(&mut ft, 4, b"b").unwrap();
+                        assert_eq!(ft.counters.delays, 1);
+                        out
+                    } else {
+                        all_gather(&mut t, 4, b"a").unwrap()
+                    }
+                })
+            })
+            .collect();
+        for view in handles.into_iter().map(|h| h.join().unwrap()) {
+            assert_eq!(view, vec![b"a".to_vec(), b"b".to_vec()]);
+        }
+    }
+
+    /// Collective triggers count per name, so `nth` selects an exact
+    /// protocol position.
+    #[test]
+    fn collective_trigger_counts_per_name() {
+        let handles: Vec<_> = local_mesh(2)
+            .into_iter()
+            .map(|mut t| {
+                std::thread::spawn(move || {
+                    t.set_recv_timeout(Duration::from_secs(5));
+                    let actions = if t.rank() == 0 {
+                        vec![FaultAction {
+                            rank: 0,
+                            attempt: 0,
+                            trigger: Trigger::Collective { name: "all_gather".into(), nth: 2 },
+                            kind: FaultKind::Kill,
+                        }]
+                    } else {
+                        Vec::new()
+                    };
+                    let mut ft = FaultyTransport::new(t, FaultMode::Error, actions);
+                    let mut completed = 0;
+                    for round in 0..4u8 {
+                        match all_gather(&mut ft, 4, &[round]) {
+                            Ok(_) => completed += 1,
+                            Err(_) => break,
+                        }
+                    }
+                    completed
+                })
+            })
+            .collect();
+        let got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Rank 0 completes exactly two all_gathers before dying at the third.
+        assert_eq!(got[0], 2);
+        assert!(got[1] >= 2);
+    }
+}

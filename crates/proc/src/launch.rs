@@ -14,12 +14,15 @@
 //! error the parent kills and reaps every remaining child before
 //! returning, and the rendezvous directory is removed either way.
 
+use crate::ckpt::CkptStore;
+use crate::fault::{FaultMode, FaultPlan, FaultyTransport};
 use crate::rank::{run_rank, ProcConfig, RankOutcome};
 use crate::transport::{ProcError, SocketMesh};
 use crate::wire::{
     decode_forces, decode_particles, encode_forces, encode_particles, read_frame, write_frame,
 };
-use bhut_obs::StepProfile;
+use bhut_core::balance::Scheme;
+use bhut_obs::{now, phase, FaultCounters, Span, StepProfile};
 use std::io::ErrorKind;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -33,6 +36,15 @@ pub const ENV_RANKS: &str = "BHUT_PROC_RANKS";
 pub const ENV_DIR: &str = "BHUT_PROC_DIR";
 pub const ENV_CFG: &str = "BHUT_PROC_CFG";
 pub const ENV_TIMEOUT_MS: &str = "BHUT_PROC_TIMEOUT_MS";
+/// Encoded [`FaultPlan`] for this run (absent = no injection). The plan
+/// travels on the same parent→child configuration channel as
+/// [`ENV_CFG`] — set before exec, so it is race-free and needs no extra
+/// protocol round-trip on the ctrl socket.
+pub const ENV_FAULTS: &str = "BHUT_PROC_FAULTS";
+/// Recovery attempt this mesh belongs to (0 = initial launch). Children
+/// select their fault actions by `(rank, attempt)`, so a kill consumed on
+/// attempt 0 does not re-fire on the rank that replaced its victim.
+pub const ENV_ATTEMPT: &str = "BHUT_PROC_ATTEMPT";
 
 /// Control-channel frame tags (child → parent).
 mod ctrl {
@@ -77,7 +89,10 @@ pub fn maybe_child() {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("bhut-proc child failed: {e}");
-            1
+            // Distinct exit code per failure class (see
+            // `ProcError::exit_code`), so the supervisor and CI triage dead
+            // ranks from the exit status alone.
+            e.exit_code()
         }
     };
     std::process::exit(code);
@@ -97,8 +112,20 @@ fn child_main() -> Result<(), ProcError> {
     let timeout = Duration::from_millis(env_parse::<u64>(ENV_TIMEOUT_MS).unwrap_or(30_000));
     let cfg = ProcConfig::decode(&env_parse::<String>(ENV_CFG)?).map_err(ProcError::Protocol)?;
 
-    let mut mesh = SocketMesh::connect(&dir, rank, p, timeout)?;
-    let outcome = run_rank(&mut mesh, &cfg)?;
+    let mesh = SocketMesh::connect(&dir, rank, p, timeout)?;
+    let outcome = match std::env::var(ENV_FAULTS).ok() {
+        Some(encoded) => {
+            let plan = FaultPlan::decode(&encoded).map_err(ProcError::Protocol)?;
+            let attempt: u32 = env_parse(ENV_ATTEMPT).unwrap_or(0);
+            let mut faulty =
+                FaultyTransport::new(mesh, FaultMode::Exit, plan.actions_for(rank, attempt));
+            run_rank(&mut faulty, &cfg)?
+        }
+        None => {
+            let mut mesh = mesh;
+            run_rank(&mut mesh, &cfg)?
+        }
+    };
 
     let mut conn = UnixStream::connect(dir.join("ctrl.sock"))?;
     write_frame(&mut conn, ctrl::HELLO, &(rank as u32).to_le_bytes())?;
@@ -135,29 +162,48 @@ impl Launcher {
     /// are killed and reaped on any failure; the rendezvous directory is
     /// always removed.
     pub fn run(&self, p: usize, cfg: &ProcConfig) -> Result<RunResult, ProcError> {
+        self.run_attempt(p, cfg, None)
+    }
+
+    fn run_attempt(
+        &self,
+        p: usize,
+        cfg: &ProcConfig,
+        faults: Option<(&FaultPlan, u32)>,
+    ) -> Result<RunResult, ProcError> {
         assert!(p >= 1);
         let dir = rendezvous_dir();
         std::fs::create_dir_all(&dir)?;
-        let result = self.run_in(&dir, p, cfg);
+        let result = self.run_in(&dir, p, cfg, faults);
         let _ = std::fs::remove_dir_all(&dir);
         result
     }
 
-    fn run_in(&self, dir: &Path, p: usize, cfg: &ProcConfig) -> Result<RunResult, ProcError> {
+    fn run_in(
+        &self,
+        dir: &Path,
+        p: usize,
+        cfg: &ProcConfig,
+        faults: Option<(&FaultPlan, u32)>,
+    ) -> Result<RunResult, ProcError> {
         let listener = UnixListener::bind(dir.join("ctrl.sock"))?;
         listener.set_nonblocking(true)?;
 
         let mut children: Vec<Child> = Vec::with_capacity(p);
         for rank in 0..p {
-            let spawned = Command::new(&self.program)
+            let mut command = Command::new(&self.program);
+            command
                 .args(&self.args)
                 .env(ENV_RANK, rank.to_string())
                 .env(ENV_RANKS, p.to_string())
                 .env(ENV_DIR, dir)
                 .env(ENV_CFG, cfg.encode())
                 .env(ENV_TIMEOUT_MS, self.timeout.as_millis().to_string())
-                .stdin(Stdio::null())
-                .spawn();
+                .stdin(Stdio::null());
+            if let Some((plan, attempt)) = faults {
+                command.env(ENV_FAULTS, plan.encode()).env(ENV_ATTEMPT, attempt.to_string());
+            }
+            let spawned = command.spawn();
             match spawned {
                 Ok(child) => children.push(child),
                 Err(e) => {
@@ -176,7 +222,7 @@ impl Launcher {
                         Ok(status) if !status.success() => {
                             return Err(ProcError::DeadRank {
                                 rank,
-                                detail: format!("exited {status} after reporting"),
+                                detail: format!("exited {} after reporting", describe(&status)),
                             });
                         }
                         Ok(_) => {}
@@ -190,6 +236,164 @@ impl Launcher {
                 Err(e)
             }
         }
+    }
+
+    /// Launch `p` ranks under supervision: on [`ProcError::DeadRank`] the
+    /// whole mesh is torn down and relaunched from the latest complete
+    /// checkpoint epoch — at full width, or at [`degraded_size`] under
+    /// `policy.degrade`. Survivor state need not be trusted: the dead
+    /// rank's streams are broken mid-collective, so every rank rolls back
+    /// to the epoch anyway, and the relaunch *is* the recovery barrier.
+    ///
+    /// `cfg.ckpt_dir` defaults to a run-private temp directory (removed on
+    /// success) and `ckpt_every` to 1 when unset, so callers opt into
+    /// layout only when they want resumable artifacts.
+    pub fn run_supervised(
+        &self,
+        p: usize,
+        cfg: &ProcConfig,
+        plan: &FaultPlan,
+        policy: RecoveryPolicy,
+    ) -> Result<SupervisedResult, ProcError> {
+        let mut cfg = cfg.clone();
+        let own_ckpt_dir = cfg.ckpt_dir.is_none();
+        if own_ckpt_dir {
+            let dir = rendezvous_dir().with_extension("ckpt");
+            cfg.ckpt_dir = Some(dir.to_string_lossy().into_owned());
+        }
+        if cfg.ckpt_every == 0 {
+            cfg.ckpt_every = 1;
+        }
+        let store = CkptStore::new(cfg.ckpt_dir.clone().expect("set above"));
+        std::fs::create_dir_all(store.dir())?;
+
+        let mut ranks = p;
+        let mut counters = FaultCounters::default();
+        let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+        let mut recovery_profile = StepProfile::new(1);
+        let epoch0 = now();
+        let mut attempt = 0u32;
+        let result = loop {
+            let result = self.run_attempt(ranks, &cfg, Some((plan, attempt)));
+            match result {
+                Ok(run) => break Ok(run),
+                Err(ProcError::DeadRank { rank, detail }) => {
+                    if attempt >= policy.max_recoveries {
+                        break Err(ProcError::RecoveryExhausted {
+                            attempts: attempt,
+                            last: format!("rank {rank}: {detail}"),
+                        });
+                    }
+                    let t_detect = now();
+                    let resume_epoch = store.latest_complete_epoch().map_or(0, |(e, _)| e);
+                    if policy.degrade {
+                        let shrunk = degraded_size(cfg.scheme, ranks);
+                        counters.degraded_ranks += (ranks - shrunk) as u64;
+                        ranks = shrunk;
+                    }
+                    counters.respawns += 1;
+                    counters.rollback_steps += (cfg.steps as u64).saturating_sub(resume_epoch);
+                    cfg.resume = true;
+                    recoveries.push(RecoveryEvent {
+                        attempt,
+                        failed_rank: rank,
+                        detail,
+                        resume_epoch,
+                        ranks_after: ranks,
+                    });
+                    recovery_profile.record(Span::new(
+                        0,
+                        attempt as u64,
+                        phase::RECOVERY,
+                        t_detect - epoch0,
+                        now() - epoch0,
+                    ));
+                    attempt += 1;
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        counters.checkpoints = store.complete_epochs();
+        if own_ckpt_dir {
+            let _ = std::fs::remove_dir_all(store.dir());
+        }
+        let run = result?;
+        Ok(SupervisedResult { run, recoveries, ranks, counters, recovery_profile })
+    }
+}
+
+/// How the supervisor responds to a dead rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Maximum respawn attempts after the initial launch; spending them all
+    /// surfaces [`ProcError::RecoveryExhausted`].
+    pub max_recoveries: u32,
+    /// Shrink the mesh instead of respawning at full width: p−1 ranks
+    /// (SPSA: the largest power of two below p) re-run the scheme's own
+    /// rebalance over the checkpointed state to absorb the dead rank's
+    /// particles.
+    pub degrade: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { max_recoveries: 2, degrade: false }
+    }
+}
+
+/// One supervisor intervention: which attempt failed, why, and where the
+/// replacement mesh resumed.
+#[derive(Debug, Clone)]
+pub struct RecoveryEvent {
+    /// The attempt that failed (0 = initial launch).
+    pub attempt: u32,
+    /// Rank the failure was attributed to.
+    pub failed_rank: usize,
+    /// Exit-status triage from [`ProcError::classify_exit`] plus context.
+    pub detail: String,
+    /// Checkpoint epoch the next attempt resumed from (0 = from the ICs).
+    pub resume_epoch: u64,
+    /// Mesh width after this recovery.
+    pub ranks_after: usize,
+}
+
+/// A supervised run's outcome: the results plus the recovery record.
+#[derive(Debug)]
+pub struct SupervisedResult {
+    pub run: RunResult,
+    /// Recoveries performed (0 = the first attempt succeeded).
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Final mesh width (smaller than the launch width under `--degrade`).
+    pub ranks: usize,
+    /// Supervisor-side fault accounting (respawns, rollback, checkpoints on
+    /// disk). Child-side injection counters live in the children.
+    pub counters: FaultCounters,
+    /// One S11 span per recovery (`phase::RECOVERY`, superstep = attempt),
+    /// timing the supervisor's detect→respawn turnaround.
+    pub recovery_profile: StepProfile,
+}
+
+/// The mesh width after degrading away one rank: p−1, except SPSA — whose
+/// communication schedule is hypercube-structured — drops to the largest
+/// power of two below p.
+pub fn degraded_size(scheme: Scheme, p: usize) -> usize {
+    let q = p.saturating_sub(1).max(1);
+    match scheme {
+        Scheme::Spsa => {
+            if q.is_power_of_two() {
+                q
+            } else {
+                q.next_power_of_two() / 2
+            }
+        }
+        Scheme::Spda | Scheme::Dpda => q,
+    }
+}
+
+fn describe(status: &std::process::ExitStatus) -> String {
+    match status.code().and_then(ProcError::classify_exit) {
+        Some(class) => format!("{status} [{class}]"),
+        None => format!("{status}"),
     }
 }
 
@@ -223,7 +427,7 @@ fn collect(
                 if !status.success() {
                     return Err(ProcError::DeadRank {
                         rank,
-                        detail: format!("exited {status} before reporting"),
+                        detail: format!("exited {} before reporting", describe(&status)),
                     });
                 }
             }

@@ -24,12 +24,18 @@
 //! * [`launch`] — parent-side process orchestration
 //!   ([`launch::Launcher`]) and the child hook ([`launch::maybe_child`]).
 
+pub mod ckpt;
 pub mod collectives;
+pub mod fault;
 pub mod launch;
 pub mod rank;
 pub mod transport;
 pub mod wire;
 
-pub use launch::{maybe_child, Launcher, RunResult};
+pub use fault::{FaultAction, FaultKind, FaultMode, FaultPlan, FaultyTransport, Trigger};
+pub use launch::{
+    degraded_size, maybe_child, Launcher, RecoveryEvent, RecoveryPolicy, RunResult,
+    SupervisedResult,
+};
 pub use rank::{run_rank, ProcConfig, RankOutcome};
-pub use transport::{local_mesh, ProcError, SocketMesh, Transport};
+pub use transport::{local_mesh, Backoff, ProcError, SocketMesh, Transport};

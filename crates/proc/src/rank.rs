@@ -24,6 +24,7 @@
 //! per step with [`StepProfile::from_rank_profiles`], landing measured
 //! shares in the same table as the simulator's predictions.
 
+use crate::ckpt::CkptStore;
 use crate::collectives::{all_gather, all_reduce_sum_f64, broadcast, exchange};
 use crate::transport::{ProcError, Transport};
 use crate::wire::{decode_particles, decode_weights, encode_particles, encode_weights};
@@ -52,7 +53,7 @@ pub mod tags {
 /// One multi-process run's shared configuration. Every rank derives the
 /// whole setup (IC, grid, initial ownership) deterministically from this,
 /// so only the struct itself crosses the process boundary.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcConfig {
     pub scheme: Scheme,
     pub n: usize,
@@ -67,6 +68,15 @@ pub struct ProcConfig {
     pub grid_c: u32,
     /// SPDA curve ordering.
     pub curve: Curve,
+    /// Checkpoint root directory ([`crate::ckpt::CkptStore`] layout); `None`
+    /// disables checkpointing and resume.
+    pub ckpt_dir: Option<String>,
+    /// Write one checkpoint epoch every this many completed steps
+    /// (0 = never).
+    pub ckpt_every: u64,
+    /// Start from the latest complete epoch in `ckpt_dir` instead of the
+    /// initial conditions (no-op when none exists).
+    pub resume: bool,
 }
 
 impl Default for ProcConfig {
@@ -81,6 +91,9 @@ impl Default for ProcConfig {
             eps: 1e-4,
             grid_c: 8,
             curve: Curve::Morton,
+            ckpt_dir: None,
+            ckpt_every: 0,
+            resume: false,
         }
     }
 }
@@ -99,7 +112,7 @@ impl ProcConfig {
             Curve::Morton => "morton",
             Curve::Hilbert => "hilbert",
         };
-        format!(
+        let mut out = format!(
             "scheme={scheme};n={};steps={};dt={:016x};seed={};alpha={:016x};eps={:016x};grid_c={};curve={curve}",
             self.n,
             self.steps,
@@ -108,7 +121,18 @@ impl ProcConfig {
             self.alpha.to_bits(),
             self.eps.to_bits(),
             self.grid_c,
-        )
+        );
+        // Checkpoint fields ride at the tail so pre-fault-tolerance decoders
+        // never see them on default configs; the directory travels as hex
+        // bytes (paths may contain `;`/`=`/non-UTF-8-safe characters).
+        out.push_str(&format!(";ckpt_every={};resume={}", self.ckpt_every, u8::from(self.resume)));
+        if let Some(dir) = &self.ckpt_dir {
+            out.push_str(";ckpt_dir=");
+            for b in dir.as_bytes() {
+                out.push_str(&format!("{b:02x}"));
+            }
+        }
+        out
     }
 
     pub fn decode(s: &str) -> Result<ProcConfig, String> {
@@ -139,6 +163,28 @@ impl ProcConfig {
                 "dt" => cfg.dt = f64::from_bits(bits()?),
                 "alpha" => cfg.alpha = f64::from_bits(bits()?),
                 "eps" => cfg.eps = f64::from_bits(bits()?),
+                "ckpt_every" => {
+                    cfg.ckpt_every = v.parse().map_err(|e| format!("ckpt_every: {e}"))?
+                }
+                "resume" => {
+                    cfg.resume = match v {
+                        "0" => false,
+                        "1" => true,
+                        _ => return Err(format!("resume must be 0/1, got {v:?}")),
+                    }
+                }
+                "ckpt_dir" => {
+                    if v.len() % 2 != 0 {
+                        return Err("ckpt_dir: odd-length hex".into());
+                    }
+                    let bytes: Vec<u8> = (0..v.len())
+                        .step_by(2)
+                        .map(|i| u8::from_str_radix(&v[i..i + 2], 16))
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| format!("ckpt_dir: {e}"))?;
+                    cfg.ckpt_dir =
+                        Some(String::from_utf8(bytes).map_err(|e| format!("ckpt_dir: {e}"))?);
+                }
                 _ => return Err(format!("unknown field {k:?}")),
             }
         }
@@ -235,10 +281,59 @@ pub fn run_rank(t: &mut dyn Transport, cfg: &ProcConfig) -> Result<RankOutcome, 
     let mut owned: Vec<Particle> =
         ic.iter().filter(|q| owner_of_ic[q.id as usize] == rank).copied().collect();
 
-    let mut profiles = Vec::with_capacity(cfg.steps);
+    // Resume: replace the IC-derived start with the latest complete
+    // checkpoint epoch. Every rank scans before its first STATE all-gather
+    // and the directory is quiescent until all ranks have done so (no epoch
+    // can complete before every rank finishes a step), so all ranks agree
+    // on the epoch without coordination.
+    let store = cfg.ckpt_dir.as_deref().map(CkptStore::new);
+    let mut start_step = 0usize;
+    if cfg.resume {
+        if let Some((epoch, of)) = store.as_ref().and_then(|s| s.latest_complete_epoch()) {
+            let shards = store
+                .as_ref()
+                .expect("store exists")
+                .load_epoch(epoch, of)
+                .map_err(ProcError::Io)?;
+            if of == p {
+                // Same rank count: continue the recorded ownership exactly —
+                // the resumed run is the uninterrupted run, bit for bit.
+                owned = shards.into_iter().nth(rank).expect("rank < of");
+            } else {
+                // Rank count changed (degraded continuation): reassemble the
+                // global state and re-derive ownership from the scheme's
+                // initial assignment. The trajectory is ownership-independent
+                // (masked force rows are bitwise equal to full-run rows and
+                // every rebalance input is reduced over all particles), so
+                // the state continues bit-for-bit under the new partition.
+                let mut all: Vec<Particle> = shards.into_iter().flatten().collect();
+                all.sort_unstable_by_key(|q| q.id);
+                if all.len() != n {
+                    return Err(protocol(format!(
+                        "checkpoint epoch {epoch} holds {} particles, config says {n}",
+                        all.len()
+                    )));
+                }
+                let owner: Vec<usize> = match cfg.scheme {
+                    Scheme::Spsa | Scheme::Spda => {
+                        all.iter().map(|q| cluster_owner[grid.cluster_of(q.pos) as usize]).collect()
+                    }
+                    Scheme::Dpda => {
+                        let tree = sim.build_tree(&all);
+                        Partition::costzones_weighted(&tree, &vec![0.0; n], p).owner_of_particle
+                    }
+                };
+                owned = all.iter().filter(|q| owner[q.id as usize] == rank).copied().collect();
+            }
+            start_step = epoch as usize;
+        }
+    }
+
+    let mut profiles = Vec::with_capacity(cfg.steps.saturating_sub(start_step));
     let mut last_forces: Vec<(u32, Vec3, f64)> = Vec::new();
 
-    for step in 0..cfg.steps {
+    for step in start_step..cfg.steps {
+        t.on_step(step as u64)?;
         let t0 = now();
         let traffic0 = t.traffic();
 
@@ -325,10 +420,22 @@ pub fn run_rank(t: &mut dyn Transport, cfg: &ProcConfig) -> Result<RankOutcome, 
         let t_lb = now();
         let traffic_end = t.traffic();
 
+        // ---- checkpoint: persist this rank's shard of epoch step+1 ------
+        let epoch = step as u64 + 1;
+        let mut t_ck = t_lb;
+        let wrote_ckpt = match &store {
+            Some(s) if cfg.ckpt_every > 0 && epoch.is_multiple_of(cfg.ckpt_every) => {
+                s.write_shard(epoch, rank, p, &owned).map_err(ProcError::Io)?;
+                t_ck = now();
+                true
+            }
+            _ => false,
+        };
+
         // ---- profile: rank-local spans in real phase names --------------
         let mut prof = StepProfile::new(1);
         prof.step = step as u64;
-        prof.wall_s = t_lb - t0;
+        prof.wall_s = t_ck - t0;
         let mut rec = |ph: &str, s: f64, e: f64, sent: u64| {
             let mut span = Span::new(0, step as u64, ph, s - t0, e - t0);
             span.sent = sent;
@@ -355,12 +462,37 @@ pub fn run_rank(t: &mut dyn Transport, cfg: &ProcConfig) -> Result<RankOutcome, 
         }
         rec(phase::UPDATE, t_force, t_upd, 0);
         rec(phase::LOAD_BALANCE, t_upd, t_lb, traffic_end.0 - traffic_ex.0);
+        if wrote_ckpt {
+            rec(phase::CHECKPOINT, t_lb, t_ck, 0);
+        }
         if let Some(pr) = sub {
             prof.totals = pr.totals;
         }
         prof.totals.messages = traffic_end.0 - traffic0.0;
         prof.totals.words = (traffic_end.1 - traffic0.1) / 8;
         profiles.push(prof);
+    }
+
+    // A resume can land at (or past) the final epoch, skipping the loop
+    // entirely; evaluate forces for the final state anyway so the report —
+    // and the force-equivalence evidence — is complete.
+    if start_step >= cfg.steps && cfg.steps > 0 {
+        let views = all_gather(t, tags::STATE, &encode_particles(&owned))?;
+        let all = assemble(n, &views)?;
+        let active = if p == 1 {
+            ActiveSet::all(n)
+        } else {
+            let mut mask = vec![false; n];
+            for q in &owned {
+                mask[q.id as usize] = true;
+            }
+            ActiveSet::from_mask(mask)
+        };
+        let fr = sim.compute_forces_active_profiled(&all, &active);
+        last_forces = owned
+            .iter()
+            .map(|q| (q.id, fr.accels[q.id as usize], fr.potentials[q.id as usize]))
+            .collect();
     }
 
     Ok(RankOutcome { owned, forces: last_forces, profiles })
@@ -376,7 +508,10 @@ mod tests {
         let cfg = ProcConfig { scheme, ..cfg_base };
         let handles: Vec<_> = local_mesh(p)
             .into_iter()
-            .map(|mut t| std::thread::spawn(move || run_rank(&mut t, &cfg).expect("rank run")))
+            .map(|mut t| {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || run_rank(&mut t, &cfg).expect("rank run"))
+            })
             .collect();
         handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
     }
@@ -411,11 +546,129 @@ mod tests {
             eps: 1e-4,
             grid_c: 16,
             curve: Curve::Hilbert,
+            // Paths with `;`, `=`, and spaces must survive the hex hop.
+            ckpt_dir: Some("/tmp/ck pt;x=1/∂".to_string()),
+            ckpt_every: 2,
+            resume: true,
         };
         let back = ProcConfig::decode(&cfg.encode()).unwrap();
         assert_eq!(back, cfg);
         assert_eq!(back.dt.to_bits(), cfg.dt.to_bits());
         assert!(ProcConfig::decode("bogus").is_err());
+        // Configs encoded before the checkpoint fields existed still decode,
+        // with those fields defaulted.
+        let legacy = ProcConfig::default();
+        let tail = legacy.encode();
+        let tail = tail.split(";ckpt_every").next().unwrap().to_string();
+        let back = ProcConfig::decode(&tail).unwrap();
+        assert_eq!(back, legacy);
+    }
+
+    /// Kill a rank mid-run (loopback fault injection), then resume from the
+    /// last complete checkpoint epoch: the recovered run's final state and
+    /// forces must be bitwise identical to the uninterrupted run — and a
+    /// degraded resume at fewer ranks must match too, because the
+    /// trajectory is ownership-independent.
+    #[test]
+    fn killed_run_resumes_from_checkpoint_bitwise() {
+        use crate::fault::{FaultMode, FaultPlan, FaultyTransport};
+        use std::time::Duration;
+
+        for scheme in [Scheme::Spsa, Scheme::Spda, Scheme::Dpda] {
+            let dir = std::env::temp_dir().join(format!("bhut_resume_test_{scheme:?}"));
+            std::fs::remove_dir_all(&dir).ok();
+
+            let reference = run_scheme(scheme, 4, small());
+            let (ref_parts, ref_forces) = by_id(&reference);
+
+            let cfg = ProcConfig {
+                scheme,
+                ckpt_dir: Some(dir.to_string_lossy().into_owned()),
+                ckpt_every: 1,
+                ..small()
+            };
+
+            // Attempt 0: rank 1 dies entering step 1. Every rank must
+            // error out (never hang), leaving epoch 1 complete on disk.
+            let plan = FaultPlan::kill_at_step(1, 1);
+            let handles: Vec<_> = local_mesh(4)
+                .into_iter()
+                .map(|mut t| {
+                    let cfg = cfg.clone();
+                    let actions = plan.actions_for(t.rank(), 0);
+                    std::thread::spawn(move || {
+                        t.set_recv_timeout(Duration::from_secs(10));
+                        let mut ft = FaultyTransport::new(t, FaultMode::Error, actions);
+                        run_rank(&mut ft, &cfg)
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert!(h.join().expect("no panic").is_err(), "{scheme:?}: rank survived kill");
+            }
+            assert_eq!(
+                crate::ckpt::CkptStore::new(&dir).latest_complete_epoch(),
+                Some((1, 4)),
+                "{scheme:?}: epoch 1 must be complete after the step-1 kill"
+            );
+
+            // Attempt 1: full-width resume — bitwise identical throughout.
+            let resumed = run_scheme(scheme, 4, ProcConfig { resume: true, ..cfg.clone() });
+            let (parts, forces) = by_id(&resumed);
+            assert_eq!(parts.len(), small().n);
+            for (id, q) in &parts {
+                let r = &ref_parts[id];
+                assert_eq!(q.pos.x.to_bits(), r.pos.x.to_bits(), "{scheme:?} id {id} pos.x");
+                assert_eq!(q.pos.y.to_bits(), r.pos.y.to_bits());
+                assert_eq!(q.pos.z.to_bits(), r.pos.z.to_bits());
+                assert_eq!(q.vel.x.to_bits(), r.vel.x.to_bits());
+                assert_eq!(q.vel.y.to_bits(), r.vel.y.to_bits());
+                assert_eq!(q.vel.z.to_bits(), r.vel.z.to_bits());
+            }
+            for (id, (a, phi)) in &forces {
+                let (ra, rphi) = &ref_forces[id];
+                assert_eq!(a.x.to_bits(), ra.x.to_bits(), "{scheme:?} id {id} accel.x");
+                assert_eq!(phi.to_bits(), rphi.to_bits());
+            }
+
+            // Degraded resume: fewer ranks re-derive ownership from the
+            // checkpointed global state; the state trajectory still matches.
+            let shrunk = if scheme == Scheme::Spsa { 2 } else { 3 };
+            let degraded = run_scheme(scheme, shrunk, ProcConfig { resume: true, ..cfg.clone() });
+            let (parts, _) = by_id(&degraded);
+            assert_eq!(parts.len(), small().n, "{scheme:?}: degraded run lost particles");
+            for (id, q) in &parts {
+                let r = &ref_parts[id];
+                assert_eq!(q.pos.x.to_bits(), r.pos.x.to_bits(), "{scheme:?} id {id} degraded");
+                assert_eq!(q.vel.z.to_bits(), r.vel.z.to_bits());
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// A resume that lands at the final epoch skips the loop but still
+    /// reports complete owned state (and non-empty forces).
+    #[test]
+    fn resume_past_the_end_still_reports() {
+        let dir = std::env::temp_dir().join("bhut_resume_past_end");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = ProcConfig {
+            ckpt_dir: Some(dir.to_string_lossy().into_owned()),
+            ckpt_every: 1,
+            ..small()
+        };
+        let finished = run_scheme(Scheme::Spda, 2, cfg.clone());
+        let (ref_parts, _) = by_id(&finished);
+
+        let resumed = run_scheme(Scheme::Spda, 2, ProcConfig { resume: true, ..cfg });
+        let (parts, forces) = by_id(&resumed);
+        assert_eq!(parts.len(), small().n);
+        assert_eq!(forces.len(), small().n, "post-loop force fill must run");
+        assert!(resumed.iter().all(|o| o.profiles.is_empty()), "no steps re-run");
+        for (id, q) in &parts {
+            assert_eq!(q.pos.x.to_bits(), ref_parts[id].pos.x.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

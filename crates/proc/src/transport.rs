@@ -46,6 +46,47 @@ pub enum ProcError {
         rank: usize,
         detail: String,
     },
+    /// An injected fault fired on this rank (see `fault::FaultPlan`).
+    Injected(String),
+    /// Supervisor-side: every recovery attempt was spent and the run still
+    /// failed.
+    RecoveryExhausted {
+        attempts: u32,
+        last: String,
+    },
+}
+
+impl ProcError {
+    /// Distinct child-process exit code per variant, so the supervisor and
+    /// CI logs can triage a dead rank from its exit status alone. The
+    /// range starts at 40 to stay clear of shell/libc conventions (1,
+    /// 2, 126–128+n).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            ProcError::Io(_) => 40,
+            ProcError::PeerClosed { .. } => 41,
+            ProcError::Timeout(_) => 42,
+            ProcError::Protocol(_) => 43,
+            ProcError::DeadRank { .. } => 44,
+            ProcError::Injected(_) => 45,
+            ProcError::RecoveryExhausted { .. } => 46,
+        }
+    }
+
+    /// Reverse of [`ProcError::exit_code`]: the failure class a child's
+    /// exit status encodes, `None` for codes this crate never produces.
+    pub fn classify_exit(code: i32) -> Option<&'static str> {
+        match code {
+            40 => Some("io"),
+            41 => Some("peer-closed"),
+            42 => Some("timeout"),
+            43 => Some("protocol"),
+            44 => Some("dead-rank"),
+            45 => Some("injected-fault"),
+            46 => Some("recovery-exhausted"),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ProcError {
@@ -57,6 +98,10 @@ impl std::fmt::Display for ProcError {
             ProcError::Protocol(what) => write!(f, "protocol violation: {what}"),
             ProcError::DeadRank { rank, detail } => {
                 write!(f, "rank {rank} died before reporting: {detail}")
+            }
+            ProcError::Injected(what) => write!(f, "injected fault: {what}"),
+            ProcError::RecoveryExhausted { attempts, last } => {
+                write!(f, "recovery exhausted after {attempts} attempt(s): {last}")
             }
         }
     }
@@ -80,6 +125,18 @@ pub trait Transport: Send {
     fn recv(&mut self, from: usize, tag: u16) -> Result<Vec<u8>, ProcError>;
     /// Cumulative (messages, payload bytes) sent since construction.
     fn traffic(&self) -> (u64, u64);
+    /// Protocol checkpoint: the rank driver announces each time-step
+    /// boundary. A no-op on real transports; the fault-injection wrapper
+    /// keys step-triggered faults off it.
+    fn on_step(&mut self, _step: u64) -> Result<(), ProcError> {
+        Ok(())
+    }
+    /// Protocol checkpoint: each collective announces itself on entry. A
+    /// no-op on real transports; the fault-injection wrapper keys
+    /// collective-triggered faults off it.
+    fn on_collective(&mut self, _name: &'static str) -> Result<(), ProcError> {
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -145,6 +202,11 @@ impl Transport for LocalTransport {
         assert!(to < self.p && to != self.rank, "send to {to} from {}", self.rank);
         let mb = &self.boxes[self.rank * self.p + to];
         let mut st = mb.q.lock().expect("mailbox poisoned");
+        if st.closed {
+            // The receiver dropped its endpoint — the loopback analog of a
+            // write against a closed socket (EPIPE → PeerClosed).
+            return Err(ProcError::PeerClosed { rank: to });
+        }
         st.frames.push_back((tag, payload.to_vec()));
         self.sent_msgs += 1;
         self.sent_bytes += payload.len() as u64;
@@ -190,18 +252,22 @@ impl Transport for LocalTransport {
 }
 
 impl Drop for LocalTransport {
-    /// Mark every outgoing mailbox closed so peers blocked on this rank
-    /// observe the death instead of waiting out their timeout — the
-    /// loopback analog of a child process closing its sockets.
+    /// Mark every mailbox this rank touches closed — outgoing, so peers
+    /// blocked on a receive from it observe the death, and incoming, so
+    /// peers sending to it get [`ProcError::PeerClosed`] — the loopback
+    /// analog of a child process closing its sockets in both directions.
     fn drop(&mut self) {
-        for to in 0..self.p {
-            if to == self.rank {
+        for peer in 0..self.p {
+            if peer == self.rank {
                 continue;
             }
-            let mb = &self.boxes[self.rank * self.p + to];
-            if let Ok(mut st) = mb.q.lock() {
-                st.closed = true;
-                mb.cv.notify_all();
+            for mb in
+                [&self.boxes[self.rank * self.p + peer], &self.boxes[peer * self.p + self.rank]]
+            {
+                if let Ok(mut st) = mb.q.lock() {
+                    st.closed = true;
+                    mb.cv.notify_all();
+                }
             }
         }
     }
@@ -210,6 +276,56 @@ impl Drop for LocalTransport {
 // ---------------------------------------------------------------------------
 // Socket mesh: one Unix stream per peer pair.
 // ---------------------------------------------------------------------------
+
+/// Jittered exponential backoff for connect/accept retry loops.
+///
+/// Delays double from `base` up to `cap`, each drawn uniformly from
+/// `[exp/2, exp]` ("equal jitter") by a deterministic per-instance
+/// generator, so `p` ranks retrying against the same listener spread out
+/// instead of polling in lockstep. Every delay is additionally clamped to
+/// the remaining budget before a deadline, so backoff never overshoots it.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    state: u64,
+}
+
+impl Backoff {
+    /// Production schedule: 1 ms doubling to a 50 ms ceiling.
+    pub fn new(seed: u64) -> Self {
+        Backoff::with_limits(seed, Duration::from_millis(1), Duration::from_millis(50))
+    }
+
+    pub fn with_limits(seed: u64, base: Duration, cap: Duration) -> Self {
+        // splitmix64 seeding keeps adjacent seeds (rank indices) decorrelated.
+        Backoff { base, cap, attempt: 0, state: seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B5 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next delay to sleep, capped by `remaining` (time to deadline).
+    pub fn next_delay(&mut self, remaining: Duration) -> Duration {
+        let exp =
+            self.base.saturating_mul(1u32 << self.attempt.min(20)).min(self.cap).as_secs_f64();
+        self.attempt = self.attempt.saturating_add(1);
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_secs_f64(exp * (0.5 + 0.5 * unit)).min(remaining)
+    }
+
+    /// Restart the schedule (e.g. after a successful accept, for the next
+    /// pending peer).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
 
 /// Handshake tag carrying the connector's rank.
 const TAG_HELLO: u16 = 0xBEEF;
@@ -251,20 +367,24 @@ impl SocketMesh {
         let listener = UnixListener::bind(mesh_path(dir, rank))?;
         listener.set_nonblocking(true)?;
 
-        // Connect downward, retrying while the peer's listener appears.
+        // Connect downward, retrying with jittered exponential backoff
+        // while the peer's listener appears (peers bind in arbitrary
+        // order, so early retries are expected, not exceptional).
         #[allow(clippy::needless_range_loop)] // peer IS the protocol-ordered index
         for peer in 0..rank {
             let path = mesh_path(dir, peer);
+            let mut backoff = Backoff::new((rank * p + peer) as u64);
             let stream = loop {
                 match UnixStream::connect(&path) {
                     Ok(s) => break s,
                     Err(e) => {
-                        if Instant::now() >= deadline {
+                        let now = Instant::now();
+                        if now >= deadline {
                             return Err(ProcError::Timeout(format!(
                                 "rank {rank} connecting to rank {peer}: {e}"
                             )));
                         }
-                        std::thread::sleep(Duration::from_millis(2));
+                        std::thread::sleep(backoff.next_delay(deadline - now));
                     }
                 }
             };
@@ -275,6 +395,7 @@ impl SocketMesh {
 
         // Accept upward; the hello frame says which peer arrived.
         let mut pending = p - 1 - rank;
+        let mut backoff = Backoff::new(rank as u64);
         while pending > 0 {
             match listener.accept() {
                 Ok((stream, _)) => {
@@ -296,14 +417,16 @@ impl SocketMesh {
                     }
                     streams[peer] = Some(s);
                     pending -= 1;
+                    backoff.reset();
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Err(ProcError::Timeout(format!(
                             "rank {rank} accepting {pending} more peers"
                         )));
                     }
-                    std::thread::sleep(Duration::from_millis(2));
+                    std::thread::sleep(backoff.next_delay(deadline - now));
                 }
                 Err(e) => return Err(ProcError::Io(e)),
             }
@@ -375,5 +498,107 @@ impl Transport for SocketMesh {
 
     fn traffic(&self) -> (u64, u64) {
         (self.sent_msgs, self.sent_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The backoff schedule: delays live in the equal-jitter envelope
+    /// `[exp/2, exp]` of a doubling-to-cap exponential, never exceed the
+    /// remaining deadline budget, and replay exactly for a fixed seed.
+    #[test]
+    fn backoff_schedule_is_jittered_capped_and_deterministic() {
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_millis(50);
+        let far = Duration::from_secs(60);
+        let mut b = Backoff::with_limits(7, base, cap);
+        let delays: Vec<Duration> = (0..12).map(|_| b.next_delay(far)).collect();
+        for (i, d) in delays.iter().enumerate() {
+            let exp = base.saturating_mul(1u32 << i.min(20)).min(cap);
+            assert!(*d <= exp, "attempt {i}: {d:?} above envelope {exp:?}");
+            assert!(*d * 2 >= exp, "attempt {i}: {d:?} below half-envelope {exp:?}");
+        }
+        // Deep attempts sit at the cap's envelope, not past it.
+        assert!(delays[11] <= cap && delays[11] * 2 >= cap);
+
+        // Same seed, same schedule; different seed, different jitter.
+        let mut b2 = Backoff::with_limits(7, base, cap);
+        let replay: Vec<Duration> = (0..12).map(|_| b2.next_delay(far)).collect();
+        assert_eq!(delays, replay);
+        let mut b3 = Backoff::with_limits(8, base, cap);
+        let other: Vec<Duration> = (0..12).map(|_| b3.next_delay(far)).collect();
+        assert_ne!(delays, other);
+
+        // The deadline budget clamps every delay.
+        let mut b4 = Backoff::with_limits(7, base, cap);
+        for _ in 0..6 {
+            let _ = b4.next_delay(far);
+        }
+        let tight = Duration::from_micros(300);
+        assert!(b4.next_delay(tight) <= tight);
+
+        // reset() restarts the exponential ramp.
+        b4.reset();
+        let d = b4.next_delay(far);
+        assert!(d <= base, "post-reset delay {d:?} above base {base:?}");
+    }
+
+    /// Exit codes round-trip through the classifier, are pairwise
+    /// distinct, and avoid the shell's reserved ranges.
+    #[test]
+    fn exit_codes_are_distinct_and_classifiable() {
+        let errs = [
+            ProcError::Io(std::io::Error::other("x")),
+            ProcError::PeerClosed { rank: 1 },
+            ProcError::Timeout("t".into()),
+            ProcError::Protocol("p".into()),
+            ProcError::DeadRank { rank: 0, detail: "d".into() },
+            ProcError::Injected("kill".into()),
+            ProcError::RecoveryExhausted { attempts: 2, last: "l".into() },
+        ];
+        let codes: Vec<i32> = errs.iter().map(ProcError::exit_code).collect();
+        let distinct: std::collections::BTreeSet<i32> = codes.iter().copied().collect();
+        assert_eq!(distinct.len(), errs.len(), "{codes:?}");
+        for &c in &codes {
+            assert!((40..=46).contains(&c));
+            assert!(ProcError::classify_exit(c).is_some());
+        }
+        assert_eq!(ProcError::classify_exit(42), Some("timeout"));
+        assert_eq!(ProcError::classify_exit(41), Some("peer-closed"));
+        assert_eq!(ProcError::classify_exit(45), Some("injected-fault"));
+        assert_eq!(ProcError::classify_exit(1), None);
+        assert_eq!(ProcError::classify_exit(0), None);
+    }
+
+    /// Loopback death is symmetric: after a rank drops its endpoint, a
+    /// peer's send to it fails with PeerClosed (like EPIPE on a socket),
+    /// not silently succeeding into a mailbox nobody will read.
+    #[test]
+    fn send_to_dead_loopback_peer_fails() {
+        let mut mesh = local_mesh(2);
+        let t1 = mesh.pop().expect("endpoint 1");
+        let mut t0 = mesh.pop().expect("endpoint 0");
+        t0.send(1, 3, b"before death").expect("peer alive");
+        drop(t1);
+        match t0.send(1, 3, b"after death") {
+            Err(ProcError::PeerClosed { rank: 1 }) => {}
+            other => panic!("expected PeerClosed {{1}}, got {other:?}"),
+        }
+        // Queued frames from the dead peer are still drainable... but rank
+        // 1 sent nothing, so the receive reports the closure immediately.
+        match t0.recv(1, 3) {
+            Err(ProcError::PeerClosed { rank: 1 }) => {}
+            other => panic!("expected PeerClosed {{1}}, got {other:?}"),
+        }
+    }
+
+    /// Default trait hooks are no-ops on the concrete transports.
+    #[test]
+    fn protocol_hooks_default_to_ok() {
+        let mut t = local_mesh(1).pop().expect("endpoint");
+        t.on_step(0).unwrap();
+        t.on_collective("all_gather").unwrap();
     }
 }

@@ -7,7 +7,9 @@
 //! `cargo test`.
 
 use bhut_core::Scheme;
-use bhut_proc::{local_mesh, maybe_child, run_rank, Launcher, ProcConfig};
+use bhut_proc::{
+    local_mesh, maybe_child, run_rank, FaultPlan, Launcher, ProcConfig, RecoveryPolicy,
+};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -54,4 +56,61 @@ fn main() {
     assert!(merged.spans.iter().any(|s| s.rank == 1), "rank 1 spans present");
 
     println!("proc_e2e: 2 real processes matched the single-process path bitwise");
+
+    // Supervised recovery: rank 1 is killed (a real process::exit) entering
+    // step 1; the supervisor rolls the mesh back to the checkpoint epoch and
+    // respawns it. The recovered state must match the fault-free reference
+    // bitwise.
+    let plan = FaultPlan::kill_at_step(1, 1);
+    let sup = Launcher::default()
+        .run_supervised(2, &cfg, &plan, RecoveryPolicy::default())
+        .expect("supervised run recovers");
+    assert_eq!(sup.recoveries.len(), 1, "exactly one recovery: {:?}", sup.recoveries);
+    assert_eq!(sup.ranks, 2);
+    assert_eq!(sup.counters.respawns, 1);
+    assert!(sup.counters.checkpoints >= 1, "checkpoints on disk: {:?}", sup.counters);
+    let event = &sup.recoveries[0];
+    assert!(
+        event.detail.contains('['),
+        "exit-status triage missing from recovery detail: {}",
+        event.detail
+    );
+    assert_eq!(event.resume_epoch, 1, "rolled back to the step-1 checkpoint epoch");
+    assert_eq!(sup.recovery_profile.spans.len(), 1, "one recovery span emitted");
+
+    let mut seen = 0usize;
+    for rank in &sup.run.ranks {
+        for q in &rank.owned {
+            let r = ref_by_id.get(&q.id).expect("known particle");
+            assert_eq!(q.pos.x.to_bits(), r.pos.x.to_bits(), "recovered id {} pos.x", q.id);
+            assert_eq!(q.vel.z.to_bits(), r.vel.z.to_bits(), "recovered id {} vel.z", q.id);
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, cfg.n, "recovered run owns every particle exactly once");
+
+    // Recovery exhausted: a kill that re-fires on every attempt must
+    // surface the distinct error (and exit code class) for triage.
+    let persistent = FaultPlan {
+        seed: 0,
+        actions: (0..=1)
+            .map(|attempt| bhut_proc::FaultAction {
+                rank: 0,
+                attempt,
+                trigger: bhut_proc::Trigger::Step(0),
+                kind: bhut_proc::FaultKind::Kill,
+            })
+            .collect(),
+    };
+    let err = Launcher::default()
+        .run_supervised(2, &cfg, &persistent, RecoveryPolicy { max_recoveries: 1, degrade: false })
+        .expect_err("persistent fault must exhaust recovery");
+    match err {
+        bhut_proc::ProcError::RecoveryExhausted { attempts: 1, ref last } => {
+            assert!(last.contains("injected-fault"), "triage class missing: {last}");
+        }
+        ref other => panic!("expected RecoveryExhausted, got {other}"),
+    }
+
+    println!("proc_e2e: supervised kill-recovery matched the fault-free run bitwise");
 }

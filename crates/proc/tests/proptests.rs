@@ -7,8 +7,12 @@
 //! order; these tests pin it bitwise, under deliberately staggered rank
 //! start-ups.
 
-use bhut_proc::collectives::{all_gather, all_reduce_sum_f64, exchange};
-use bhut_proc::{local_mesh, Transport};
+use bhut_proc::collectives::{
+    all_gather, all_reduce_sum_f64, barrier, broadcast, exchange, reduce_sum_f64,
+};
+use bhut_proc::{
+    local_mesh, FaultAction, FaultKind, FaultMode, FaultyTransport, ProcError, Transport, Trigger,
+};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -60,8 +64,136 @@ fn reduce_round(vals: &[Vec<f64>], stagger: bool) -> Vec<Vec<f64>> {
     handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
 }
 
+/// One round of the collective selected by `which` (0..6).
+fn one_round(t: &mut dyn Transport, which: usize, round: u8) -> Result<(), ProcError> {
+    let (rank, p) = (t.rank(), t.size());
+    match which {
+        0 => {
+            let payload = (rank == 0).then(|| vec![round; 3]);
+            broadcast(t, 0, 20, payload).map(|_| ())
+        }
+        1 => all_gather(t, 21, &[rank as u8, round]).map(|_| ()),
+        2 => all_reduce_sum_f64(t, 22, &[rank as f64 + round as f64]).map(|_| ()),
+        3 => reduce_sum_f64(t, 0, 23, &[1.5 * rank as f64 + round as f64]).map(|_| ()),
+        4 => {
+            let bins: Vec<Vec<u8>> =
+                (0..p).map(|to| vec![to as u8; (rank + round as usize) % 3]).collect();
+            exchange(t, 24, &bins).map(|_| ())
+        }
+        _ => barrier(t, 25),
+    }
+}
+
+/// Lower bound on point-to-point operations any single rank performs in one
+/// round of collective `which` — broadcast leaves / reduce leaves do one,
+/// the symmetric pairwise collectives do 2(p−1).
+fn min_ops_per_round(which: usize, p: usize) -> u64 {
+    match which {
+        0 | 3 => 1,
+        _ => 2 * (p as u64 - 1),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Liveness under rank death: whichever collective is running, and at
+    /// whatever operation position the victim dies inside the fixed-order
+    /// fold, no rank ever hangs — the victim surfaces `Injected`, every
+    /// causally-blocked survivor surfaces `PeerClosed`/`Timeout`, and any
+    /// rank reporting success genuinely finished all its rounds (one-way
+    /// senders, e.g. reduce leaves, may legitimately keep succeeding).
+    #[test]
+    fn every_collective_errors_never_hangs_when_a_rank_dies(
+        seed: u64,
+        p in 2usize..=4,
+        which in 0usize..6,
+        round_frac in 0u64..4,
+    ) {
+        const ROUNDS: u8 = 8;
+        let victim = (seed % p as u64) as usize;
+        // An arbitrary op position inside the first 4 of 8 rounds, so the
+        // kill always fires and survivors have rounds left to observe it.
+        let per_round = min_ops_per_round(which, p);
+        let kill_op = round_frac * per_round + (seed >> 32) % per_round;
+
+        let handles: Vec<_> = local_mesh(p)
+            .into_iter()
+            .map(|mut t| {
+                let actions = if t.rank() == victim {
+                    vec![FaultAction {
+                        rank: victim,
+                        attempt: 0,
+                        trigger: Trigger::Op(kill_op),
+                        kind: FaultKind::Kill,
+                    }]
+                } else {
+                    Vec::new()
+                };
+                std::thread::spawn(move || {
+                    t.set_recv_timeout(Duration::from_millis(300));
+                    let mut ft = FaultyTransport::new(t, FaultMode::Error, actions);
+                    let mut completed = 0u8;
+                    for round in 0..ROUNDS {
+                        if let Err(e) = one_round(&mut ft, which, round) {
+                            return (completed, Some(e));
+                        }
+                        completed += 1;
+                    }
+                    (completed, None)
+                })
+            })
+            .collect();
+        // Joining at all is the liveness property: a hung collective would
+        // wedge the whole test binary here.
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().expect("no panic")).collect();
+
+        match &outcomes[victim].1 {
+            Some(ProcError::Injected(_)) => {}
+            other => prop_assert!(false, "victim must die injected, got {other:?}"),
+        }
+        let mut survivors_errored = 0;
+        for (rank, (completed, out)) in outcomes.iter().enumerate() {
+            if rank == victim {
+                continue;
+            }
+            match out {
+                Some(ProcError::PeerClosed { .. }) | Some(ProcError::Timeout(_)) => {
+                    survivors_errored += 1;
+                }
+                Some(other) => prop_assert!(false, "rank {rank}: wrong error class {other:?}"),
+                None => prop_assert_eq!(
+                    *completed, ROUNDS,
+                    "rank {} stalled silently after {} rounds", rank, completed
+                ),
+            }
+        }
+        // Where a stronger guarantee than liveness holds, pin it: every
+        // rank that *receives from* the victim each round must starve.
+        // (Buffered sends are fire-and-forget, so a broadcast root or a
+        // reduce leaf may legitimately finish all rounds past a dead
+        // counterparty.)
+        match which {
+            1 | 2 | 4 | 5 => {
+                // Symmetric pairwise collectives: everyone receives from
+                // everyone, so no survivor can outrun the death.
+                prop_assert_eq!(
+                    survivors_errored,
+                    p - 1,
+                    "collective {} let a survivor run past a dead rank", which
+                );
+            }
+            0 if victim == 0 => {
+                // Dead broadcast root: every leaf starves.
+                prop_assert_eq!(survivors_errored, p - 1, "leaves ran past a dead root");
+            }
+            3 if victim != 0 => {
+                // Reduce root consumes the dead leaf's contribution.
+                prop_assert!(outcomes[0].1.is_some(), "reduce root ran past a dead leaf");
+            }
+            _ => {}
+        }
+    }
 
     /// all-reduce is bitwise rank-order independent: every rank sees the
     /// same bits, staggered and unstaggered runs agree, and both equal the

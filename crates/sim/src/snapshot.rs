@@ -54,15 +54,67 @@ pub fn save_snapshot(path: &Path, time: f64, particles: &ParticleSet) -> io::Res
 }
 
 /// Write a full snapshot (see [`crate::Simulation::snapshot`]) as JSON.
+///
+/// The write is crash-safe: the JSON goes to a temp file in the same
+/// directory which is fsynced and renamed over `path`, so a crash mid-write
+/// can never leave a truncated file at the final name.
 pub fn save_snapshot_state(path: &Path, snap: &Snapshot) -> io::Result<()> {
-    let file = BufWriter::new(File::create(path)?);
-    serde_json::to_writer(file, snap).map_err(io::Error::other)
+    write_atomically(path, |w| serde_json::to_writer(&mut *w, snap).map_err(io::Error::other))
 }
 
 /// Read a snapshot back.
 pub fn load_snapshot(path: &Path) -> io::Result<Snapshot> {
     let file = BufReader::new(File::open(path)?);
     serde_json::from_reader(file).map_err(io::Error::other)
+}
+
+/// Trailing marker appended to checkpoint files. JSON parsers ignore
+/// trailing whitespace-prefixed garbage only if we never write any — so the
+/// marker doubles as a completeness witness: a torn write loses the tail of
+/// the file first, and with it the marker.
+pub const CHECKPOINT_MARKER: &str = "\n#bhut-checkpoint-v1-end\n";
+
+/// Write `snap` as a checkpoint: atomic (temp file + rename) *and*
+/// self-validating (trailing [`CHECKPOINT_MARKER`]).
+pub fn save_checkpoint(path: &Path, snap: &Snapshot) -> io::Result<()> {
+    write_atomically(path, |w| {
+        serde_json::to_writer(&mut *w, snap).map_err(io::Error::other)?;
+        w.write_all(CHECKPOINT_MARKER.as_bytes())
+    })
+}
+
+/// Load a checkpoint, refusing any file whose trailing marker is missing —
+/// i.e. a torn or partial write that a plain JSON parse might still accept.
+pub fn load_checkpoint(path: &Path) -> io::Result<Snapshot> {
+    let text = std::fs::read_to_string(path)?;
+    let body = text.strip_suffix(CHECKPOINT_MARKER).ok_or_else(|| {
+        io::Error::other(format!(
+            "checkpoint {} is missing its trailing marker (torn write?)",
+            path.display()
+        ))
+    })?;
+    serde_json::from_str(body).map_err(io::Error::other)
+}
+
+/// Run `write` against a temp file next to `path`, fsync, and rename into
+/// place. The temp name includes the pid so concurrent writers of different
+/// ranks in one directory never collide.
+fn write_atomically(
+    path: &Path,
+    write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+) -> io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("snapshot");
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    let mut file = BufWriter::new(File::create(&tmp)?);
+    let result = write(&mut file).and_then(|()| file.flush()).and_then(|()| {
+        file.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)
+    });
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
 }
 
 /// Dump particle positions as `x,y,z` CSV (with header) for plotting.
@@ -145,6 +197,52 @@ mod tests {
         assert_eq!(snap.particles.len(), 4);
         assert!(snap.rungs.is_none());
         assert!(snap.config.is_none());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_leaves_no_temp_files() {
+        let set = plummer(PlummerSpec { n: 12, seed: 7, ..Default::default() });
+        let dir = std::env::temp_dir().join("bhut_ckpt_marker_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("epoch.ckpt");
+        let snap = Snapshot { time: 0.5, particles: set, rungs: None, config: None };
+        save_checkpoint(&path, &snap).unwrap();
+        let back = load_checkpoint(&path).unwrap();
+        assert_eq!(back.time, 0.5);
+        assert_eq!(back.particles.len(), 12);
+        // Bitwise: checkpoints must survive the JSON round trip exactly.
+        for (a, b) in back.particles.iter().zip(snap.particles.iter()) {
+            assert_eq!(a.pos.x.to_bits(), b.pos.x.to_bits());
+            assert_eq!(a.vel.z.to_bits(), b.vel.z.to_bits());
+            assert_eq!(a.mass.to_bits(), b.mass.to_bits());
+        }
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_checkpoint_is_refused() {
+        let set = plummer(PlummerSpec { n: 6, seed: 11, ..Default::default() });
+        let dir = std::env::temp_dir().join("bhut_ckpt_torn_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.ckpt");
+        let snap = Snapshot { time: 0.25, particles: set, rungs: None, config: None };
+        save_checkpoint(&path, &snap).unwrap();
+        // Simulate a torn write: truncate the tail (losing the marker, and
+        // for good measure part of the JSON).
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - CHECKPOINT_MARKER.len() - 3]).unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("marker"), "got: {err}");
+        // Even a file that is valid JSON but lacks the marker is refused.
+        save_snapshot_state(&path, &snap).unwrap();
+        assert!(load_checkpoint(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
