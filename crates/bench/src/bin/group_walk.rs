@@ -122,6 +122,6 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output dir");
     }
     let json = serde_json::to_string(&report).expect("serialize report");
-    std::fs::write(&out, &json).expect("write report");
+    bhut_sim::write_text_atomically(&out, &json).expect("write report");
     println!("wrote {}", out.display());
 }

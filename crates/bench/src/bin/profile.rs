@@ -72,6 +72,8 @@ struct Report {
     /// Full span/counter profile of the best threaded repetition, in the
     /// workspace's shared span schema.
     profile: StepProfile,
+    /// Process peak RSS (MiB) at report time; 0 off Linux.
+    peak_rss_mb: f64,
 }
 
 struct Args {
@@ -292,11 +294,13 @@ fn main() {
         threaded,
         schemes,
         profile,
+        peak_rss_mb: bhut_bench::rss::peak_rss_mb(),
     };
 
     let mut gate = GateTable::new("profile");
     gate.info("config", format!("n={} threads={} reps={}", args.n, args.threads, args.reps));
     gate.info("interactions/s", format!("{:.2e}", report.threaded.interactions_per_s));
+    gate.info("peak_rss_mb", format!("{:.1}", report.peak_rss_mb));
     if let Some(p) = args.baseline.as_ref() {
         check_baseline(p, &report, args.max_regression, &mut gate);
     }
@@ -305,7 +309,7 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output dir");
     }
     let json = serde_json::to_string(&report).expect("serialize report");
-    std::fs::write(&args.out, &json).expect("write report");
+    bhut_sim::write_text_atomically(&args.out, &json).expect("write report");
     println!("wrote {}", args.out.display());
 
     gate.finish();

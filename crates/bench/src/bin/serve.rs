@@ -1,0 +1,328 @@
+//! Live query-service benchmark: a simulation stepping and publishing
+//! epochs while concurrent clients stream field queries at the server.
+//!
+//! ```text
+//! cargo run --release -p bhut-bench --bin serve -- \
+//!     [--n 100000] [--steps 4] [--threads 2] [--clients 4] [--queries 40] \
+//!     [--points 256] [--out results/serve.json] \
+//!     [--baseline results/serve.json] [--max-regression 3.0] [--max-epoch-lag 1]
+//! ```
+//!
+//! The harness builds a Plummer model, starts `bhut-serve` on a Unix
+//! socket, then races two kinds of load: a simulation thread advancing
+//! `--steps` leapfrog steps (publishing a fresh [`TreeEpoch`](bhut_serve::TreeEpoch) after every
+//! step, like a production loop would) and `--clients` client threads each
+//! firing `--queries` force-field requests of `--points` points at random
+//! positions inside the cloud. Reported: end-to-end request latency
+//! (p50/p99), point-query throughput, backpressure activity, and the
+//! epoch lag distribution (how many publishes happened while a batch was
+//! in flight).
+//!
+//! Hard gates (CI): every request answered (zero dropped in-flight
+//! batches), the queue drained at shutdown, epoch lag bounded by
+//! `--max-epoch-lag` (default 1 step), and — with `--baseline` — point
+//! throughput within `--max-regression` of the committed baseline.
+
+use bhut_bench::gate::{parse_baseline, require_baseline, GateTable};
+use bhut_geom::{plummer, PlummerSpec, Vec3};
+use bhut_serve::{
+    EpochStore, KernelPrecision, QueryKind, QueryTarget, ServeClient, ServeConfig, Server,
+};
+use bhut_sim::{Simulation, SimulationConfig};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    benchmark: String,
+    distribution: String,
+    n: usize,
+    steps: usize,
+    threads: usize,
+    clients: usize,
+    queries_per_client: usize,
+    points_per_query: usize,
+    /// Wall seconds from the client start barrier to the last reply.
+    wall_s: f64,
+    /// Point evaluations per second across all clients — the gated metric.
+    points_per_s: f64,
+    requests_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    answered: u64,
+    /// Requests rejected with retry-after (each was resent and answered).
+    rejected: u64,
+    client_retries: u64,
+    queue_depth_peak: u64,
+    epochs_published: u64,
+    epochs_retired: u64,
+    epoch_lag_max: u64,
+    /// Process peak RSS (MiB) at report time; 0 off Linux.
+    peak_rss_mb: f64,
+}
+
+struct Args {
+    n: usize,
+    steps: usize,
+    threads: usize,
+    clients: usize,
+    queries: usize,
+    points: usize,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    max_regression: f64,
+    max_epoch_lag: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 100_000,
+        steps: 4,
+        threads: 2,
+        clients: 4,
+        queries: 40,
+        points: 256,
+        out: PathBuf::from("results/serve.json"),
+        baseline: None,
+        max_regression: 3.0,
+        max_epoch_lag: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        match arg.as_str() {
+            "--n" => args.n = val("--n").parse().expect("--n"),
+            "--steps" => args.steps = val("--steps").parse().expect("--steps"),
+            "--threads" => args.threads = val("--threads").parse().expect("--threads"),
+            "--clients" => args.clients = val("--clients").parse().expect("--clients"),
+            "--queries" => args.queries = val("--queries").parse().expect("--queries"),
+            "--points" => args.points = val("--points").parse().expect("--points"),
+            "--out" => args.out = PathBuf::from(val("--out")),
+            "--baseline" => args.baseline = Some(PathBuf::from(val("--baseline"))),
+            "--max-regression" => {
+                args.max_regression = val("--max-regression").parse().expect("--max-regression")
+            }
+            "--max-epoch-lag" => {
+                args.max_epoch_lag = val("--max-epoch-lag").parse().expect("--max-epoch-lag")
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// Deterministic per-thread position stream (splitmix64) inside the
+/// Plummer cloud's core region.
+fn query_points(seed: u64, count: usize) -> Vec<QueryTarget> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+    (0..count)
+        .map(|_| (Vec3::new(next() * 2.0 - 1.0, next() * 2.0 - 1.0, next() * 2.0 - 1.0), u32::MAX))
+        .collect()
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn check_baseline(path: &Path, current: &Report, max_regression: f64, gate: &mut GateTable) {
+    let text = require_baseline(
+        path,
+        "cargo run --release -p bhut-bench --bin serve -- --out results/serve.json",
+    );
+    let baseline: Report = parse_baseline(path, &text);
+    let was = baseline.points_per_s;
+    let now = current.points_per_s;
+    let ratio = if now > 0.0 { was / now } else { f64::INFINITY };
+    println!(
+        "baseline {:.2e} points/s, current {:.2e} ({}{:.0}% of baseline)",
+        was,
+        now,
+        if now >= was { "+" } else { "" },
+        (now / was - 1.0) * 100.0
+    );
+    gate.check(
+        "throughput vs baseline",
+        format!("{now:.2e}/s ({ratio:.2}x slower)"),
+        format!("<= {max_regression:.2}x slower"),
+        ratio <= max_regression,
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "serve bench: n={} steps={} threads={} clients={} queries={} points={}",
+        args.n, args.steps, args.threads, args.clients, args.queries, args.points
+    );
+
+    let set = plummer(PlummerSpec { n: args.n, ..Default::default() });
+    let config = SimulationConfig {
+        threads: args.threads,
+        alpha: 0.6,
+        leaf_capacity: 16,
+        ..Default::default()
+    };
+    let (alpha, eps) = (config.alpha, config.eps);
+    let mut sim = Simulation::new(set, config);
+
+    let store = Arc::new(EpochStore::new());
+    store.publish(sim.build_tree(), sim.particles.particles.clone(), alpha, eps);
+
+    let sock = std::env::temp_dir().join(format!("bhut-serve-bench-{}.sock", std::process::id()));
+    let server = Server::bind_unix(&sock, Arc::clone(&store), ServeConfig::default())
+        .expect("bind unix socket");
+
+    // The live simulation: step and publish, concurrently with the query
+    // load. Publishing clones the particle array — the epoch must not
+    // alias state the next step mutates.
+    let sim_thread = {
+        let store = Arc::clone(&store);
+        let steps = args.steps;
+        std::thread::spawn(move || {
+            for _ in 0..steps {
+                sim.step();
+                store.publish(sim.build_tree(), sim.particles.particles.clone(), alpha, eps);
+            }
+        })
+    };
+
+    let start = Arc::new(Barrier::new(args.clients + 1));
+    let mut clients = Vec::new();
+    for c in 0..args.clients {
+        let start = Arc::clone(&start);
+        let sock = sock.clone();
+        let (queries, points) = (args.queries, args.points);
+        clients.push(std::thread::spawn(move || {
+            let mut client = ServeClient::connect_unix(&sock).expect("connect");
+            start.wait();
+            let mut latencies_ms = Vec::with_capacity(queries);
+            for q in 0..queries {
+                let targets = query_points((c as u64) << 32 | q as u64, points);
+                let t0 = Instant::now();
+                let reply = client
+                    .query(QueryKind::Field, KernelPrecision::F64, &targets)
+                    .expect("query answered");
+                assert_eq!(reply.samples.len(), targets.len());
+                latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            (latencies_ms, client.retries)
+        }));
+    }
+
+    start.wait();
+    let bench_t0 = Instant::now();
+    let mut latencies_ms = Vec::new();
+    let mut client_retries = 0u64;
+    for c in clients {
+        let (lat, retries) = c.join().expect("client thread");
+        latencies_ms.extend(lat);
+        client_retries += retries;
+    }
+    let wall_s = bench_t0.elapsed().as_secs_f64();
+    sim_thread.join().expect("sim thread");
+    let stats = server.stop();
+    let _ = std::fs::remove_file(&sock);
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let answered = latencies_ms.len() as u64;
+    let expected = (args.clients * args.queries) as u64;
+    let total_points = answered * args.points as u64;
+    let report = Report {
+        benchmark: "serve".to_string(),
+        distribution: "plummer".to_string(),
+        n: args.n,
+        steps: args.steps,
+        threads: args.threads,
+        clients: args.clients,
+        queries_per_client: args.queries,
+        points_per_query: args.points,
+        wall_s,
+        points_per_s: total_points as f64 / wall_s.max(1e-9),
+        requests_per_s: answered as f64 / wall_s.max(1e-9),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        answered,
+        rejected: stats.counters.rejected,
+        client_retries,
+        queue_depth_peak: stats.counters.queue_depth_peak,
+        epochs_published: stats.counters.epochs_published,
+        epochs_retired: stats.counters.epochs_retired,
+        epoch_lag_max: stats.counters.epoch_lag_max,
+        peak_rss_mb: bhut_bench::rss::peak_rss_mb(),
+    };
+
+    println!(
+        "answered {} requests ({} points) in {:.2}s: {:.2e} points/s, p50 {:.2}ms p99 {:.2}ms, \
+         {} rejected / {} retries, epoch lag max {}",
+        report.answered,
+        total_points,
+        report.wall_s,
+        report.points_per_s,
+        report.p50_ms,
+        report.p99_ms,
+        report.rejected,
+        report.client_retries,
+        report.epoch_lag_max
+    );
+
+    let mut gate = GateTable::new("serve");
+    gate.info(
+        "config",
+        format!(
+            "n={} steps={} clients={} queries={} points={}",
+            args.n, args.steps, args.clients, args.queries, args.points
+        ),
+    );
+    gate.info("points/s", format!("{:.2e}", report.points_per_s));
+    gate.info("p50/p99 ms", format!("{:.2}/{:.2}", report.p50_ms, report.p99_ms));
+    gate.info("peak_rss_mb", format!("{:.1}", report.peak_rss_mb));
+    gate.check(
+        "zero dropped in-flight",
+        format!("{answered} answered"),
+        format!("== {expected}"),
+        answered == expected,
+    );
+    gate.check(
+        "queue drained at shutdown",
+        format!("{}", stats.queue_depth),
+        "== 0".to_string(),
+        stats.queue_depth == 0,
+    );
+    gate.check(
+        "epoch lag",
+        format!("{}", report.epoch_lag_max),
+        format!("<= {}", args.max_epoch_lag),
+        report.epoch_lag_max <= args.max_epoch_lag,
+    );
+    gate.check(
+        "backpressure accounted",
+        format!("{} rejected / {} retries", report.rejected, report.client_retries),
+        "rejected == retries".to_string(),
+        report.rejected == report.client_retries,
+    );
+    if let Some(p) = args.baseline.as_ref() {
+        check_baseline(p, &report, args.max_regression, &mut gate);
+    }
+
+    if let Some(dir) = args.out.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    let json = serde_json::to_string(&report).expect("serialize report");
+    bhut_sim::write_text_atomically(&args.out, &json).expect("write report");
+    println!("wrote {}", args.out.display());
+
+    gate.finish();
+}

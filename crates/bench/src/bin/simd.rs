@@ -76,6 +76,8 @@ struct Report {
     /// The mixed_f32 rms error bound this run enforced.
     mixed_error_envelope: f64,
     rows: Vec<PrecisionReport>,
+    /// Process peak RSS (MiB) at report time; 0 off Linux.
+    peak_rss_mb: f64,
 }
 
 struct Args {
@@ -297,10 +299,12 @@ fn main() {
         eps: EPS,
         mixed_error_envelope: envelope,
         rows,
+        peak_rss_mb: bhut_bench::rss::peak_rss_mb(),
     };
 
     let mut gate = GateTable::new("simd");
     gate.info("config", format!("n={} threads={} reps={}", args.n, args.threads, args.reps));
+    gate.info("peak_rss_mb", format!("{:.1}", report.peak_rss_mb));
     let f64_speedup = report.rows[1].kernel_speedup;
     gate.check(
         "f64 kernel speedup over scalar",
@@ -322,7 +326,7 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output dir");
     }
     let json = serde_json::to_string(&report).expect("serialize report");
-    std::fs::write(&args.out, &json).expect("write report");
+    bhut_sim::write_text_atomically(&args.out, &json).expect("write report");
     println!("wrote {}", args.out.display());
 
     gate.finish();

@@ -74,9 +74,11 @@ fn main() {
         println!("{text}");
         println!("[{name} regenerated in {:.1}s wall-clock]\n", start.elapsed().as_secs_f64());
         if let Some(dir) = &args.out {
-            fs::write(dir.join(format!("{name}.txt")), &text).expect("write artifact");
+            bhut_sim::write_text_atomically(&dir.join(format!("{name}.txt")), &text)
+                .expect("write artifact");
             if let Some(csv) = csv {
-                fs::write(dir.join(format!("{name}.csv")), csv).expect("write csv");
+                bhut_sim::write_text_atomically(&dir.join(format!("{name}.csv")), &csv)
+                    .expect("write csv");
             }
         }
     }

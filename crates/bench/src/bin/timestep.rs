@@ -336,7 +336,7 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output dir");
     }
     let json = serde_json::to_string(&report).expect("serialize report");
-    std::fs::write(&args.out, &json).expect("write report");
+    bhut_sim::write_text_atomically(&args.out, &json).expect("write report");
     println!("wrote {}", args.out.display());
 
     let mut gate = GateTable::new("timestep");

@@ -15,6 +15,7 @@
 //! efficiency rises and falls.
 
 pub mod gate;
+pub mod rss;
 pub mod runner;
 pub mod tables;
 pub mod text;

@@ -1,0 +1,56 @@
+//! Peak-RSS sampling for the bench reports.
+//!
+//! Memory high-water marks matter as much as throughput for the
+//! production-scale target (a 100M-particle step is memory-bound before it
+//! is compute-bound), so every baseline report records the process peak
+//! RSS next to its timing rows. On Linux this reads `VmHWM` from
+//! `/proc/self/status` — the kernel-maintained high-water mark, which
+//! needs no sampling thread and includes every allocation the process ever
+//! made. On other platforms it reports 0 rather than guessing; gates must
+//! therefore never *fail* on a zero reading.
+
+/// Peak resident set size of the current process in bytes; 0 when the
+/// platform offers no cheap high-water mark.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb = rest.trim().trim_end_matches("kB").trim().parse::<u64>().unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// [`peak_rss_bytes`] in mebibytes, the unit the reports store.
+pub fn peak_rss_mb() -> f64 {
+    peak_rss_bytes() as f64 / (1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_on_linux_and_grows_monotonically() {
+        let first = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(first > 0, "VmHWM readable on Linux");
+            // Touch a chunk of memory; the high-water mark can only rise.
+            let block = vec![1u8; 8 << 20];
+            std::hint::black_box(&block);
+            let after = peak_rss_bytes();
+            assert!(after >= first, "high-water mark never decreases");
+        } else {
+            assert_eq!(first, 0);
+        }
+    }
+}

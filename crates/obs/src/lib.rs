@@ -21,7 +21,7 @@
 //! per-profile origin on the real path, virtual machine seconds on the
 //! simulated path. Only relative placement matters for plotting.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Canonical phase names used by the instrumented crates. Free-form strings
@@ -58,6 +58,56 @@ pub mod phase {
     /// Supervisor: detecting a failure, tearing the mesh down and
     /// re-launching from the last complete checkpoint epoch.
     pub const RECOVERY: &str = "recovery";
+    /// Query server: a worker blocked waiting for requests to coalesce.
+    pub const SERVE_WAIT: &str = "serve_wait";
+    /// Query server: evaluating a coalesced batch against a pinned epoch.
+    pub const SERVE_EVAL: &str = "serve_eval";
+    /// Query server: encoding and writing result frames back to clients.
+    pub const SERVE_REPLY: &str = "serve_reply";
+    /// Simulation side: freezing and publishing a tree epoch to the store.
+    pub const EPOCH_PUBLISH: &str = "epoch_publish";
+}
+
+/// Query-service counters (S11 schema, S15 producer): request/batch flow,
+/// backpressure, and epoch freshness for one serving window. The server
+/// merges per-worker instances the same way force counters merge, and the
+/// totals ride along in [`StepProfile::serve`] so one JSON row prices a
+/// serving run next to its simulation phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeCounters {
+    /// Query points evaluated (after coalescing; the work unit).
+    pub queries: u64,
+    /// Client requests accepted into the queue.
+    pub accepted: u64,
+    /// Client requests rejected with retry-after (queue at capacity).
+    pub rejected: u64,
+    /// Coalesced batches evaluated (each pins one epoch).
+    pub batches: u64,
+    /// High-water mark of queued requests.
+    pub queue_depth_peak: u64,
+    /// Tree epochs published by the simulation side.
+    pub epochs_published: u64,
+    /// Tree epochs fully retired (dropped after their last pin).
+    pub epochs_retired: u64,
+    /// Epoch lag (published generation minus pinned generation) of the most
+    /// recent batch.
+    pub epoch_lag_last: u64,
+    /// Worst epoch lag observed by any batch.
+    pub epoch_lag_max: u64,
+}
+
+impl ServeCounters {
+    pub fn merge(&mut self, o: &ServeCounters) {
+        self.queries += o.queries;
+        self.accepted += o.accepted;
+        self.rejected += o.rejected;
+        self.batches += o.batches;
+        self.queue_depth_peak = self.queue_depth_peak.max(o.queue_depth_peak);
+        self.epochs_published = self.epochs_published.max(o.epochs_published);
+        self.epochs_retired = self.epochs_retired.max(o.epochs_retired);
+        self.epoch_lag_last = o.epoch_lag_last;
+        self.epoch_lag_max = self.epoch_lag_max.max(o.epoch_lag_max);
+    }
 }
 
 /// Fault-tolerance counters (S11 schema): injected faults on one side,
@@ -331,7 +381,7 @@ impl Default for Stopwatch {
 /// Real runs fill `spans` with wall-clock intervals relative to the step
 /// start; simulated runs fill them with virtual-clock intervals. Both use
 /// the same schema, so one plotting script draws either.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct StepProfile {
     /// Time-step number (0 when profiled outside a simulation).
     pub step: u64,
@@ -349,6 +399,36 @@ pub struct StepProfile {
     pub rungs: Vec<RungCounters>,
     /// Rung promotions plus demotions during the step (0 on global steps).
     pub rung_migrations: u64,
+    /// Query-service counters, filled only by `bhut-serve` runs.
+    pub serve: Option<ServeCounters>,
+}
+
+// Hand-written so fields added after a baseline was committed default
+// instead of failing the parse — the vendored serde derive rejects missing
+// fields, which would invalidate every pre-S15 profile JSON on disk.
+impl Deserialize for StepProfile {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        fn opt<T: Deserialize + Default>(v: &Value, key: &str) -> Result<T, String> {
+            match v.get_field(key) {
+                Some(x) => T::from_value(x),
+                None => Ok(T::default()),
+            }
+        }
+        let req = |key: &str| {
+            v.get_field(key).ok_or_else(|| format!("missing field `{key}` in StepProfile"))
+        };
+        Ok(StepProfile {
+            step: u64::from_value(req("step")?)?,
+            threads: usize::from_value(req("threads")?)?,
+            wall_s: f64::from_value(req("wall_s")?)?,
+            spans: Vec::<Span>::from_value(req("spans")?)?,
+            per_worker: Vec::<Counters>::from_value(req("per_worker")?)?,
+            totals: Counters::from_value(req("totals")?)?,
+            rungs: opt(v, "rungs")?,
+            rung_migrations: opt(v, "rung_migrations")?,
+            serve: opt(v, "serve")?,
+        })
+    }
 }
 
 /// One rung's share of a block time-step: how many particles sat on it at
@@ -580,9 +660,66 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let p = demo();
+        let mut p = demo();
+        p.serve = Some(ServeCounters { queries: 9, rejected: 1, ..Default::default() });
         let back = StepProfile::from_json(&p.to_json()).unwrap();
         assert_eq!(back, p);
+    }
+
+    /// Profiles serialized before a field existed must still load, with the
+    /// missing tail fields defaulting — this is what keeps committed
+    /// baseline JSONs valid across schema growth.
+    #[test]
+    fn json_missing_tail_fields_default() {
+        let zero = Counters::default();
+        let old = format!(
+            r#"{{"step":3,"threads":2,"wall_s":0.5,"spans":[],"per_worker":[],"totals":{}}}"#,
+            serde_json::to_string(&zero).unwrap()
+        );
+        let p = StepProfile::from_json(&old).unwrap();
+        assert_eq!(p.step, 3);
+        assert!(p.rungs.is_empty());
+        assert_eq!(p.rung_migrations, 0);
+        assert_eq!(p.serve, None);
+        assert!(StepProfile::from_json(r#"{"threads":1}"#).is_err(), "core fields stay required");
+    }
+
+    #[test]
+    fn serve_counters_merge_semantics() {
+        let mut a = ServeCounters {
+            queries: 100,
+            accepted: 10,
+            rejected: 2,
+            batches: 4,
+            queue_depth_peak: 7,
+            epochs_published: 5,
+            epochs_retired: 3,
+            epoch_lag_last: 1,
+            epoch_lag_max: 2,
+        };
+        let b = ServeCounters {
+            queries: 50,
+            accepted: 5,
+            rejected: 0,
+            batches: 2,
+            queue_depth_peak: 3,
+            epochs_published: 6,
+            epochs_retired: 4,
+            epoch_lag_last: 0,
+            epoch_lag_max: 1,
+        };
+        a.merge(&b);
+        // Flow counters add; level counters (peaks, generation watermarks)
+        // take the max; "last" follows the merged-in side.
+        assert_eq!(a.queries, 150);
+        assert_eq!(a.accepted, 15);
+        assert_eq!(a.rejected, 2);
+        assert_eq!(a.batches, 6);
+        assert_eq!(a.queue_depth_peak, 7);
+        assert_eq!(a.epochs_published, 6);
+        assert_eq!(a.epochs_retired, 4);
+        assert_eq!(a.epoch_lag_last, 0);
+        assert_eq!(a.epoch_lag_max, 2);
     }
 
     #[test]

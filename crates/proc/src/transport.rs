@@ -277,55 +277,10 @@ impl Drop for LocalTransport {
 // Socket mesh: one Unix stream per peer pair.
 // ---------------------------------------------------------------------------
 
-/// Jittered exponential backoff for connect/accept retry loops.
-///
-/// Delays double from `base` up to `cap`, each drawn uniformly from
-/// `[exp/2, exp]` ("equal jitter") by a deterministic per-instance
-/// generator, so `p` ranks retrying against the same listener spread out
-/// instead of polling in lockstep. Every delay is additionally clamped to
-/// the remaining budget before a deadline, so backoff never overshoots it.
-#[derive(Debug, Clone)]
-pub struct Backoff {
-    base: Duration,
-    cap: Duration,
-    attempt: u32,
-    state: u64,
-}
-
-impl Backoff {
-    /// Production schedule: 1 ms doubling to a 50 ms ceiling.
-    pub fn new(seed: u64) -> Self {
-        Backoff::with_limits(seed, Duration::from_millis(1), Duration::from_millis(50))
-    }
-
-    pub fn with_limits(seed: u64, base: Duration, cap: Duration) -> Self {
-        // splitmix64 seeding keeps adjacent seeds (rank indices) decorrelated.
-        Backoff { base, cap, attempt: 0, state: seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B5 }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-
-    /// The next delay to sleep, capped by `remaining` (time to deadline).
-    pub fn next_delay(&mut self, remaining: Duration) -> Duration {
-        let exp =
-            self.base.saturating_mul(1u32 << self.attempt.min(20)).min(self.cap).as_secs_f64();
-        self.attempt = self.attempt.saturating_add(1);
-        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        Duration::from_secs_f64(exp * (0.5 + 0.5 * unit)).min(remaining)
-    }
-
-    /// Restart the schedule (e.g. after a successful accept, for the next
-    /// pending peer).
-    pub fn reset(&mut self) {
-        self.attempt = 0;
-    }
-}
+// The jittered-exponential retry schedule moved to the shared wire crate
+// (the query server's clients use the same one); re-exported here so the
+// mesh code and downstream `bhut_proc::Backoff` users are unchanged.
+pub use bhut_wire::Backoff;
 
 /// Handshake tag carrying the connector's rank.
 const TAG_HELLO: u16 = 0xBEEF;
@@ -504,46 +459,6 @@ impl Transport for SocketMesh {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The backoff schedule: delays live in the equal-jitter envelope
-    /// `[exp/2, exp]` of a doubling-to-cap exponential, never exceed the
-    /// remaining deadline budget, and replay exactly for a fixed seed.
-    #[test]
-    fn backoff_schedule_is_jittered_capped_and_deterministic() {
-        let base = Duration::from_millis(1);
-        let cap = Duration::from_millis(50);
-        let far = Duration::from_secs(60);
-        let mut b = Backoff::with_limits(7, base, cap);
-        let delays: Vec<Duration> = (0..12).map(|_| b.next_delay(far)).collect();
-        for (i, d) in delays.iter().enumerate() {
-            let exp = base.saturating_mul(1u32 << i.min(20)).min(cap);
-            assert!(*d <= exp, "attempt {i}: {d:?} above envelope {exp:?}");
-            assert!(*d * 2 >= exp, "attempt {i}: {d:?} below half-envelope {exp:?}");
-        }
-        // Deep attempts sit at the cap's envelope, not past it.
-        assert!(delays[11] <= cap && delays[11] * 2 >= cap);
-
-        // Same seed, same schedule; different seed, different jitter.
-        let mut b2 = Backoff::with_limits(7, base, cap);
-        let replay: Vec<Duration> = (0..12).map(|_| b2.next_delay(far)).collect();
-        assert_eq!(delays, replay);
-        let mut b3 = Backoff::with_limits(8, base, cap);
-        let other: Vec<Duration> = (0..12).map(|_| b3.next_delay(far)).collect();
-        assert_ne!(delays, other);
-
-        // The deadline budget clamps every delay.
-        let mut b4 = Backoff::with_limits(7, base, cap);
-        for _ in 0..6 {
-            let _ = b4.next_delay(far);
-        }
-        let tight = Duration::from_micros(300);
-        assert!(b4.next_delay(tight) <= tight);
-
-        // reset() restarts the exponential ramp.
-        b4.reset();
-        let d = b4.next_delay(far);
-        assert!(d <= base, "post-reset delay {d:?} above base {base:?}");
-    }
 
     /// Exit codes round-trip through the classifier, are pairwise
     /// distinct, and avoid the shell's reserved ranges.

@@ -1,0 +1,306 @@
+//! Epoch-pinned tree snapshots: the publish/pin protocol between the
+//! simulation loop (single writer) and concurrent query batches (many
+//! readers).
+//!
+//! The design goal is a *lock-free read path*: pinning the current epoch is
+//! two atomic RMWs and an `Arc` clone — no mutex, no allocation, no
+//! coordination with the publisher. The publisher takes a private mutex
+//! (publishes are already serialized by the simulation loop; the lock just
+//! makes the store misuse-proof) and never blocks readers.
+//!
+//! ## Protocol
+//!
+//! The store keeps a small ring of slots. Each slot holds an
+//! `Option<Arc<TreeEpoch>>` plus a pin count; `current` names the slot
+//! readers should pin.
+//!
+//! * **Pin** (reader): load `current`, `fetch_add` the slot's pin count,
+//!   then re-load `current`. If it still names the slot, clone the `Arc`
+//!   out and unpin; otherwise unpin and retry. The re-check means a reader
+//!   only ever dereferences a slot the publisher is *not* mutating: the
+//!   publisher writes only slots that are not `current` and have zero pins,
+//!   and it flips `current` (release) strictly after the slot's contents
+//!   are in place, so a verify that passes happens-after the write.
+//! * **Publish** (writer): pick any slot that is neither `current` nor
+//!   pinned (spinning across the ring until one frees — with `SLOTS` ≥ 3
+//!   this only waits for the nanoseconds a lagging reader needs between its
+//!   failed verify and its unpin), drop the slot's previous occupant into
+//!   it, then flip `current`. All atomics are `SeqCst`; the total order
+//!   makes the pin-then-verify / check-pins-then-write handshake airtight
+//!   (a reader whose verify passed holds its pin *visibly* before any
+//!   publisher pin-check that could target the slot).
+//!
+//! Retirement is reference counting: overwriting a slot drops the store's
+//! `Arc`; whichever party drops the *last* reference (often a query worker
+//! finishing a batch against an old epoch) runs `TreeEpoch::drop`, which
+//! bumps the shared retired counter surfaced through
+//! [`bhut_obs::ServeCounters`].
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+use bhut_geom::Particle;
+use bhut_tree::Tree;
+
+/// An immutable snapshot of the simulation state a query evaluates against:
+/// the octree, the particle array its leaves index, and the parameters the
+/// force sweep would use (so query results are bit-comparable to the
+/// simulation's own forces for that step).
+pub struct TreeEpoch {
+    /// Monotone publish counter; generation `g` corresponds to the tree
+    /// built for simulation step `g - 1` (the first publish is 1).
+    pub generation: u64,
+    pub tree: Tree,
+    /// The particle array `tree`'s leaves index into (leaf order lives in
+    /// `tree.order`; the array itself keeps the caller's order).
+    pub particles: Vec<Particle>,
+    /// Barnes–Hut opening parameter the epoch was built under.
+    pub alpha: f64,
+    /// Plummer softening for the force/potential kernels.
+    pub eps: f64,
+    /// Bumped when the last reference drops; see [`EpochStore::retired`].
+    retired: Option<Arc<AtomicU64>>,
+}
+
+impl TreeEpoch {
+    /// A standalone epoch (no store); useful for tests and for driving
+    /// [`crate::FieldQuery`] directly against a one-off tree.
+    pub fn standalone(
+        generation: u64,
+        tree: Tree,
+        particles: Vec<Particle>,
+        alpha: f64,
+        eps: f64,
+    ) -> Self {
+        TreeEpoch { generation, tree, particles, alpha, eps, retired: None }
+    }
+}
+
+impl Drop for TreeEpoch {
+    fn drop(&mut self) {
+        if let Some(c) = &self.retired {
+            c.fetch_add(1, SeqCst);
+        }
+    }
+}
+
+/// Ring size. Three is the minimum for the publisher to always find a free
+/// victim (one current, one being read by a straggler, one free); four
+/// gives slack for a reader preempted mid-pin.
+const SLOTS: usize = 4;
+
+/// `current` value before the first publish.
+const NONE: usize = usize::MAX;
+
+struct Slot {
+    pins: AtomicUsize,
+    epoch: UnsafeCell<Option<Arc<TreeEpoch>>>,
+}
+
+/// Single-publisher / many-reader epoch exchange. See the module docs for
+/// the protocol and its safety argument.
+pub struct EpochStore {
+    slots: [Slot; SLOTS],
+    /// Index of the slot readers should pin; [`NONE`] until first publish.
+    current: AtomicUsize,
+    /// Serializes publishers and owns the generation counter.
+    publish: Mutex<u64>,
+    /// Highest generation published (readable without the lock).
+    published: AtomicU64,
+    /// Epochs fully released (shared with every [`TreeEpoch`] it vends).
+    retired: Arc<AtomicU64>,
+}
+
+// SAFETY: the `UnsafeCell`s are only written by the publisher while it can
+// prove (pins == 0, slot != current, publish mutex held) that no reader is
+// or can start dereferencing the slot, and only read by readers whose
+// pin+verify handshake proves the publisher cannot pick the slot as a
+// victim. See the module docs.
+unsafe impl Sync for EpochStore {}
+unsafe impl Send for EpochStore {}
+
+impl Default for EpochStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochStore {
+    pub fn new() -> Self {
+        EpochStore {
+            slots: std::array::from_fn(|_| Slot {
+                pins: AtomicUsize::new(0),
+                epoch: UnsafeCell::new(None),
+            }),
+            current: AtomicUsize::new(NONE),
+            publish: Mutex::new(0),
+            published: AtomicU64::new(0),
+            retired: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Publish a new epoch and return its generation. In-flight readers of
+    /// older epochs are unaffected; new [`pin`](Self::pin) calls see this
+    /// epoch immediately.
+    pub fn publish(&self, tree: Tree, particles: Vec<Particle>, alpha: f64, eps: f64) -> u64 {
+        let mut gen_guard = self.publish.lock().unwrap();
+        *gen_guard += 1;
+        let generation = *gen_guard;
+        let epoch = Arc::new(TreeEpoch {
+            generation,
+            tree,
+            particles,
+            alpha,
+            eps,
+            retired: Some(Arc::clone(&self.retired)),
+        });
+        // `current` only changes under the publish lock, so it is stable
+        // for the duration of this call.
+        let cur = self.current.load(SeqCst);
+        let victim = loop {
+            let free = (0..SLOTS).find(|&i| i != cur && self.slots[i].pins.load(SeqCst) == 0);
+            match free {
+                Some(i) => break i,
+                // Every non-current slot is momentarily pinned by readers
+                // between a failed verify and their unpin; yield and retry.
+                None => std::thread::yield_now(),
+            }
+        };
+        // SAFETY: victim != current and pins == 0 under the publish lock;
+        // no reader can begin a dereference of this slot until `current`
+        // names it again (below), which happens-after this write.
+        unsafe {
+            *self.slots[victim].epoch.get() = Some(epoch);
+        }
+        self.current.store(victim, SeqCst);
+        self.published.store(generation, SeqCst);
+        generation
+    }
+
+    /// Pin the current epoch: returns a reference that keeps the epoch
+    /// alive (and un-reusable by the publisher) until dropped. `None` until
+    /// the first [`publish`](Self::publish). Lock-free; never blocks the
+    /// publisher or other readers.
+    pub fn pin(&self) -> Option<Arc<TreeEpoch>> {
+        loop {
+            let cur = self.current.load(SeqCst);
+            if cur == NONE {
+                return None;
+            }
+            let slot = &self.slots[cur];
+            slot.pins.fetch_add(1, SeqCst);
+            if self.current.load(SeqCst) == cur {
+                // Verified: the publisher cannot write this slot while our
+                // pin is visible, and the epoch it holds is fully
+                // published. Clone out and release the slot pin; the Arc
+                // itself is the long-lived pin.
+                // SAFETY: see module docs — verify-after-pin passed.
+                let arc = unsafe { (*slot.epoch.get()).clone() };
+                slot.pins.fetch_sub(1, SeqCst);
+                if let Some(a) = arc {
+                    return Some(a);
+                }
+                // Unreachable in practice (a current slot is never empty),
+                // but loop rather than panic if it ever is.
+            } else {
+                // Publisher moved on between our load and our pin; retry.
+                slot.pins.fetch_sub(1, SeqCst);
+            }
+        }
+    }
+
+    /// Highest generation published so far (0 = none). The *epoch lag* of a
+    /// batch is `store.generation() - pinned.generation`.
+    pub fn generation(&self) -> u64 {
+        self.published.load(SeqCst)
+    }
+
+    /// Epochs whose last reference has dropped.
+    pub fn retired(&self) -> u64 {
+        self.retired.load(SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhut_geom::Vec3;
+    use bhut_tree::{build::build, BuildParams};
+
+    fn particles(n: usize, seed: u64) -> Vec<Particle> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| {
+                Particle::new(i as u32, 0.5 + next(), Vec3::new(next(), next(), next()), Vec3::ZERO)
+            })
+            .collect()
+    }
+
+    fn epoch_for(n: usize, seed: u64) -> (Tree, Vec<Particle>) {
+        let p = particles(n, seed);
+        let tree = build(&p, BuildParams { leaf_capacity: 8, ..Default::default() });
+        (tree, p)
+    }
+
+    #[test]
+    fn pin_before_first_publish_is_none() {
+        let store = EpochStore::new();
+        assert!(store.pin().is_none());
+        assert_eq!(store.generation(), 0);
+    }
+
+    #[test]
+    fn publish_pin_and_retire() {
+        let store = EpochStore::new();
+        let (t1, p1) = epoch_for(64, 1);
+        assert_eq!(store.publish(t1, p1, 0.5, 1e-4), 1);
+        let pinned = store.pin().expect("epoch available");
+        assert_eq!(pinned.generation, 1);
+        assert_eq!(store.generation(), 1);
+
+        // Publishing two more epochs overwrites other slots; generation 1
+        // survives because we hold a reference.
+        for s in 2..4u64 {
+            let (t, p) = epoch_for(64, s);
+            assert_eq!(store.publish(t, p, 0.5, 1e-4), s);
+        }
+        assert_eq!(pinned.generation, 1, "pinned epoch immutable across publishes");
+        assert_eq!(store.pin().unwrap().generation, 3);
+
+        // After dropping our pin, the slot cycle eventually frees gen 1.
+        drop(pinned);
+        let before = store.retired();
+        for s in 4..8u64 {
+            let (t, p) = epoch_for(64, s);
+            store.publish(t, p, 0.5, 1e-4);
+        }
+        assert!(store.retired() > before, "old epochs retire once unpinned");
+    }
+
+    #[test]
+    fn retirement_counts_only_after_last_reference() {
+        let store = EpochStore::new();
+        let (t, p) = epoch_for(32, 9);
+        store.publish(t, p, 0.5, 1e-4);
+        let held = store.pin().unwrap();
+        // Cycle the ring well past the slot that holds generation 1.
+        for s in 0..SLOTS as u64 + 2 {
+            let (t, p) = epoch_for(32, 10 + s);
+            store.publish(t, p, 0.5, 1e-4);
+        }
+        let retired_while_held = store.retired();
+        drop(held);
+        assert_eq!(
+            store.retired(),
+            retired_while_held + 1,
+            "dropping the last pin retires exactly the held epoch"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Tree-as-a-service (substrate **S15**): an epoch-pinned batched
+//! field-query engine and a concurrent query server over the Barnes–Hut
+//! octree.
+//!
+//! The simulation loop owns tree construction; everything downstream of a
+//! finished build is a *read-only* consumer. This crate turns that
+//! observation into a service boundary with three layers:
+//!
+//! * [`epoch`] — immutable [`TreeEpoch`] snapshots (tree + the particle
+//!   array it indexes + the MAC/softening parameters it was built under)
+//!   published through a lock-free [`EpochStore`]. The simulation publishes
+//!   a new epoch per step; in-flight query batches keep evaluating against
+//!   the epoch they pinned, and an epoch is retired only when the last pin
+//!   drops.
+//! * [`engine`] — [`FieldQuery`], a batched evaluator for force, potential
+//!   and density at *arbitrary* points (not just particle positions). Query
+//!   points are Morton-sorted into pseudo-leaf buckets so each bucket walks
+//!   the tree once through the grouped gather/eval machinery
+//!   ([`bhut_tree::gather_group_targets`] /
+//!   [`bhut_tree::eval_gathered_targets`]), with the same
+//!   [`KernelPrecision`] ladder as the simulation sweep.
+//! * [`server`]/[`client`] — a std-only threaded front end speaking the
+//!   length-prefixed [`bhut_wire`] framing over TCP or Unix sockets. A
+//!   bounded queue with reject-with-retry-after backpressure feeds
+//!   evaluator workers that coalesce small requests into slab-sized
+//!   batches; per-request spans and [`bhut_obs::ServeCounters`] surface
+//!   through the S11 [`bhut_obs::StepProfile`] schema.
+
+pub mod client;
+pub mod engine;
+pub mod epoch;
+pub mod proto;
+pub mod server;
+
+pub use bhut_tree::{KernelPrecision, QueryTarget};
+pub use client::ServeClient;
+pub use engine::{FieldQuery, FieldSample};
+pub use epoch::{EpochStore, TreeEpoch};
+pub use proto::{QueryKind, QueryReply, QueryRequest};
+pub use server::{ServeConfig, ServeStats, Server};

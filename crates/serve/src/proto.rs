@@ -1,0 +1,274 @@
+//! Wire protocol for the query service, layered on the shared
+//! length-prefixed framing in [`bhut_wire`].
+//!
+//! All integers and floats are little-endian, matching the S14 exchange
+//! format. One request/reply pair per query id; a connection may have at
+//! most one request in flight per id, but ids from one connection need not
+//! be consecutive (the client allocates them).
+//!
+//! | tag | payload |
+//! |-----|---------|
+//! | [`TAG_QUERY`] | `id:u64, kind:u8, precision:u8, count:u32, count × (x,y,z: f64, skip: u32)` |
+//! | [`TAG_RESULT`] | `id:u64, generation:u64, count:u32, count × (ax,ay,az,phi: f64)` |
+//! | [`TAG_RETRY`] | `id:u64, retry_after_ms:u32` — queue full; resend after the hint |
+//! | [`TAG_STATS`] | empty — request a [`crate::ServeStats`] snapshot |
+//! | [`TAG_STATS_REPLY`] | UTF-8 JSON of [`crate::ServeStats`] |
+//! | [`TAG_ERROR`] | `id:u64`, UTF-8 message — malformed or unsupported request |
+
+use bhut_geom::Vec3;
+use bhut_tree::{KernelPrecision, QueryTarget};
+use bhut_wire::{get_f64, get_u32, get_u64, put_f64, put_u32, put_u64};
+
+use crate::engine::FieldSample;
+
+pub const TAG_QUERY: u16 = 0x5351;
+pub const TAG_RESULT: u16 = 0x5352;
+pub const TAG_RETRY: u16 = 0x5353;
+pub const TAG_STATS: u16 = 0x5354;
+pub const TAG_STATS_REPLY: u16 = 0x5355;
+pub const TAG_ERROR: u16 = 0x5356;
+
+/// Bytes per encoded query point: position (3 × f64) + skip id.
+pub const POINT_BYTES: usize = 3 * 8 + 4;
+/// Bytes per encoded sample: acceleration (3 × f64) + potential.
+pub const SAMPLE_BYTES: usize = 4 * 8;
+
+/// What field the client wants at each point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Gravitational acceleration and potential (a full force-sweep walk).
+    Field,
+    /// Local mass-density estimate (deepest-cell mass over volume).
+    Density,
+}
+
+fn kind_to_u8(k: QueryKind) -> u8 {
+    match k {
+        QueryKind::Field => 0,
+        QueryKind::Density => 1,
+    }
+}
+
+fn kind_from_u8(b: u8) -> Result<QueryKind, String> {
+    match b {
+        0 => Ok(QueryKind::Field),
+        1 => Ok(QueryKind::Density),
+        other => Err(format!("unknown query kind {other}")),
+    }
+}
+
+fn precision_to_u8(p: KernelPrecision) -> u8 {
+    match p {
+        KernelPrecision::ScalarF64 => 0,
+        KernelPrecision::F64 => 1,
+        KernelPrecision::MixedF32 => 2,
+    }
+}
+
+fn precision_from_u8(b: u8) -> Result<KernelPrecision, String> {
+    match b {
+        0 => Ok(KernelPrecision::ScalarF64),
+        1 => Ok(KernelPrecision::F64),
+        2 => Ok(KernelPrecision::MixedF32),
+        other => Err(format!("unknown kernel precision {other}")),
+    }
+}
+
+/// A batch of query points sharing one kind and precision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    pub id: u64,
+    pub kind: QueryKind,
+    pub precision: KernelPrecision,
+    pub points: Vec<QueryTarget>,
+}
+
+/// The evaluated batch, tagged with the epoch generation it ran against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    pub id: u64,
+    pub generation: u64,
+    pub samples: Vec<FieldSample>,
+}
+
+pub fn encode_query(req: &QueryRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 1 + 1 + 4 + req.points.len() * POINT_BYTES);
+    put_u64(&mut out, req.id);
+    out.push(kind_to_u8(req.kind));
+    out.push(precision_to_u8(req.precision));
+    put_u32(&mut out, req.points.len() as u32);
+    for &(p, skip) in &req.points {
+        put_f64(&mut out, p.x);
+        put_f64(&mut out, p.y);
+        put_f64(&mut out, p.z);
+        put_u32(&mut out, skip);
+    }
+    out
+}
+
+pub fn decode_query(bytes: &[u8]) -> Result<QueryRequest, String> {
+    const HEAD: usize = 8 + 1 + 1 + 4;
+    if bytes.len() < HEAD {
+        return Err(format!("query header truncated: {} bytes", bytes.len()));
+    }
+    let id = get_u64(bytes, 0);
+    let kind = kind_from_u8(bytes[8])?;
+    let precision = precision_from_u8(bytes[9])?;
+    let count = get_u32(bytes, 10) as usize;
+    if bytes.len() != HEAD + count * POINT_BYTES {
+        return Err(format!(
+            "query payload {} bytes, expected {} for {count} points",
+            bytes.len(),
+            HEAD + count * POINT_BYTES
+        ));
+    }
+    let mut points = Vec::with_capacity(count);
+    let mut at = HEAD;
+    for _ in 0..count {
+        let p = Vec3::new(get_f64(bytes, at), get_f64(bytes, at + 8), get_f64(bytes, at + 16));
+        let skip = get_u32(bytes, at + 24);
+        points.push((p, skip));
+        at += POINT_BYTES;
+    }
+    Ok(QueryRequest { id, kind, precision, points })
+}
+
+pub fn encode_reply(id: u64, generation: u64, samples: &[FieldSample]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 + 4 + samples.len() * SAMPLE_BYTES);
+    put_u64(&mut out, id);
+    put_u64(&mut out, generation);
+    put_u32(&mut out, samples.len() as u32);
+    for s in samples {
+        put_f64(&mut out, s.acc.x);
+        put_f64(&mut out, s.acc.y);
+        put_f64(&mut out, s.acc.z);
+        put_f64(&mut out, s.phi);
+    }
+    out
+}
+
+pub fn decode_reply(bytes: &[u8]) -> Result<QueryReply, String> {
+    const HEAD: usize = 8 + 8 + 4;
+    if bytes.len() < HEAD {
+        return Err(format!("reply header truncated: {} bytes", bytes.len()));
+    }
+    let id = get_u64(bytes, 0);
+    let generation = get_u64(bytes, 8);
+    let count = get_u32(bytes, 16) as usize;
+    if bytes.len() != HEAD + count * SAMPLE_BYTES {
+        return Err(format!(
+            "reply payload {} bytes, expected {} for {count} samples",
+            bytes.len(),
+            HEAD + count * SAMPLE_BYTES
+        ));
+    }
+    let mut samples = Vec::with_capacity(count);
+    let mut at = HEAD;
+    for _ in 0..count {
+        samples.push(FieldSample {
+            acc: Vec3::new(get_f64(bytes, at), get_f64(bytes, at + 8), get_f64(bytes, at + 16)),
+            phi: get_f64(bytes, at + 24),
+        });
+        at += SAMPLE_BYTES;
+    }
+    Ok(QueryReply { id, generation, samples })
+}
+
+pub fn encode_retry(id: u64, retry_after_ms: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    put_u64(&mut out, id);
+    put_u32(&mut out, retry_after_ms);
+    out
+}
+
+pub fn decode_retry(bytes: &[u8]) -> Result<(u64, u32), String> {
+    if bytes.len() != 12 {
+        return Err(format!("retry payload {} bytes, expected 12", bytes.len()));
+    }
+    Ok((get_u64(bytes, 0), get_u32(bytes, 8)))
+}
+
+pub fn encode_error(id: u64, msg: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + msg.len());
+    put_u64(&mut out, id);
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+pub fn decode_error(bytes: &[u8]) -> Result<(u64, String), String> {
+    if bytes.len() < 8 {
+        return Err(format!("error payload {} bytes, expected ≥ 8", bytes.len()));
+    }
+    Ok((get_u64(bytes, 0), String::from_utf8_lossy(&bytes[8..]).into_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip_is_bitwise() {
+        let req = QueryRequest {
+            id: 0xdead_beef_cafe,
+            kind: QueryKind::Field,
+            precision: KernelPrecision::MixedF32,
+            points: vec![
+                (Vec3::new(1.5, -2.25, 1e-300), 7),
+                (Vec3::new(f64::MIN_POSITIVE, 0.0, -0.0), u32::MAX),
+            ],
+        };
+        let back = decode_query(&encode_query(&req)).unwrap();
+        assert_eq!(back.id, req.id);
+        assert_eq!(back.kind, req.kind);
+        assert_eq!(back.precision, req.precision);
+        assert_eq!(back.points.len(), 2);
+        for (a, b) in req.points.iter().zip(&back.points) {
+            assert_eq!(a.0.x.to_bits(), b.0.x.to_bits());
+            assert_eq!(a.0.y.to_bits(), b.0.y.to_bits());
+            assert_eq!(a.0.z.to_bits(), b.0.z.to_bits());
+            assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip_is_bitwise() {
+        let samples = vec![
+            FieldSample { acc: Vec3::new(0.1, -0.2, 0.3), phi: -1.75 },
+            FieldSample { acc: Vec3::ZERO, phi: 0.0 },
+        ];
+        let rep = decode_reply(&encode_reply(42, 9, &samples)).unwrap();
+        assert_eq!(rep.id, 42);
+        assert_eq!(rep.generation, 9);
+        for (a, b) in samples.iter().zip(&rep.samples) {
+            assert_eq!(a.acc.x.to_bits(), b.acc.x.to_bits());
+            assert_eq!(a.phi.to_bits(), b.phi.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(decode_query(&[0u8; 5]).is_err());
+        let mut good = encode_query(&QueryRequest {
+            id: 1,
+            kind: QueryKind::Density,
+            precision: KernelPrecision::F64,
+            points: vec![(Vec3::ZERO, u32::MAX)],
+        });
+        good.truncate(good.len() - 1);
+        assert!(decode_query(&good).is_err(), "short point array rejected");
+        let mut bad_kind = encode_query(&QueryRequest {
+            id: 1,
+            kind: QueryKind::Field,
+            precision: KernelPrecision::F64,
+            points: vec![],
+        });
+        bad_kind[8] = 99;
+        assert!(decode_query(&bad_kind).is_err(), "unknown kind rejected");
+        assert!(decode_retry(&[0u8; 11]).is_err());
+        let (id, ms) = decode_retry(&encode_retry(3, 25)).unwrap();
+        assert_eq!((id, ms), (3, 25));
+        let (id, msg) = decode_error(&encode_error(8, "bad precision")).unwrap();
+        assert_eq!(id, 8);
+        assert_eq!(msg, "bad precision");
+    }
+}

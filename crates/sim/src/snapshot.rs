@@ -99,7 +99,12 @@ pub fn load_checkpoint(path: &Path) -> io::Result<Snapshot> {
 /// Run `write` against a temp file next to `path`, fsync, and rename into
 /// place. The temp name includes the pid so concurrent writers of different
 /// ranks in one directory never collide.
-fn write_atomically(
+///
+/// Public because every long-running producer of reports in the workspace
+/// (bench bins, examples) routes its periodic writes through this: a crash
+/// or SIGKILL mid-write must leave either the old file or the new one,
+/// never a truncated hybrid.
+pub fn write_atomically(
     path: &Path,
     write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
 ) -> io::Result<()> {
@@ -115,6 +120,12 @@ fn write_atomically(
         std::fs::remove_file(&tmp).ok();
     }
     result
+}
+
+/// [`write_atomically`] specialized to a ready-made string payload — the
+/// common case for JSON reports.
+pub fn write_text_atomically(path: &Path, text: &str) -> io::Result<()> {
+    write_atomically(path, |w| w.write_all(text.as_bytes()))
 }
 
 /// Dump particle positions as `x,y,z` CSV (with header) for plotting.

@@ -474,7 +474,50 @@ pub fn gather_group(
     }
     let bucket = Aabb::bounding(members.iter().map(|&pi| particles[pi as usize].pos))
         .expect("non-empty member set");
+    walk_bucket(tree, particles, &bucket, Some(leaf), mac, buf);
+    members.len()
+}
 
+/// Walk the tree once for an *arbitrary* bucket of query targets — field
+/// evaluation points that are not particles of the tree — filling `buf`
+/// with the shared M2P/P2P slabs and mixed subtree roots exactly as
+/// [`gather_group`] does for a leaf's members.
+///
+/// `bucket` must bound every target the caller will evaluate against this
+/// gather (typically `Aabb::bounding` of a Morton-sorted run of query
+/// points). The [`GroupMac`] bracketing contract is what makes the result
+/// per-target exact for *any* bucketing: AcceptAll ⇒ every point in the
+/// bucket accepts, RejectAll ⇒ every point rejects, so each target's
+/// interaction set is identical to its individual walk regardless of which
+/// other targets share the bucket. No target is a tree particle here, so
+/// nothing is marked `self_in_p2p`; per-target self-exclusion (for query
+/// points placed *at* particle positions) rides on the skip ids passed to
+/// [`resolve_mixed_tails_targets`] / [`eval_gathered_targets`].
+pub fn gather_group_targets(
+    tree: &Tree,
+    particles: &[Particle],
+    bucket: &Aabb,
+    mac: &impl GroupMac,
+    buf: &mut InteractionBuffers,
+) {
+    buf.clear();
+    if tree.is_empty() {
+        return;
+    }
+    walk_bucket(tree, particles, bucket, None, mac, buf);
+}
+
+/// The classification walk shared by [`gather_group`] (bucket = a leaf's
+/// members, `self_leaf = Some`) and [`gather_group_targets`] (bucket = a
+/// batch of query points, `self_leaf = None`). Fills and pads `buf`.
+fn walk_bucket(
+    tree: &Tree,
+    particles: &[Particle],
+    bucket: &Aabb,
+    self_leaf: Option<NodeId>,
+    mac: &impl GroupMac,
+    buf: &mut InteractionBuffers,
+) {
     let mut stack = std::mem::take(&mut buf.stack);
     stack.clear();
     stack.push(0);
@@ -489,12 +532,12 @@ pub fn gather_group(
             // the MAC and interact directly.
             let pi = tree.order[node.start as usize];
             buf.push_particle(&particles[pi as usize]);
-            if id == leaf {
+            if Some(id) == self_leaf {
                 buf.self_in_p2p = true;
             }
             continue;
         }
-        match mac.classify(&node.cell, node.com, &bucket) {
+        match mac.classify(&node.cell, node.com, bucket) {
             GroupClass::AcceptAll => {
                 buf.shared_mac_tests += 1;
                 buf.push_node(id, node.com, node.mass);
@@ -506,7 +549,7 @@ pub fn gather_group(
                     for &pi in tree.particles_under(id) {
                         buf.push_particle(&particles[pi as usize]);
                     }
-                    if id == leaf {
+                    if Some(id) == self_leaf {
                         buf.self_in_p2p = true;
                     }
                 } else {
@@ -525,7 +568,6 @@ pub fn gather_group(
     }
     buf.stack = stack;
     buf.pad();
-    members.len()
 }
 
 /// Resolve the gathered mixed frontiers into per-member tail slabs, so the
@@ -602,6 +644,198 @@ pub fn resolve_mixed_tails(
     }
     buf.mixed = mixed;
     buf.tails_ready = true;
+}
+
+/// A field-query target: an evaluation position plus the particle id to
+/// exclude from direct interactions (`u32::MAX` = exclude nothing). The
+/// skip id is how a query placed *at* a particle's position reproduces the
+/// simulation's own self-excluded force on that particle.
+pub type QueryTarget = (Vec3, u32);
+
+/// [`resolve_mixed_tails`] for arbitrary query targets: replay the mixed
+/// frontier gathered by [`gather_group_targets`] once per target, flattening
+/// each target's unsettled interactions into a per-target SoA tail segment.
+/// Targets must be the same batch (same order) later passed to
+/// [`eval_gathered_targets`]; each target's skip id drives the replay's
+/// self-exclusion.
+pub fn resolve_mixed_tails_targets(
+    tree: &Tree,
+    particles: &[Particle],
+    targets: &[QueryTarget],
+    mac: &impl GroupMac,
+    buf: &mut InteractionBuffers,
+) {
+    buf.tails.clear();
+    let mixed = std::mem::take(&mut buf.mixed);
+    for &(pos, skip) in targets {
+        let start = buf.tail_x.len() as u32;
+        let mut span = TailSpan { start, end: start, ..TailSpan::default() };
+        if !mixed.is_empty() {
+            let skip = (skip != u32::MAX).then_some(skip);
+            for &root in &mixed {
+                let st = for_each_interaction_from(tree, root, particles, pos, skip, mac, |i| {
+                    let (src, mass) = match i {
+                        Interaction::Node(id) => {
+                            let n = tree.node(id);
+                            (n.com, n.mass)
+                        }
+                        Interaction::Particle(qi) => {
+                            let q = &particles[qi as usize];
+                            (q.pos, q.mass)
+                        }
+                    };
+                    buf.tail_x.push(src.x);
+                    buf.tail_y.push(src.y);
+                    buf.tail_z.push(src.z);
+                    buf.tail_m.push(mass);
+                });
+                span.stats.merge(st);
+            }
+            span.len = buf.tail_x.len() as u32 - start;
+            while !buf.tail_x.len().is_multiple_of(PAD_MULTIPLE) {
+                buf.tail_x.push(0.0);
+                buf.tail_y.push(0.0);
+                buf.tail_z.push(0.0);
+                buf.tail_m.push(0.0);
+            }
+            span.end = buf.tail_x.len() as u32;
+        }
+        buf.tails.push(span);
+    }
+    buf.mixed = mixed;
+    buf.tails_ready = true;
+}
+
+/// Evaluate a batch of query targets against slabs gathered by
+/// [`gather_group_targets`] for a bucket bounding them all.
+///
+/// `emit(target_ordinal, phi, accel, interactions)` is called once per
+/// target, in order. Per-target results are identical (to summation-order
+/// rounding; stats exactly) to the individual per-point walk
+/// [`crate::accel_on`]`(tree, particles, pos, skip, mac, eps)` — the
+/// group-MAC bracketing guarantees every target of the bucket agrees with
+/// the shared classification, and each target's skip id masks its own
+/// particle out of the near field exactly as the per-particle sweep does.
+///
+/// `precision` behaves as in [`eval_gathered_monopole_masked`]:
+/// [`KernelPrecision::MixedF32`] requires a prior
+/// [`InteractionBuffers::prepare_f32`], and the mixed frontier always runs
+/// in f64 — via per-target tail slabs when [`resolve_mixed_tails_targets`]
+/// has run, otherwise through the scalar per-interaction replay.
+#[allow(clippy::too_many_arguments)] // mirrors eval_gathered_monopole_masked
+pub fn eval_gathered_targets(
+    tree: &Tree,
+    particles: &[Particle],
+    targets: &[QueryTarget],
+    mac: &impl GroupMac,
+    eps: f64,
+    precision: KernelPrecision,
+    buf: &InteractionBuffers,
+    mut emit: impl FnMut(usize, f64, Vec3, u64),
+) -> TraversalStats {
+    let mut stats = TraversalStats::default();
+    if tree.is_empty() {
+        for (k, _) in targets.iter().enumerate() {
+            emit(k, 0.0, Vec3::ZERO, 0);
+        }
+        return stats;
+    }
+    let shared_p2n = buf.node_ids.len() as u64;
+    for (k, &(pos, skip)) in targets.iter().enumerate() {
+        // A target's masked self-entry (skip id present in the near-field
+        // slab) contributes nothing and is not an interaction; subtract it
+        // so stats match the per-point walk exactly.
+        let self_hits = if skip == u32::MAX {
+            0
+        } else {
+            buf.pid.iter().filter(|&&id| id == skip).count() as u64
+        };
+        let mut target = TraversalStats {
+            p2n: shared_p2n,
+            p2p: buf.px.len() as u64 - self_hits,
+            mac_tests: buf.shared_mac_tests,
+        };
+        let (mut acc, mut phi) = if precision == KernelPrecision::F64 {
+            // Fused slab path, as in the member evaluation: one kernel call
+            // covers the accepted-node slab, the id-masked near-field slab,
+            // and this target's resolved tail segment.
+            let tail = if buf.tails_ready {
+                let span = &buf.tails[k];
+                target.merge(span.stats);
+                let (a, b) = (span.start as usize, span.end as usize);
+                buf.count_lanes(b - a, span.len as usize);
+                SlabView {
+                    xs: &buf.tail_x[a..b],
+                    ys: &buf.tail_y[a..b],
+                    zs: &buf.tail_z[a..b],
+                    ms: &buf.tail_m[a..b],
+                }
+            } else {
+                SlabView::EMPTY
+            };
+            buf.count_lanes(
+                buf.com_x.padded_len() + buf.px.padded_len(),
+                buf.com_x.len() + buf.px.len(),
+            );
+            let (ax, ay, az, ph) = accel_slab_member_f64(
+                pos.x,
+                pos.y,
+                pos.z,
+                // Padding sentinels carry id u32::MAX with zero mass, so a
+                // no-skip target masking u32::MAX changes nothing.
+                skip,
+                SlabView {
+                    xs: buf.com_x.padded(),
+                    ys: buf.com_y.padded(),
+                    zs: buf.com_z.padded(),
+                    ms: buf.node_mass.padded(),
+                },
+                SlabView {
+                    xs: buf.px.padded(),
+                    ys: buf.py.padded(),
+                    zs: buf.pz.padded(),
+                    ms: buf.pmass.padded(),
+                },
+                buf.pid.padded(),
+                tail,
+                eps * eps,
+            );
+            (Vec3::new(ax, ay, az), ph)
+        } else {
+            let (acc_n, phi_n) = buf.eval_m2p(pos, eps, precision);
+            let (acc_p, phi_p) = buf.eval_p2p(pos, skip, eps, precision);
+            let (mut acc, mut phi) = (acc_n + acc_p, phi_n + phi_p);
+            if buf.tails_ready {
+                let (acc_t, phi_t, st) = buf.eval_tail(k, pos, eps, precision);
+                acc += acc_t;
+                phi += phi_t;
+                target.merge(st);
+            }
+            (acc, phi)
+        };
+        if !buf.tails_ready {
+            let skip = (skip != u32::MAX).then_some(skip);
+            for &root in &buf.mixed {
+                let st =
+                    for_each_interaction_from(tree, root, particles, pos, skip, mac, |i| match i {
+                        Interaction::Node(id) => {
+                            let n = tree.node(id);
+                            acc += accel_kernel(pos, n.com, n.mass, eps);
+                            phi += potential_kernel(pos, n.com, n.mass, eps);
+                        }
+                        Interaction::Particle(qi) => {
+                            let q = &particles[qi as usize];
+                            acc += accel_kernel(pos, q.pos, q.mass, eps);
+                            phi += potential_kernel(pos, q.pos, q.mass, eps);
+                        }
+                    });
+                target.merge(st);
+            }
+        }
+        emit(k, phi, acc, target.interactions());
+        stats.merge(target);
+    }
+    stats
 }
 
 /// Batched monopole M2P: acceleration and potential at `point` due to the
@@ -1394,6 +1628,165 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Arbitrary query points, arbitrarily bucketed, must reproduce the
+    /// per-point walk exactly: stats field-for-field, values to rounding —
+    /// with and without tail resolution, for every precision.
+    #[test]
+    fn target_eval_matches_per_point_walk() {
+        let set = plummer(PlummerSpec { n: 600, seed: 41, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        // Query points: offsets from particle positions (dense, so buckets
+        // straddle acceptance boundaries) plus a few far-field points.
+        let mut points: Vec<Vec3> =
+            set.iter().take(120).map(|p| p.pos + Vec3::new(1.3e-3, -2.1e-3, 0.7e-3)).collect();
+        points.push(Vec3::new(10.0, 10.0, 10.0));
+        points.push(Vec3::new(-25.0, 3.0, 0.1));
+        let mut buf = InteractionBuffers::new();
+        for chunk in points.chunks(16) {
+            let targets: Vec<QueryTarget> = chunk.iter().map(|&p| (p, u32::MAX)).collect();
+            let bucket = Aabb::bounding(chunk.iter().copied()).unwrap();
+            for resolve in [false, true] {
+                gather_group_targets(&tree, &set.particles, &bucket, &mac, &mut buf);
+                if resolve {
+                    resolve_mixed_tails_targets(&tree, &set.particles, &targets, &mac, &mut buf);
+                }
+                buf.prepare_f32();
+                for precision in
+                    [KernelPrecision::ScalarF64, KernelPrecision::F64, KernelPrecision::MixedF32]
+                {
+                    let mut calls = 0usize;
+                    eval_gathered_targets(
+                        &tree,
+                        &set.particles,
+                        &targets,
+                        &mac,
+                        EPS,
+                        precision,
+                        &buf,
+                        |k, phi, acc, it| {
+                            assert_eq!(k, calls);
+                            calls += 1;
+                            let pos = targets[k].0;
+                            let (acc_ref, st) =
+                                accel_on(&tree, &set.particles, pos, None, &mac, EPS);
+                            let (phi_ref, _) =
+                                potential_at(&tree, &set.particles, pos, None, &mac, EPS);
+                            assert_eq!(it, st.interactions(), "target {k}");
+                            // MixedF32 tolerance is looser than the member
+                            // sweep's 1e-4: these query points sit ~1e-3
+                            // from a particle, and f32 rounding of the
+                            // offset is amplified by the near-singular 1/r²
+                            // there.
+                            let tol =
+                                if precision == KernelPrecision::MixedF32 { 2e-3 } else { 1e-12 };
+                            assert!(
+                                (phi - phi_ref).abs() <= tol * phi_ref.abs().max(1.0),
+                                "phi {phi} vs {phi_ref}, target {k}, {precision:?}"
+                            );
+                            assert!(
+                                acc.dist(acc_ref) <= tol * acc_ref.norm().max(1.0),
+                                "acc {acc:?} vs {acc_ref:?}, target {k}, {precision:?}"
+                            );
+                        },
+                    );
+                    assert_eq!(calls, targets.len());
+                }
+            }
+        }
+    }
+
+    /// Query targets placed at particle positions with the particle's own
+    /// skip id must reproduce the simulation's member evaluation: identical
+    /// stats and ≤1e-12 values — the equivalence the query service pins.
+    #[test]
+    fn targets_at_particle_positions_match_member_eval() {
+        let set = plummer(PlummerSpec { n: 500, seed: 47, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let (mut buf_m, mut buf_t) = (InteractionBuffers::new(), InteractionBuffers::new());
+        for leaf in leaf_schedule(&tree) {
+            // Reference: the simulation's own grouped member evaluation.
+            let mut member_out = Vec::new();
+            gather_group(&tree, &set.particles, leaf, &mac, &mut buf_m);
+            resolve_mixed_tails(&tree, &set.particles, leaf, &mac, &mut buf_m, None);
+            eval_gathered_monopole_masked(
+                &tree,
+                &set.particles,
+                leaf,
+                &mac,
+                EPS,
+                KernelPrecision::F64,
+                &buf_m,
+                None,
+                |pi, phi, acc, it| member_out.push((pi, phi, acc, it)),
+            );
+            // Query path: same positions as targets, same bucket geometry.
+            let members = tree.particles_under(leaf);
+            let targets: Vec<QueryTarget> = members
+                .iter()
+                .map(|&pi| {
+                    let p = &set.particles[pi as usize];
+                    (p.pos, p.id)
+                })
+                .collect();
+            let bucket = Aabb::bounding(targets.iter().map(|t| t.0)).unwrap();
+            gather_group_targets(&tree, &set.particles, &bucket, &mac, &mut buf_t);
+            resolve_mixed_tails_targets(&tree, &set.particles, &targets, &mac, &mut buf_t);
+            let mut query_out = Vec::new();
+            eval_gathered_targets(
+                &tree,
+                &set.particles,
+                &targets,
+                &mac,
+                EPS,
+                KernelPrecision::F64,
+                &buf_t,
+                |k, phi, acc, it| query_out.push((members[k], phi, acc, it)),
+            );
+            assert_eq!(member_out.len(), query_out.len());
+            for (&(pi_m, phi_m, acc_m, it_m), &(pi_q, phi_q, acc_q, it_q)) in
+                member_out.iter().zip(&query_out)
+            {
+                assert_eq!(pi_m, pi_q);
+                assert_eq!(it_m, it_q, "interaction count differs for particle {pi_m}");
+                let tol = 1e-12;
+                assert!(
+                    (phi_m - phi_q).abs() <= tol * phi_m.abs().max(1.0),
+                    "phi {phi_q} vs member {phi_m} for particle {pi_m}"
+                );
+                assert!(
+                    acc_m.dist(acc_q) <= tol * acc_m.norm().max(1.0),
+                    "acc {acc_q:?} vs member {acc_m:?} for particle {pi_m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn target_eval_on_empty_tree_emits_zeros() {
+        let tree = build(&[], BuildParams::default());
+        let mut buf = InteractionBuffers::new();
+        let targets = vec![(Vec3::new(0.5, 0.5, 0.5), u32::MAX)];
+        let bucket = Aabb::bounding(targets.iter().map(|t| t.0)).unwrap();
+        gather_group_targets(&tree, &[], &bucket, &BarnesHutMac::new(0.67), &mut buf);
+        let mut calls = 0;
+        eval_gathered_targets(
+            &tree,
+            &[],
+            &targets,
+            &BarnesHutMac::new(0.67),
+            EPS,
+            KernelPrecision::F64,
+            &buf,
+            |_, phi, acc, it| {
+                calls += 1;
+                assert_eq!((phi, acc, it), (0.0, Vec3::ZERO, 0));
+            },
+        );
+        assert_eq!(calls, 1);
     }
 
     #[test]

@@ -4,16 +4,22 @@
 //! motivates.
 //!
 //! ```text
-//! cargo run --release --example galaxy_collision -- [steps] [--adaptive]
+//! cargo run --release --example galaxy_collision -- [steps] [--adaptive] \
+//!     [--snapshot out/collision.json]
 //! ```
 //!
 //! With `--adaptive` each outer step becomes an S12 block timestep: the
 //! core particles of each sphere descend to fine rungs while the halo keeps
 //! the coarse dt, so the force-evaluation count per unit time drops without
 //! loosening any particle's accuracy criterion.
+//!
+//! With `--snapshot PATH` the run writes a full simulation snapshot after
+//! every progress chunk through the crash-safe temp-file-and-rename path,
+//! so a killed run can be resumed from the last completed chunk with
+//! `Simulation::from_snapshot` and the file at PATH is never torn.
 
 use barnes_hut::geom::{plummer, Particle, ParticleSet, PlummerSpec, Vec3};
-use barnes_hut::sim::{EnergyReport, Simulation, SimulationConfig};
+use barnes_hut::sim::{save_snapshot_state, EnergyReport, Simulation, SimulationConfig};
 use barnes_hut::timestep::{BlockConfig, TimestepMode};
 
 /// Two Plummer spheres offset and counter-moving.
@@ -38,9 +44,14 @@ fn collision_setup(n_each: usize) -> ParticleSet {
 fn main() {
     let mut steps: usize = 100;
     let mut adaptive = false;
-    for arg in std::env::args().skip(1) {
+    let mut snapshot_path: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--adaptive" => adaptive = true,
+            "--snapshot" => {
+                snapshot_path = Some(args.next().expect("--snapshot needs a path").into());
+            }
             s => steps = s.parse().expect("steps must be a number"),
         }
     }
@@ -87,6 +98,11 @@ fn main() {
             com.norm()
         );
         let _ = chunk;
+        if let Some(path) = &snapshot_path {
+            // Crash-safe periodic snapshot: temp file + fsync + rename, so
+            // a kill between chunks leaves the previous complete snapshot.
+            save_snapshot_state(path, &sim.snapshot()).expect("write snapshot");
+        }
     }
     if let Some(stats) = &sim.last_block_stats {
         println!("rung populations: {:?}", stats.population);
