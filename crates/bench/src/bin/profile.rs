@@ -125,6 +125,7 @@ fn executor(threads: usize) -> ThreadSim {
         partitioning: Partitioning::MortonZones,
         eval_mode: EvalMode::Grouped,
         precision: KernelPrecision::F64,
+        ..ThreadConfig::default()
     })
 }
 

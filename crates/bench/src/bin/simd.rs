@@ -135,6 +135,7 @@ fn executor(threads: usize, precision: KernelPrecision) -> ThreadSim {
         partitioning: Partitioning::MortonZones,
         eval_mode: EvalMode::Grouped,
         precision,
+        ..ThreadConfig::default()
     })
 }
 

@@ -167,6 +167,7 @@ fn criterion_dts(set: &ParticleSet, threads: usize, eta: f64, eps: f64) -> Vec<f
         partitioning: Partitioning::MortonZones,
         eval_mode: EvalMode::Grouped,
         precision: KernelPrecision::F64,
+        ..ThreadConfig::default()
     });
     let out = ex.compute_forces(&set.particles);
     out.accels

@@ -8,21 +8,46 @@
 //! needs no sampling thread and includes every allocation the process ever
 //! made. On other platforms it reports 0 rather than guessing; gates must
 //! therefore never *fail* on a zero reading.
+//!
+//! A malformed `VmHWM` line (kernel format drift, mangled procfs) is a
+//! different situation from the line being genuinely absent: the former is
+//! warned about loudly on stderr, because a silent 0 would make a memory
+//! regression gate vacuously pass.
+
+/// Extract the `VmHWM` high-water mark from a `/proc/self/status` body.
+///
+/// * `Ok(Some(bytes))` — the line was present and parsed;
+/// * `Ok(None)` — no `VmHWM:` line at all (non-Linux-style status);
+/// * `Err(msg)` — the line exists but its value did not parse, which is a
+///   procfs-format surprise the caller should surface, not swallow.
+fn vmhwm_bytes(status: &str) -> Result<Option<u64>, String> {
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let field = rest.trim().trim_end_matches("kB").trim();
+            return match field.parse::<u64>() {
+                Ok(kb) => Ok(Some(kb.saturating_mul(1024))),
+                Err(e) => Err(format!("malformed VmHWM line {line:?}: {e}")),
+            };
+        }
+    }
+    Ok(None)
+}
 
 /// Peak resident set size of the current process in bytes; 0 when the
-/// platform offers no cheap high-water mark.
+/// platform offers no cheap high-water mark. A present-but-unparseable
+/// `VmHWM` line warns on stderr instead of silently reading as 0.
 pub fn peak_rss_bytes() -> u64 {
     #[cfg(target_os = "linux")]
     {
-        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
-            for line in status.lines() {
-                if let Some(rest) = line.strip_prefix("VmHWM:") {
-                    let kb = rest.trim().trim_end_matches("kB").trim().parse::<u64>().unwrap_or(0);
-                    return kb * 1024;
-                }
+        match std::fs::read_to_string("/proc/self/status").map(|s| vmhwm_bytes(&s)) {
+            Ok(Ok(Some(bytes))) => bytes,
+            Ok(Ok(None)) => 0,
+            Ok(Err(msg)) => {
+                eprintln!("warning: peak-RSS sample unusable ({msg}); reporting 0");
+                0
             }
+            Err(_) => 0,
         }
-        0
     }
     #[cfg(not(target_os = "linux"))]
     {
@@ -51,6 +76,22 @@ mod tests {
             assert!(after >= first, "high-water mark never decreases");
         } else {
             assert_eq!(first, 0);
+        }
+    }
+
+    #[test]
+    fn vmhwm_parses_distinguishes_absent_and_rejects_malformed() {
+        // Well-formed procfs body.
+        let ok = "Name:\tbench\nVmHWM:\t  123456 kB\nVmRSS:\t 99 kB\n";
+        assert_eq!(vmhwm_bytes(ok), Ok(Some(123_456 * 1024)));
+        // Genuinely absent (e.g. a non-Linux style status): Ok(None), not
+        // an error — gates tolerate the resulting 0.
+        assert_eq!(vmhwm_bytes("Name:\tbench\nVmRSS:\t 99 kB\n"), Ok(None));
+        assert_eq!(vmhwm_bytes(""), Ok(None));
+        // Present but mangled: a loud error, never a silent 0.
+        for bad in ["VmHWM:\tpotato kB\n", "VmHWM: 12.5 kB\n", "VmHWM:\t-4 kB\n", "VmHWM:\n"] {
+            let got = vmhwm_bytes(bad);
+            assert!(got.is_err(), "{bad:?} must be rejected, got {got:?}");
         }
     }
 }

@@ -186,7 +186,7 @@ impl Span {
 }
 
 /// Work counters for one step (or one worker's share of it).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct Counters {
     /// Particle–particle interactions (direct sums).
     pub p2p: u64,
@@ -213,6 +213,44 @@ pub struct Counters {
     pub lane_slots: u64,
     /// Lane slots that carried real sources rather than padding sentinels.
     pub lane_useful: u64,
+    /// Interaction-list cache replays (block substeps that skipped the walk).
+    pub list_hits: u64,
+    /// Interaction-list cache misses (gathers that walked the tree).
+    pub list_misses: u64,
+    /// Bytes held by the interaction-list caches when the step finished.
+    pub list_bytes: u64,
+}
+
+// Hand-written for the same reason as [`StepProfile`]: the vendored serde
+// derive rejects missing fields, so a derived impl would invalidate every
+// counter JSON committed before a field existed. Every field is optional and
+// defaults to zero.
+impl Deserialize for Counters {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        fn opt(v: &Value, key: &str) -> Result<u64, String> {
+            match v.get_field(key) {
+                Some(x) => u64::from_value(x),
+                None => Ok(0),
+            }
+        }
+        Ok(Counters {
+            p2p: opt(v, "p2p")?,
+            m2p: opt(v, "m2p")?,
+            mac_tests: opt(v, "mac_tests")?,
+            nodes_opened: opt(v, "nodes_opened")?,
+            group_accept: opt(v, "group_accept")?,
+            group_reject: opt(v, "group_reject")?,
+            group_mixed: opt(v, "group_mixed")?,
+            requests: opt(v, "requests")?,
+            messages: opt(v, "messages")?,
+            words: opt(v, "words")?,
+            lane_slots: opt(v, "lane_slots")?,
+            lane_useful: opt(v, "lane_useful")?,
+            list_hits: opt(v, "list_hits")?,
+            list_misses: opt(v, "list_misses")?,
+            list_bytes: opt(v, "list_bytes")?,
+        })
+    }
 }
 
 impl Counters {
@@ -232,6 +270,17 @@ impl Counters {
         }
     }
 
+    /// Fraction of leaf gathers served by interaction-list replay
+    /// (`list_hits / (list_hits + list_misses)`); 0.0 when reuse never ran.
+    pub fn list_hit_rate(&self) -> f64 {
+        let total = self.list_hits + self.list_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.list_hits as f64 / total as f64
+        }
+    }
+
     pub fn merge(&mut self, o: &Counters) {
         self.p2p += o.p2p;
         self.m2p += o.m2p;
@@ -245,6 +294,9 @@ impl Counters {
         self.words += o.words;
         self.lane_slots += o.lane_slots;
         self.lane_useful += o.lane_useful;
+        self.list_hits += o.list_hits;
+        self.list_misses += o.list_misses;
+        self.list_bytes += o.list_bytes;
     }
 }
 
@@ -265,6 +317,9 @@ pub struct SharedCounters {
     words: AtomicU64,
     lane_slots: AtomicU64,
     lane_useful: AtomicU64,
+    list_hits: AtomicU64,
+    list_misses: AtomicU64,
+    list_bytes: AtomicU64,
 }
 
 impl SharedCounters {
@@ -286,6 +341,9 @@ impl SharedCounters {
             &self.words,
             &self.lane_slots,
             &self.lane_useful,
+            &self.list_hits,
+            &self.list_misses,
+            &self.list_bytes,
         ] {
             a.store(0, Ordering::Relaxed);
         }
@@ -305,6 +363,9 @@ impl SharedCounters {
         self.words.fetch_add(c.words, Ordering::Relaxed);
         self.lane_slots.fetch_add(c.lane_slots, Ordering::Relaxed);
         self.lane_useful.fetch_add(c.lane_useful, Ordering::Relaxed);
+        self.list_hits.fetch_add(c.list_hits, Ordering::Relaxed);
+        self.list_misses.fetch_add(c.list_misses, Ordering::Relaxed);
+        self.list_bytes.fetch_add(c.list_bytes, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> Counters {
@@ -321,6 +382,9 @@ impl SharedCounters {
             words: self.words.load(Ordering::Relaxed),
             lane_slots: self.lane_slots.load(Ordering::Relaxed),
             lane_useful: self.lane_useful.load(Ordering::Relaxed),
+            list_hits: self.list_hits.load(Ordering::Relaxed),
+            list_misses: self.list_misses.load(Ordering::Relaxed),
+            list_bytes: self.list_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -752,6 +816,9 @@ mod tests {
             words: 10,
             lane_slots: 16,
             lane_useful: 12,
+            list_hits: 6,
+            list_misses: 2,
+            list_bytes: 1024,
         };
         let b = a;
         a.merge(&b);
@@ -760,6 +827,40 @@ mod tests {
         assert_eq!(a.interactions(), 6);
         assert_eq!(a.lane_slots, 32);
         assert_eq!(a.lane_useful, 24);
+        assert_eq!(a.list_hits, 12);
+        assert_eq!(a.list_misses, 4);
+        assert_eq!(a.list_bytes, 2048);
+    }
+
+    #[test]
+    fn list_hit_rate_ratio() {
+        let c = Counters { list_hits: 9, list_misses: 3, ..Default::default() };
+        assert!((c.list_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(Counters::default().list_hit_rate(), 0.0);
+        let s = SharedCounters::new();
+        s.add(&c);
+        s.add(&Counters { list_hits: 1, list_bytes: 64, ..Default::default() });
+        let snap = s.snapshot();
+        assert_eq!(snap.list_hits, 10);
+        assert_eq!(snap.list_misses, 3);
+        assert_eq!(snap.list_bytes, 64);
+    }
+
+    /// Counter JSONs committed before the list-reuse fields existed (and any
+    /// older schema) must still parse, with absent fields defaulting to zero.
+    #[test]
+    fn counters_parse_leniently() {
+        let c: Counters = serde_json::from_str(r#"{"p2p":7,"m2p":3,"mac_tests":11}"#).unwrap();
+        assert_eq!(c.p2p, 7);
+        assert_eq!(c.m2p, 3);
+        assert_eq!(c.mac_tests, 11);
+        assert_eq!(c.list_hits, 0);
+        assert_eq!(c.lane_slots, 0);
+        // And the full round trip is lossless.
+        let full =
+            Counters { p2p: 1, list_hits: 2, list_misses: 3, list_bytes: 4, ..Default::default() };
+        let back: Counters = serde_json::from_str(&serde_json::to_string(&full).unwrap()).unwrap();
+        assert_eq!(back, full);
     }
 
     #[test]

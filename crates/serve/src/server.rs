@@ -36,7 +36,7 @@ use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::os::unix::net::UnixListener;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -65,7 +65,9 @@ pub struct ServeConfig {
     pub batch_points: usize,
     /// Pseudo-leaf bucket size for [`FieldQuery`].
     pub group_size: usize,
-    /// Retry hint (milliseconds) sent with `TAG_RETRY`.
+    /// Base retry hint (milliseconds) sent with `TAG_RETRY`. The wire hint
+    /// scales with current queue depth and is jittered per reject so a
+    /// burst of turned-away clients does not come back in lockstep.
     pub retry_after_ms: u32,
     /// Socket read timeout; bounds how fast readers notice a shutdown.
     pub read_timeout_ms: u64,
@@ -107,6 +109,35 @@ struct Job {
 /// Cap on retained spans so a long-lived server's profile stays bounded.
 const SPAN_CAP: usize = 4096;
 
+/// Lock `m`, recovering the inner value if a panicking holder poisoned it.
+///
+/// Every critical section in this module leaves its guarded state
+/// consistent before any operation that could panic (counters are plain
+/// integer updates, the queue is push/pop only), so continuing with the
+/// inner value is sound — and the stats/stop paths must keep answering
+/// even after a worker thread has died mid-update.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Compute the backpressure retry hint for one reject.
+///
+/// The configured base is stretched by up to 2× base per full queue of
+/// depth (so a deeply backed-up server asks clients to stay away longer),
+/// and a per-reject salt adds up to one base of jitter so concurrent
+/// rejects fan out over time instead of retrying in lockstep. Always ≥ 1 ms.
+fn retry_hint_ms(base: u32, depth: usize, cap: usize, salt: u64) -> u32 {
+    let base = u64::from(base.max(1));
+    let load =
+        if cap == 0 { 0 } else { base.saturating_mul(2).saturating_mul(depth as u64) / cap as u64 };
+    // splitmix64-style spread of the monotone salt into jitter bits.
+    let mut z = salt.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let jitter = (z ^ (z >> 31)) % (base + 1);
+    base.saturating_add(load).saturating_add(jitter).min(u64::from(u32::MAX)) as u32
+}
+
 struct Shared {
     cfg: ServeConfig,
     store: Arc<EpochStore>,
@@ -117,24 +148,32 @@ struct Shared {
     per_worker: Mutex<Vec<Counters>>,
     spans: Mutex<Vec<Span>>,
     batch_seq: AtomicU64,
+    /// Monotone per-reject counter; salts the retry-hint jitter.
+    reject_seq: AtomicU64,
     started: f64,
 }
 
 impl Shared {
+    /// Scaled, de-synchronized retry hint for one reject at `depth`.
+    fn retry_hint(&self, depth: usize) -> u32 {
+        let salt = self.reject_seq.fetch_add(1, SeqCst);
+        retry_hint_ms(self.cfg.retry_after_ms, depth, self.cfg.queue_cap, salt)
+    }
+
     fn record_span(&self, worker: usize, seq: u64, name: &str, start: f64, end: f64) {
-        let mut spans = self.spans.lock().unwrap();
+        let mut spans = lock(&self.spans);
         if spans.len() < SPAN_CAP {
             spans.push(Span::new(worker, seq, name, start - self.started, end - self.started));
         }
     }
 
     fn stats(&self) -> ServeStats {
-        let mut counters = *self.counters.lock().unwrap();
+        let mut counters = *lock(&self.counters);
         counters.epochs_published = self.store.generation();
         counters.epochs_retired = self.store.retired();
         ServeStats {
             counters,
-            queue_depth: self.queue.lock().unwrap().len() as u64,
+            queue_depth: lock(&self.queue).len() as u64,
             generation: self.store.generation(),
         }
     }
@@ -224,6 +263,7 @@ impl Server {
             per_worker: Mutex::new(vec![Counters::default(); workers]),
             spans: Mutex::new(Vec::new()),
             batch_seq: AtomicU64::new(0),
+            reject_seq: AtomicU64::new(0),
             started: now(),
         });
         match &listener {
@@ -267,8 +307,8 @@ impl Server {
         let mut p = StepProfile::new(sh.cfg.workers.max(1));
         p.step = stats.counters.batches;
         p.wall_s = now() - sh.started;
-        p.spans = sh.spans.lock().unwrap().clone();
-        p.per_worker = sh.per_worker.lock().unwrap().clone();
+        p.spans = lock(&sh.spans).clone();
+        p.per_worker = lock(&sh.per_worker).clone();
         p.totals = Counters::default();
         for w in &p.per_worker {
             p.totals.merge(w);
@@ -354,7 +394,7 @@ fn read_full(
 }
 
 fn send(writer: &Arc<Mutex<Box<dyn Write + Send>>>, tag: u16, payload: &[u8]) {
-    let mut w = writer.lock().unwrap();
+    let mut w = lock(writer);
     let _ = write_frame(&mut *w, tag, payload).and_then(|_| w.flush());
 }
 
@@ -383,13 +423,14 @@ fn conn_loop(
         match tag {
             TAG_QUERY => match decode_query(&payload) {
                 Ok(req) => {
-                    let mut q = shared.queue.lock().unwrap();
+                    let mut q = lock(&shared.queue);
                     if q.len() >= shared.cfg.queue_cap || shared.shutdown.load(SeqCst) {
+                        let depth = q.len();
                         drop(q);
-                        let mut c = shared.counters.lock().unwrap();
+                        let mut c = lock(&shared.counters);
                         c.rejected += 1;
                         drop(c);
-                        send(&writer, TAG_RETRY, &encode_retry(req.id, shared.cfg.retry_after_ms));
+                        send(&writer, TAG_RETRY, &encode_retry(req.id, shared.retry_hint(depth)));
                     } else {
                         q.push_back(Job {
                             id: req.id,
@@ -400,7 +441,7 @@ fn conn_loop(
                         });
                         let depth = q.len() as u64;
                         drop(q);
-                        let mut c = shared.counters.lock().unwrap();
+                        let mut c = lock(&shared.counters);
                         c.accepted += 1;
                         c.queue_depth_peak = c.queue_depth_peak.max(depth);
                         drop(c);
@@ -430,7 +471,7 @@ fn worker_loop(worker: usize, shared: Arc<Shared>) {
         // accepted requests are never dropped.
         let mut batch: Vec<Job> = Vec::new();
         {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = lock(&shared.queue);
             loop {
                 if let Some(first) = q.pop_front() {
                     let mut points = first.points.len();
@@ -450,7 +491,10 @@ fn worker_loop(worker: usize, shared: Arc<Shared>) {
                 if shared.shutdown.load(SeqCst) {
                     return;
                 }
-                let (guard, _) = shared.cv.wait_timeout(q, Duration::from_millis(20)).unwrap();
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(20))
+                    .unwrap_or_else(PoisonError::into_inner);
                 q = guard;
             }
         }
@@ -462,9 +506,9 @@ fn worker_loop(worker: usize, shared: Arc<Shared>) {
             // Nothing published yet: tell every caller to come back rather
             // than hold their connections hostage.
             for job in &batch {
-                send(&job.writer, TAG_RETRY, &encode_retry(job.id, shared.cfg.retry_after_ms));
+                send(&job.writer, TAG_RETRY, &encode_retry(job.id, shared.retry_hint(0)));
             }
-            let mut c = shared.counters.lock().unwrap();
+            let mut c = lock(&shared.counters);
             c.rejected += batch.len() as u64;
             continue;
         };
@@ -497,14 +541,14 @@ fn worker_loop(worker: usize, shared: Arc<Shared>) {
         let lag = shared.store.generation().saturating_sub(epoch.generation);
         drop(epoch); // release the pin before bookkeeping
         {
-            let mut c = shared.counters.lock().unwrap();
+            let mut c = lock(&shared.counters);
             c.queries += all.len() as u64;
             c.batches += 1;
             c.epoch_lag_last = lag;
             c.epoch_lag_max = c.epoch_lag_max.max(lag);
         }
         {
-            let mut pw = shared.per_worker.lock().unwrap();
+            let mut pw = lock(&shared.per_worker);
             pw[worker].p2p += stats.p2p;
             pw[worker].m2p += stats.p2n;
             pw[worker].mac_tests += stats.mac_tests;
@@ -632,6 +676,73 @@ mod tests {
         let (tag, _) = read_frame(&mut s).unwrap();
         assert_eq!(tag, TAG_ERROR);
         server.stop();
+    }
+
+    #[test]
+    fn retry_hint_scales_with_depth_and_desynchronizes() {
+        // Monotone in depth for a fixed salt: a fuller queue asks clients
+        // to stay away longer.
+        let h_empty = retry_hint_ms(5, 0, 64, 9);
+        let h_full = retry_hint_ms(5, 64, 64, 9);
+        let h_over = retry_hint_ms(5, 192, 64, 9);
+        assert!(h_empty >= 5);
+        assert!(h_full > h_empty, "{h_full} vs {h_empty}");
+        assert!(h_over > h_full, "{h_over} vs {h_full}");
+        // Successive rejects at the same depth get spread-out hints, so a
+        // burst of turned-away clients does not retry in lockstep.
+        let hints: std::collections::HashSet<u32> =
+            (0..32).map(|salt| retry_hint_ms(5, 64, 64, salt)).collect();
+        assert!(hints.len() > 3, "jitter must vary across rejects: {hints:?}");
+        // Degenerate configs still yield a positive, finite hint.
+        assert!(retry_hint_ms(0, 0, 0, 0) >= 1);
+        assert!(retry_hint_ms(u32::MAX, usize::MAX, 1, u64::MAX) >= 1);
+    }
+
+    #[test]
+    fn stats_still_answer_after_an_induced_worker_panic() {
+        let (store, particles) = published_store(64);
+        let server =
+            Server::bind_tcp("127.0.0.1:0", Arc::clone(&store), ServeConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut client = ServeClient::connect_tcp(addr).unwrap();
+        let targets: Vec<QueryTarget> = vec![(particles[0].pos, particles[0].id)];
+        client.query(QueryKind::Field, KernelPrecision::F64, &targets).unwrap();
+
+        // Poison the hot mutexes the way a dying worker would: panic while
+        // holding each lock. A default `.lock().unwrap()` server would now
+        // fail every stats call and wedge `stop()`.
+        for pick in 0..3 {
+            let sh = Arc::clone(&server.shared);
+            let h = std::thread::spawn(move || match pick {
+                0 => {
+                    let _g = sh.counters.lock().unwrap();
+                    panic!("induced panic holding the counters lock");
+                }
+                1 => {
+                    let _g = sh.queue.lock().unwrap();
+                    panic!("induced panic holding the queue lock");
+                }
+                _ => {
+                    let _g = sh.spans.lock().unwrap();
+                    panic!("induced panic holding the spans lock");
+                }
+            });
+            assert!(h.join().is_err(), "the panic must fire to poison the lock");
+        }
+        assert!(server.shared.counters.is_poisoned(), "counters lock is poisoned");
+
+        // In-process and over-the-wire stats still answer…
+        let stats = server.stats();
+        assert!(stats.counters.accepted >= 1);
+        let wire: ServeStats = serde_json::from_str(&client.stats_json().unwrap()).unwrap();
+        assert_eq!(wire.counters.accepted, stats.counters.accepted);
+        // …queries still flow through the poisoned queue…
+        let reply = client.query(QueryKind::Field, KernelPrecision::F64, &targets).unwrap();
+        assert_eq!(reply.samples.len(), 1);
+        // …and shutdown still drains and reports.
+        let fin = server.stop();
+        assert_eq!(fin.queue_depth, 0, "drained despite poisoned locks");
+        assert!(fin.counters.accepted >= 2);
     }
 
     #[test]

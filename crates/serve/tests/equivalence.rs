@@ -50,6 +50,7 @@ fn config(threads: usize, precision: KernelPrecision) -> ThreadConfig {
         partitioning: Partitioning::MortonZones,
         eval_mode: EvalMode::Grouped,
         precision,
+        ..ThreadConfig::default()
     }
 }
 

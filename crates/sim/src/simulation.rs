@@ -43,6 +43,13 @@ pub struct SimulationConfig {
     /// mixed f32/f64, or the exact scalar-f64 reference. Ignored when
     /// `grouped` is false — the per-particle path is always scalar f64.
     pub precision: KernelPrecision,
+    /// Under [`TimestepMode::Block`], evaluate the fine-rung (masked)
+    /// substeps against the tree frozen by the last synchronized substep,
+    /// replaying cached per-leaf interaction lists instead of rebuilding and
+    /// re-walking (Valdarnini-style list reuse). Synchronized substeps
+    /// always rebuild. Off by default; no effect under
+    /// [`TimestepMode::Global`].
+    pub list_reuse: bool,
 }
 
 // Hand-written so `precision` defaults when absent — snapshots written
@@ -62,6 +69,7 @@ impl Serialize for SimulationConfig {
             ("profile_every".to_string(), self.profile_every.to_value()),
             ("timestep".to_string(), self.timestep.to_value()),
             ("precision".to_string(), Value::Str(self.precision.as_str().to_string())),
+            ("list_reuse".to_string(), self.list_reuse.to_value()),
         ])
     }
 }
@@ -78,6 +86,11 @@ impl Deserialize for SimulationConfig {
             Some(x) => KernelPrecision::parse(&String::from_value(x)?)?,
             None => KernelPrecision::default(),
         };
+        // Absent in configs written before interaction-list reuse existed.
+        let list_reuse = match v.get_field("list_reuse") {
+            Some(x) => bool::from_value(x)?,
+            None => false,
+        };
         Ok(SimulationConfig {
             dt: req(v, "dt")?,
             alpha: req(v, "alpha")?,
@@ -90,6 +103,7 @@ impl Deserialize for SimulationConfig {
             profile_every: req(v, "profile_every")?,
             timestep: req(v, "timestep")?,
             precision,
+            list_reuse,
         })
     }
 }
@@ -108,6 +122,7 @@ impl Default for SimulationConfig {
             profile_every: 0,
             timestep: TimestepMode::Global,
             precision: KernelPrecision::default(),
+            list_reuse: false,
         }
     }
 }
@@ -161,6 +176,8 @@ impl Simulation {
                 bhut_threads::EvalMode::PerParticle
             },
             precision: config.precision,
+            mac_batch: true,
+            list_reuse: config.list_reuse,
         });
         Simulation {
             config,
@@ -239,21 +256,30 @@ impl Simulation {
             && (self.step_count + 1).is_multiple_of(self.config.profile_every);
         let stepper = self.stepper.get_or_insert_with(|| BlockStepper::new(bcfg));
         let executor = &mut self.executor;
+        let list_reuse = self.config.list_reuse;
         let mut interactions = 0u64;
         let mut imbalance = 1.0;
         let mut profile = None;
+        let (mut list_hits, mut list_misses, mut list_bytes) = (0u64, 0u64, 0u64);
         let stats = stepper.big_step(&mut self.particles.particles, |ps, active| {
             // The final substep of every big step is fully synchronized
             // (every rung completes at the last tick), so it takes the
-            // unmasked path and is the one we profile.
+            // unmasked path and is the one we profile. Synchronized substeps
+            // always rebuild; masked fine-rung substeps replay the frozen
+            // tree's cached interaction lists under `list_reuse`.
             let mut out = if active.is_full() {
-                if profiled {
-                    executor.compute_forces_profiled(ps)
-                } else {
-                    executor.compute_forces(ps)
-                }
+                executor.compute_forces_substep(ps, active, profiled, false)
             } else {
-                executor.compute_forces_active(ps, active)
+                let mut o =
+                    executor.compute_forces_substep(ps, active, profiled && list_reuse, list_reuse);
+                // Harvest the reuse counters here — the final profile comes
+                // from the synchronized substep, which never replays.
+                if let Some(p) = o.profile.take() {
+                    list_hits += p.totals.list_hits;
+                    list_misses += p.totals.list_misses;
+                    list_bytes = list_bytes.max(p.totals.list_bytes);
+                }
+                o
             };
             interactions += out.stats.interactions();
             imbalance = out.imbalance();
@@ -268,6 +294,9 @@ impl Simulation {
         let substeps = stats.substeps;
         if let Some(p) = profile.as_mut() {
             p.step = self.step_count as u64;
+            p.totals.list_hits += list_hits;
+            p.totals.list_misses += list_misses;
+            p.totals.list_bytes = p.totals.list_bytes.max(list_bytes);
             p.rungs = (0..=bcfg.max_rung as usize)
                 .map(|r| RungCounters {
                     rung: r as u32,
@@ -532,6 +561,75 @@ mod tests {
             assert_eq!(back.precision, precision);
             assert_eq!(back.threads, 3);
             assert_eq!(back.timestep, cfg.timestep);
+        }
+    }
+
+    #[test]
+    fn config_json_roundtrips_list_reuse() {
+        let cfg = SimulationConfig { list_reuse: true, ..Default::default() };
+        let back = SimulationConfig::from_value(&cfg.to_value()).unwrap();
+        assert!(back.list_reuse);
+        // Configs written before the field existed default it off.
+        let mut v = SimulationConfig::default().to_value();
+        if let Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "list_reuse");
+        }
+        let cfg = SimulationConfig::from_value(&v).unwrap();
+        assert!(!cfg.list_reuse);
+    }
+
+    #[test]
+    fn list_reuse_block_run_replays_and_conserves_energy() {
+        let set = plummer(PlummerSpec { n: 400, seed: 25, ..Default::default() });
+        let cfg = SimulationConfig {
+            alpha: 0.4,
+            eps: 0.02,
+            diag_every: 5,
+            threads: 2,
+            profile_every: 1,
+            list_reuse: true,
+            timestep: TimestepMode::Block(BlockConfig {
+                dt_max: 8e-3,
+                max_rung: 3,
+                eta: 0.05,
+                eps: 0.02,
+            }),
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(set, cfg);
+        let mut hits = 0u64;
+        let mut substeps = 0u64;
+        for _ in 0..15 {
+            let r = sim.step();
+            substeps += r.substeps;
+            if let Some(p) = &r.profile {
+                hits += p.totals.list_hits;
+            }
+        }
+        assert!(substeps > 15, "the hierarchy must actually produce fine-rung substeps");
+        assert!(hits > 0, "fine-rung substeps must replay cached interaction lists");
+        let drift = sim.diagnostics.max_drift();
+        assert!(drift < 5e-3, "energy drift {drift}");
+    }
+
+    #[test]
+    fn list_reuse_off_leaves_the_block_trajectory_bitwise_unchanged() {
+        // The default (no reuse) block path must be byte-for-byte what it
+        // was before the feature existed: every substep rebuilds.
+        let set = plummer(PlummerSpec { n: 300, seed: 26, ..Default::default() });
+        let bcfg = BlockConfig { dt_max: 8e-3, max_rung: 2, eta: 0.05, eps: 0.02 };
+        let cfg = SimulationConfig {
+            eps: 0.02,
+            timestep: TimestepMode::Block(bcfg),
+            ..Default::default()
+        };
+        let mut a = Simulation::new(set.clone(), cfg);
+        let mut b = Simulation::new(set, SimulationConfig { profile_every: 1, ..cfg });
+        a.run(5);
+        b.run(5);
+        for (x, y) in a.particles.particles.iter().zip(&b.particles.particles) {
+            assert_eq!(x.pos, y.pos);
+            assert_eq!(x.vel, y.vel);
         }
     }
 

@@ -7,11 +7,12 @@ use bhut_obs::{phase, Counters, SharedCounters, Span, StepProfile};
 use bhut_timestep::ActiveSet;
 use bhut_tree::build::{build, BuildParams};
 use bhut_tree::group::{
-    eval_gathered_monopole_masked, gather_group, leaf_schedule, leaf_schedule_active,
-    resolve_mixed_tails, InteractionBuffers,
+    eval_gathered_monopole_masked, gather_group, gather_group_cached, leaf_schedule,
+    leaf_schedule_active, resolve_mixed_tails, resolve_mixed_tails_lanes, InteractionBuffers,
+    WalkCache,
 };
 use bhut_tree::traverse::TraversalStats;
-use bhut_tree::{BarnesHutMac, KernelPrecision, NodeId, Tree};
+use bhut_tree::{BarnesHutMac, GroupMac, KernelPrecision, NodeId, ScalarClassify, Tree};
 use std::sync::Mutex;
 
 /// How particles are distributed over threads.
@@ -56,6 +57,16 @@ pub struct ThreadConfig {
     /// (ignored by [`EvalMode::PerParticle`], which always evaluates in
     /// scalar f64). See [`KernelPrecision`].
     pub precision: KernelPrecision,
+    /// Classify up to 8 sibling nodes per group-MAC test with the SIMD
+    /// batch classifiers (the default). `false` pins the scalar
+    /// one-node-per-test classification; both make bitwise-identical
+    /// decisions, so forces are unchanged either way.
+    pub mac_batch: bool,
+    /// Cache each leaf's gathered interaction list and replay it on block
+    /// substeps that reuse the frozen tree
+    /// ([`ThreadSim::compute_forces_substep`] with `reuse = true`). Off by
+    /// default; full steps always rebuild and re-walk.
+    pub list_reuse: bool,
 }
 
 impl Default for ThreadConfig {
@@ -69,6 +80,8 @@ impl Default for ThreadConfig {
             partitioning: Partitioning::MortonZones,
             eval_mode: EvalMode::Grouped,
             precision: KernelPrecision::default(),
+            mac_batch: true,
+            list_reuse: false,
         }
     }
 }
@@ -110,6 +123,10 @@ impl ForceResult {
 struct Scratch {
     buf: InteractionBuffers,
     out: Vec<(u32, f64, Vec3, u64)>,
+    /// Per-leaf interaction lists for frozen-tree substep replay
+    /// ([`ThreadConfig::list_reuse`]); generation-keyed, so a rebuild
+    /// (which bumps the generation) evicts everything.
+    cache: WalkCache,
 }
 
 /// Per-worker wall-clock observations from one profiled force computation.
@@ -132,6 +149,11 @@ pub struct ThreadSim {
     prev_work: Option<Vec<u64>>,
     scratch: Vec<Mutex<Scratch>>,
     counters: Vec<SharedCounters>,
+    /// The tree frozen by the last computation, kept only under
+    /// [`ThreadConfig::list_reuse`] so substeps can re-walk (or replay) it.
+    cached_tree: Option<Tree>,
+    /// Bumped on every rebuild; keys the per-thread interaction-list caches.
+    tree_generation: u64,
 }
 
 impl ThreadSim {
@@ -139,12 +161,45 @@ impl ThreadSim {
         assert!(config.threads > 0);
         let scratch = (0..config.threads).map(|_| Mutex::new(Scratch::default())).collect();
         let counters = (0..config.threads).map(|_| SharedCounters::new()).collect();
-        ThreadSim { config, prev_work: None, scratch, counters }
+        ThreadSim {
+            config,
+            prev_work: None,
+            scratch,
+            counters,
+            cached_tree: None,
+            tree_generation: 0,
+        }
     }
 
-    /// Drop carried load state.
+    /// Set every per-thread interaction-list cache's byte budget. 0 disables
+    /// list caching entirely while keeping frozen-tree substeps — the
+    /// reference path the reuse tests and benches compare against. Applies
+    /// to the scratch pool as currently sized; a later thread-count increase
+    /// allocates fresh caches at the default budget.
+    pub fn set_walk_cache_budget(&mut self, bytes: usize) {
+        for s in &self.scratch {
+            s.lock().unwrap().cache.set_budget(bytes);
+        }
+    }
+
+    /// Drop carried load state (costzones weights and the frozen tree).
     pub fn reset(&mut self) {
         self.prev_work = None;
+        self.cached_tree = None;
+    }
+
+    /// Drop the frozen tree and every per-thread interaction-list cache, as
+    /// a rebuild would; the next computation re-walks everything. Exposed so
+    /// callers (and the bench harness) can compare reuse against the
+    /// cache-free path on identical inputs.
+    pub fn purge_walk_caches(&mut self) {
+        self.cached_tree = None;
+        self.tree_generation += 1;
+        for s in &self.scratch {
+            let mut s = s.lock().unwrap();
+            s.cache.clear();
+            let _ = s.cache.take_stats();
+        }
     }
 
     /// Per-particle interaction counts measured by the last force
@@ -159,7 +214,7 @@ impl ThreadSim {
     /// Build the tree (and expansions if degree > 0) and compute the force
     /// and potential on every particle, in parallel.
     pub fn compute_forces(&mut self, particles: &[Particle]) -> ForceResult {
-        self.compute(particles, false, None)
+        self.compute(particles, false, None, false)
     }
 
     /// [`ThreadSim::compute_forces`] plus a phase-level [`StepProfile`]:
@@ -167,7 +222,7 @@ impl ThreadSim {
     /// are identical to the unprofiled call; only wall-clock reads are added
     /// (erased entirely when the `profile` feature is off).
     pub fn compute_forces_profiled(&mut self, particles: &[Particle]) -> ForceResult {
-        self.compute(particles, true, None)
+        self.compute(particles, true, None, false)
     }
 
     /// [`ThreadSim::compute_forces`] restricted to an active subset: the
@@ -183,7 +238,7 @@ impl ThreadSim {
         particles: &[Particle],
         active: &ActiveSet,
     ) -> ForceResult {
-        self.compute(particles, false, Some(active))
+        self.compute(particles, false, Some(active), false)
     }
 
     /// [`ThreadSim::compute_forces_active`] with the phase-level profile
@@ -193,7 +248,24 @@ impl ThreadSim {
         particles: &[Particle],
         active: &ActiveSet,
     ) -> ForceResult {
-        self.compute(particles, true, Some(active))
+        self.compute(particles, true, Some(active), false)
+    }
+
+    /// One block-substep force computation: like
+    /// [`ThreadSim::compute_forces_active`] (optionally profiled), and —
+    /// when `reuse` is true and [`ThreadConfig::list_reuse`] is on — walking
+    /// the tree frozen by the previous call instead of rebuilding, replaying
+    /// each scheduled leaf's cached interaction list when its members still
+    /// sit inside the frozen bucket. With `reuse` false (or the feature off)
+    /// this is exactly the rebuild path, bit for bit.
+    pub fn compute_forces_substep(
+        &mut self,
+        particles: &[Particle],
+        active: &ActiveSet,
+        profiled: bool,
+        reuse: bool,
+    ) -> ForceResult {
+        self.compute(particles, profiled, Some(active), reuse)
     }
 
     fn compute(
@@ -201,13 +273,42 @@ impl ThreadSim {
         particles: &[Particle],
         profiled: bool,
         active: Option<&ActiveSet>,
+        reuse: bool,
+    ) -> ForceResult {
+        // Monomorphize the whole walk over the classifier so the batch /
+        // scalar choice costs nothing per node.
+        let mac = BarnesHutMac::new(self.config.alpha);
+        if self.config.mac_batch {
+            self.compute_with(particles, profiled, active, reuse, mac)
+        } else {
+            self.compute_with(particles, profiled, active, reuse, ScalarClassify(mac))
+        }
+    }
+
+    fn compute_with<M: GroupMac + Copy + Sync>(
+        &mut self,
+        particles: &[Particle],
+        profiled: bool,
+        active: Option<&ActiveSet>,
+        reuse: bool,
+        mac: M,
     ) -> ForceResult {
         let cfg = self.config;
         let t_origin = if profiled { bhut_obs::now() } else { 0.0 };
-        let tree = self.eval_tree(particles);
+        // A reusing substep walks the frozen tree; anything else rebuilds
+        // and bumps the generation, which evicts every cached list. A frozen
+        // tree is only trusted while the particle set keeps its cardinality.
+        let cached = (cfg.list_reuse && reuse)
+            .then(|| self.cached_tree.take())
+            .flatten()
+            .filter(|t| t.order.len() == particles.len());
+        let tree = cached.unwrap_or_else(|| {
+            self.tree_generation += 1;
+            self.eval_tree(particles)
+        });
+        let generation = self.tree_generation;
         let mtree = (cfg.degree > 0).then(|| MultipoleTree::new(&tree, particles, cfg.degree));
         let t_build_end = if profiled { bhut_obs::now() } else { 0.0 };
-        let mac = BarnesHutMac::new(cfg.alpha);
         let n = particles.len();
         // A full active set is indistinguishable from "no mask": route it
         // down the unmasked path so results stay bitwise identical to
@@ -267,17 +368,25 @@ impl ThreadSim {
                 // points delegate to this same gather + masked-eval split,
                 // so threading the mask here changes nothing when it's off.
                 let eval_leaf = |s: &mut Scratch, leaf: NodeId| -> TraversalStats {
-                    let Scratch { buf, out } = s;
-                    gather_group(&tree, particles, leaf, &mac, buf);
+                    let Scratch { buf, out, cache } = s;
+                    if cfg.list_reuse {
+                        gather_group_cached(&tree, particles, leaf, &mac, buf, cache, generation);
+                    } else {
+                        gather_group(&tree, particles, leaf, &mac, buf);
+                    }
                     if mtree.is_none() {
                         // Monopole path: flatten the mixed frontiers into
                         // per-member tail slabs so evaluation is pure slab
                         // arithmetic (the multipole path keeps its
-                        // degree-aware per-member replay).
-                        resolve_mixed_tails(&tree, particles, leaf, &mac, buf, mask);
-                    }
-                    if cfg.precision == KernelPrecision::MixedF32 {
-                        buf.prepare_f32();
+                        // degree-aware per-member replay). The vectorized
+                        // walk fuses the replays into member-lane
+                        // traversals; `mac_batch: false` pins the scalar
+                        // resolve as the reference path.
+                        if cfg.mac_batch {
+                            resolve_mixed_tails_lanes(&tree, particles, leaf, &mac, buf, mask);
+                        } else {
+                            resolve_mixed_tails(&tree, particles, leaf, &mac, buf, mask);
+                        }
                     }
                     match &mtree {
                         Some(mt) => mt.eval_gathered_masked(
@@ -306,72 +415,90 @@ impl ThreadSim {
                 };
                 // The profiled variant splits the shared walk from the
                 // batched kernels and harvests the classification counters.
-                let run_leaves =
-                    |t: usize, ids: &[NodeId], w: &mut WorkerObs| -> (u64, TraversalStats) {
-                        let mut s = scratch[t].lock().unwrap();
-                        let mut stats = TraversalStats::default();
-                        if !profiled {
-                            for &leaf in ids {
-                                stats.merge(eval_leaf(&mut s, leaf));
-                            }
-                            return (stats.interactions(), stats);
-                        }
-                        let mut c = Counters::default();
-                        // Discard lane counts a previous unprofiled run may
-                        // have left in this scratch buffer.
-                        s.buf.take_lane_counters();
+                let run_leaves = |t: usize,
+                                  ids: &[NodeId],
+                                  w: &mut WorkerObs|
+                 -> (u64, TraversalStats) {
+                    let mut s = scratch[t].lock().unwrap();
+                    // Fill the f32 mirrors during the gather itself
+                    // (instead of converting after the fact) whenever
+                    // the kernels will read them.
+                    s.buf.set_fill_f32(cfg.precision == KernelPrecision::MixedF32);
+                    let mut stats = TraversalStats::default();
+                    if !profiled {
                         for &leaf in ids {
-                            let Scratch { buf, out } = &mut *s;
-                            let t0 = bhut_obs::now();
+                            stats.merge(eval_leaf(&mut s, leaf));
+                        }
+                        return (stats.interactions(), stats);
+                    }
+                    let mut c = Counters::default();
+                    // Discard lane counts and cache stats a previous
+                    // unprofiled run may have left in this scratch.
+                    s.buf.take_lane_counters();
+                    let _ = s.cache.take_stats();
+                    for &leaf in ids {
+                        let Scratch { buf, out, cache } = &mut *s;
+                        let t0 = bhut_obs::now();
+                        if cfg.list_reuse {
+                            gather_group_cached(
+                                &tree, particles, leaf, &mac, buf, cache, generation,
+                            );
+                        } else {
                             gather_group(&tree, particles, leaf, &mac, buf);
-                            if mtree.is_none() {
+                        }
+                        if mtree.is_none() {
+                            if cfg.mac_batch {
+                                resolve_mixed_tails_lanes(&tree, particles, leaf, &mac, buf, mask);
+                            } else {
                                 resolve_mixed_tails(&tree, particles, leaf, &mac, buf, mask);
                             }
-                            if cfg.precision == KernelPrecision::MixedF32 {
-                                buf.prepare_f32();
-                            }
-                            let t1 = bhut_obs::now();
-                            let st = match &mtree {
-                                Some(mt) => mt.eval_gathered_masked(
-                                    &tree,
-                                    particles,
-                                    leaf,
-                                    &mac,
-                                    cfg.eps,
-                                    cfg.precision,
-                                    buf,
-                                    mask,
-                                    |pi, phi, acc, it| out.push((pi, phi, acc, it)),
-                                ),
-                                None => eval_gathered_monopole_masked(
-                                    &tree,
-                                    particles,
-                                    leaf,
-                                    &mac,
-                                    cfg.eps,
-                                    cfg.precision,
-                                    buf,
-                                    mask,
-                                    |pi, phi, acc, it| out.push((pi, phi, acc, it)),
-                                ),
-                            };
-                            w.walk_s += t1 - t0;
-                            w.kernel_s += bhut_obs::now() - t1;
-                            c.p2p += st.p2p;
-                            c.m2p += st.p2n;
-                            c.mac_tests += st.mac_tests;
-                            c.nodes_opened += buf.nodes_opened;
-                            c.group_accept += buf.node_ids.len() as u64;
-                            c.group_reject += buf.class_reject;
-                            c.group_mixed += buf.mixed.len() as u64;
-                            let (lane_slots, lane_useful) = buf.take_lane_counters();
-                            c.lane_slots += lane_slots;
-                            c.lane_useful += lane_useful;
-                            stats.merge(st);
                         }
-                        counters[t].add(&c);
-                        (stats.interactions(), stats)
-                    };
+                        let t1 = bhut_obs::now();
+                        let st = match &mtree {
+                            Some(mt) => mt.eval_gathered_masked(
+                                &tree,
+                                particles,
+                                leaf,
+                                &mac,
+                                cfg.eps,
+                                cfg.precision,
+                                buf,
+                                mask,
+                                |pi, phi, acc, it| out.push((pi, phi, acc, it)),
+                            ),
+                            None => eval_gathered_monopole_masked(
+                                &tree,
+                                particles,
+                                leaf,
+                                &mac,
+                                cfg.eps,
+                                cfg.precision,
+                                buf,
+                                mask,
+                                |pi, phi, acc, it| out.push((pi, phi, acc, it)),
+                            ),
+                        };
+                        w.walk_s += t1 - t0;
+                        w.kernel_s += bhut_obs::now() - t1;
+                        c.p2p += st.p2p;
+                        c.m2p += st.p2n;
+                        c.mac_tests += st.mac_tests;
+                        c.nodes_opened += buf.nodes_opened;
+                        c.group_accept += buf.node_ids.len() as u64;
+                        c.group_reject += buf.class_reject;
+                        c.group_mixed += buf.mixed.len() as u64;
+                        let (lane_slots, lane_useful) = buf.take_lane_counters();
+                        c.lane_slots += lane_slots;
+                        c.lane_useful += lane_useful;
+                        stats.merge(st);
+                    }
+                    let (hits, misses) = s.cache.take_stats();
+                    c.list_hits += hits;
+                    c.list_misses += misses;
+                    c.list_bytes += s.cache.bytes() as u64;
+                    counters[t].add(&c);
+                    (stats.interactions(), stats)
+                };
                 let run_span = |t: usize, ids: &[NodeId]| -> (u64, TraversalStats, WorkerObs) {
                     let mut w = WorkerObs::default();
                     if profiled {
@@ -537,6 +664,10 @@ impl ThreadSim {
             s.buf.maybe_shrink();
         }
         self.prev_work = Some(work);
+        // Freeze the tree for the next fine-rung substep to replay against.
+        if cfg.list_reuse {
+            self.cached_tree = Some(tree);
+        }
 
         let profile = profiled.then(|| {
             let mut prof = StepProfile::new(cfg.threads);
@@ -1004,6 +1135,209 @@ mod tests {
             assert_eq!(plain.potentials[i], prof.potentials[i]);
         }
         assert!(prof.profile.is_some());
+    }
+
+    /// The batch classifiers and the scalar trait-default classification
+    /// must make identical decisions, so the two walks (and every force)
+    /// are bitwise-equal — this is the executor-level pin for the
+    /// `force-scalar` fallback.
+    #[test]
+    fn scalar_mac_classification_is_bitwise_identical() {
+        let set = plummer(PlummerSpec { n: 900, seed: 31, ..Default::default() });
+        for degree in [0u32, 2] {
+            let run = |mac_batch: bool| {
+                let mut sim = ThreadSim::new(ThreadConfig {
+                    degree,
+                    mac_batch,
+                    ..config(3, Partitioning::MortonZones)
+                });
+                sim.compute_forces(&set.particles)
+            };
+            let batched = run(true);
+            let scalar = run(false);
+            assert_eq!(batched.stats, scalar.stats, "degree {degree}");
+            for i in 0..set.len() {
+                assert_eq!(batched.accels[i], scalar.accels[i], "degree {degree} particle {i}");
+                assert_eq!(batched.potentials[i], scalar.potentials[i]);
+            }
+        }
+    }
+
+    /// Small deterministic position drift, like a leapfrog substep's.
+    fn drift(particles: &mut [Particle], k: u64) {
+        for (i, p) in particles.iter_mut().enumerate() {
+            let s = 1e-5 * ((i as u64 * 37 + k * 101) % 13) as f64;
+            p.pos += Vec3::new(s, -0.5 * s, 0.25 * s);
+        }
+    }
+
+    fn assert_results_bitwise(a: &ForceResult, b: &ForceResult, ctx: &str) {
+        assert_eq!(a.stats, b.stats, "{ctx}: stats");
+        assert_eq!(a.accels.len(), b.accels.len());
+        for i in 0..a.accels.len() {
+            assert_eq!(a.accels[i], b.accels[i], "{ctx}: accel {i}");
+            assert_eq!(a.potentials[i], b.potentials[i], "{ctx}: potential {i}");
+        }
+    }
+
+    /// List replay on frozen-tree substeps must be bitwise-invisible: a sim
+    /// whose caches can hold lists and one whose caches are budgeted to zero
+    /// (every gather re-walks the same frozen tree) produce identical
+    /// forces, while the profile shows the first actually replaying.
+    #[test]
+    fn list_reuse_substeps_are_bitwise_identical_to_cache_free() {
+        let set = plummer(PlummerSpec { n: 700, seed: 33, ..Default::default() });
+        let mk = || {
+            ThreadSim::new(ThreadConfig {
+                list_reuse: true,
+                ..config(2, Partitioning::MortonZones)
+            })
+        };
+        let mut a = mk();
+        let mut b = mk();
+        b.set_walk_cache_budget(0);
+        let mut pa = set.particles.clone();
+        let mut pb = set.particles.clone();
+        let full = ActiveSet::all(set.len());
+        let ra = a.compute_forces_substep(&pa, &full, true, false);
+        let rb = b.compute_forces_substep(&pb, &full, true, false);
+        assert_results_bitwise(&ra, &rb, "full step");
+        let prof = ra.profile.as_ref().unwrap();
+        assert_eq!(prof.totals.list_hits, 0, "a fresh generation cannot hit");
+        assert!(prof.totals.list_misses > 0);
+        assert!(prof.totals.list_bytes > 0, "the full step fills the caches");
+        for sub in 0..3u64 {
+            drift(&mut pa, sub);
+            drift(&mut pb, sub);
+            let m: Vec<bool> = (0..set.len()).map(|i| i % 3 == sub as usize).collect();
+            let act = ActiveSet::from_mask(m);
+            let ra = a.compute_forces_substep(&pa, &act, true, true);
+            let rb = b.compute_forces_substep(&pb, &act, true, true);
+            assert_results_bitwise(&ra, &rb, &format!("substep {sub}"));
+            let pa = ra.profile.as_ref().unwrap();
+            let pb = rb.profile.as_ref().unwrap();
+            assert!(pa.totals.list_hits > 0, "substep {sub} must replay cached lists");
+            assert_eq!(pb.totals.list_hits, 0, "a zero-budget cache can never hit");
+            assert_eq!(pb.totals.list_bytes, 0);
+            assert!(pa.totals.list_hit_rate() > 0.5, "substep {sub}");
+        }
+    }
+
+    /// A rebuild (any non-reusing computation) bumps the tree generation,
+    /// which must evict every cached list: the next sweep misses everywhere.
+    /// Static blocks keep the leaf→thread assignment stable across calls, so
+    /// within one generation a repeated full sweep is a pure replay.
+    #[test]
+    fn rebuild_evicts_executor_list_caches() {
+        let set = plummer(PlummerSpec { n: 600, seed: 35, ..Default::default() });
+        let mut sim = ThreadSim::new(ThreadConfig {
+            list_reuse: true,
+            ..config(2, Partitioning::StaticBlocks)
+        });
+        let full = ActiveSet::all(set.len());
+        let r = sim.compute_forces_substep(&set.particles, &full, true, false);
+        let p = r.profile.unwrap();
+        assert!(p.totals.list_misses > 0 && p.totals.list_hits == 0);
+        // Frozen-tree substep, positions unchanged: pure replay.
+        let r = sim.compute_forces_substep(&set.particles, &full, true, true);
+        let p = r.profile.unwrap();
+        assert!(p.totals.list_hits > 0 && p.totals.list_misses == 0);
+        // A full step rebuilds: generation bump, every gather misses again.
+        let r = sim.compute_forces_substep(&set.particles, &full, true, false);
+        let p = r.profile.unwrap();
+        assert!(p.totals.list_misses > 0 && p.totals.list_hits == 0, "rebuild must evict");
+        // And purging is as good as a rebuild.
+        let _ = sim.compute_forces_substep(&set.particles, &full, false, true);
+        sim.purge_walk_caches();
+        let r = sim.compute_forces_substep(&set.particles, &full, true, true);
+        let p = r.profile.unwrap();
+        assert_eq!(p.totals.list_hits, 0, "purged caches cannot hit");
+    }
+
+    /// Reuse silently degrades to a rebuild when it would be unsound: a
+    /// particle set of a different cardinality cannot walk the frozen tree.
+    #[test]
+    fn reuse_with_changed_cardinality_rebuilds() {
+        let set = plummer(PlummerSpec { n: 500, seed: 37, ..Default::default() });
+        let mut sim = ThreadSim::new(ThreadConfig {
+            list_reuse: true,
+            ..config(2, Partitioning::MortonZones)
+        });
+        let _ = sim.compute_forces(&set.particles);
+        let fewer = &set.particles[..400];
+        let active = ActiveSet::all(fewer.len());
+        let r = sim.compute_forces_substep(fewer, &active, true, true);
+        assert_eq!(r.accels.len(), 400);
+        let p = r.profile.as_ref().unwrap();
+        assert_eq!(p.totals.list_hits, 0, "a rebuilt generation cannot hit");
+        // Against a fresh sim on the same input: identical.
+        let mut fresh = ThreadSim::new(ThreadConfig {
+            list_reuse: true,
+            ..config(2, Partitioning::MortonZones)
+        });
+        let want = fresh.compute_forces(fewer);
+        assert_results_bitwise(&r, &want, "degraded reuse");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        /// The ISSUE's invalidation contract: ANY sequence of {rebuild,
+        /// substep, mask change, precision change} yields forces
+        /// bitwise-identical to the cache-disabled path, with generation
+        /// bumps always evicting (checked by mirroring every op on a sim
+        /// whose caches never hold anything).
+        #[test]
+        fn cached_sequences_match_cache_free_bitwise(
+            ops in proptest::collection::vec(0u8..4, 1..10),
+            seed in 0u64..1_000,
+        ) {
+            let set = plummer(PlummerSpec { n: 250, seed: seed.wrapping_add(7), ..Default::default() });
+            let mk = || {
+                ThreadSim::new(ThreadConfig {
+                    list_reuse: true,
+                    ..config(2, Partitioning::MortonZones)
+                })
+            };
+            let mut a = mk();
+            let mut b = mk();
+            b.set_walk_cache_budget(0);
+            let mut pa = set.particles.clone();
+            let mut pb = set.particles.clone();
+            let mut mask: Vec<bool> = (0..set.len()).map(|i| i % 2 == 0).collect();
+            for (k, &op) in ops.iter().enumerate() {
+                match op {
+                    // Rebuild: a full step, generation bump, caches evicted.
+                    0 => {
+                        let ra = a.compute_forces(&pa);
+                        let rb = b.compute_forces(&pb);
+                        assert_results_bitwise(&ra, &rb, &format!("op {k}: rebuild"));
+                    }
+                    // Substep: drift, then a frozen-tree masked evaluation.
+                    1 => {
+                        drift(&mut pa, k as u64);
+                        drift(&mut pb, k as u64);
+                        let act = ActiveSet::from_mask(mask.clone());
+                        let ra = a.compute_forces_substep(&pa, &act, false, true);
+                        let rb = b.compute_forces_substep(&pb, &act, false, true);
+                        assert_results_bitwise(&ra, &rb, &format!("op {k}: substep"));
+                    }
+                    // Mask change: rotate which third is active.
+                    2 => {
+                        mask = (0..set.len()).map(|i| (i + k) % 3 != 0).collect();
+                    }
+                    // Precision change: cached lists are precision-blind.
+                    _ => {
+                        let next = match a.config.precision {
+                            KernelPrecision::MixedF32 => KernelPrecision::F64,
+                            _ => KernelPrecision::MixedF32,
+                        };
+                        a.config.precision = next;
+                        b.config.precision = next;
+                    }
+                }
+            }
+        }
     }
 
     #[test]

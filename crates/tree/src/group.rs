@@ -30,14 +30,16 @@ use crate::kernel::{
     accel_slab_m2p_f32, accel_slab_m2p_f64, accel_slab_member_f64, accel_slab_p2p_f32,
     accel_slab_p2p_f64, SlabView,
 };
-use crate::mac::{GroupClass, GroupMac};
-use crate::node::{NodeId, Tree, NIL};
+use crate::mac::{GroupClass, GroupMac, Mac};
+use crate::mac_simd::NodeBatch;
+use crate::node::{Node, NodeId, Tree, NIL};
 use crate::traverse::{
     accel_kernel, for_each_interaction_from, potential_kernel, Interaction, TraversalStats,
 };
 use bhut_geom::{Aabb, Particle, Vec3};
 use bhut_simd::{AlignedF32Slab, AlignedF64Slab, AlignedU32Slab, KernelPrecision, PAD_MULTIPLE};
 use std::cell::Cell;
+use std::collections::HashMap;
 
 /// Below this many elements, slab capacity is noise — the shrink policy
 /// never releases it.
@@ -118,14 +120,55 @@ pub struct InteractionBuffers {
     pmass32: AlignedF32Slab,
     /// Whether the f32 mirrors reflect the current slab contents.
     f32_ready: bool,
+    /// Sticky mode bit: when set, [`gather_group`] fills the f32 mirrors
+    /// *during* the gather (one `as f32` per pushed source) instead of
+    /// requiring a whole-slab [`InteractionBuffers::prepare_f32`] conversion
+    /// pass afterwards. Identical mirror contents either way — the executor
+    /// sets this for [`KernelPrecision::MixedF32`] so the mixed mode helps
+    /// the walk phase too.
+    fill_f32: bool,
+    /// Per-lane accumulators for [`resolve_mixed_tails_lanes`]: one
+    /// `[x, y, z, mass]` list per member lane, reused across leaves.
+    lane_scratch: Vec<Vec<[f64; 4]>>,
     /// Largest P2P / M2P slab fills since the last shrink window, recorded
     /// by [`InteractionBuffers::clear`].
     hwm_p2p: usize,
     hwm_m2p: usize,
     /// Largest tail fill since the last shrink window.
     hwm_tail: usize,
-    /// DFS stack, kept to avoid reallocation.
-    stack: Vec<NodeId>,
+    /// DFS stack of pre-classified nodes, kept to avoid reallocation.
+    stack: Vec<WalkEntry>,
+}
+
+/// One pre-classified stack entry of the batched walk: everything the pop
+/// needs (class, population, slab payload) is captured when the node's
+/// *parent* is opened, so consuming an entry touches the node array again
+/// only to open it further.
+#[derive(Debug, Clone, Copy)]
+struct WalkEntry {
+    id: NodeId,
+    /// `node.start` — with `count`, locates `tree.order[start..start+count]`.
+    start: u32,
+    count: u32,
+    class: GroupClass,
+    is_leaf: bool,
+    com: Vec3,
+    mass: f64,
+}
+
+impl WalkEntry {
+    #[inline(always)]
+    fn new(id: NodeId, node: &Node, class: GroupClass) -> Self {
+        WalkEntry {
+            id,
+            start: node.start,
+            count: node.count(),
+            class,
+            is_leaf: node.is_leaf(),
+            com: node.com,
+            mass: node.mass,
+        }
+    }
 }
 
 /// One member's resolved mixed-frontier segment in the tail slabs, plus the
@@ -172,6 +215,24 @@ impl InteractionBuffers {
         self.nodes_opened = 0;
         self.self_in_p2p = false;
         self.f32_ready = false;
+        if self.fill_f32 {
+            self.com_x32.clear();
+            self.com_y32.clear();
+            self.com_z32.clear();
+            self.node_mass32.clear();
+            self.px32.clear();
+            self.py32.clear();
+            self.pz32.clear();
+            self.pmass32.clear();
+        }
+    }
+
+    /// Fill the f32 mirrors during the gather itself (see the field doc).
+    /// Takes effect at the next [`InteractionBuffers::clear`]; a later
+    /// [`InteractionBuffers::prepare_f32`] still works and overwrites the
+    /// mirrors with identical contents.
+    pub fn set_fill_f32(&mut self, on: bool) {
+        self.fill_f32 = on;
     }
 
     fn push_node(&mut self, id: NodeId, com: Vec3, mass: f64) {
@@ -180,6 +241,12 @@ impl InteractionBuffers {
         self.com_y.push(com.y);
         self.com_z.push(com.z);
         self.node_mass.push(mass);
+        if self.fill_f32 {
+            self.com_x32.push(com.x as f32);
+            self.com_y32.push(com.y as f32);
+            self.com_z32.push(com.z as f32);
+            self.node_mass32.push(mass as f32);
+        }
     }
 
     fn push_particle(&mut self, p: &Particle) {
@@ -188,6 +255,12 @@ impl InteractionBuffers {
         self.pz.push(p.pos.z);
         self.pmass.push(p.mass);
         self.pid.push(p.id);
+        if self.fill_f32 {
+            self.px32.push(p.pos.x as f32);
+            self.py32.push(p.pos.y as f32);
+            self.pz32.push(p.pos.z as f32);
+            self.pmass32.push(p.mass as f32);
+        }
     }
 
     /// Pad every slab to [`PAD_MULTIPLE`] with zero-mass sentinels
@@ -204,6 +277,20 @@ impl InteractionBuffers {
         self.pz.pad_to(PAD_MULTIPLE, 0.0);
         self.pmass.pad_to(PAD_MULTIPLE, 0.0);
         self.pid.pad_to(PAD_MULTIPLE, u32::MAX);
+        if self.fill_f32 {
+            // The f64 sentinels are 0.0, and `0.0f64 as f32 == 0.0f32`, so
+            // the gathered mirrors end up bitwise-equal to what
+            // [`InteractionBuffers::prepare_f32`] would build.
+            self.com_x32.pad_to(PAD_MULTIPLE, 0.0);
+            self.com_y32.pad_to(PAD_MULTIPLE, 0.0);
+            self.com_z32.pad_to(PAD_MULTIPLE, 0.0);
+            self.node_mass32.pad_to(PAD_MULTIPLE, 0.0);
+            self.px32.pad_to(PAD_MULTIPLE, 0.0);
+            self.py32.pad_to(PAD_MULTIPLE, 0.0);
+            self.pz32.pad_to(PAD_MULTIPLE, 0.0);
+            self.pmass32.pad_to(PAD_MULTIPLE, 0.0);
+            self.f32_ready = true;
+        }
     }
 
     /// Fill the f32 mirror slabs from the current (padded) f64 slabs.
@@ -474,7 +561,201 @@ pub fn gather_group(
     }
     let bucket = Aabb::bounding(members.iter().map(|&pi| particles[pi as usize].pos))
         .expect("non-empty member set");
-    walk_bucket(tree, particles, &bucket, Some(leaf), mac, buf);
+    walk_bucket(tree, particles, &bucket, Some(leaf), mac, buf, None);
+    members.len()
+}
+
+/// A leaf bucket's classification outcome, frozen for replay: the accepted
+/// node ids, the ids of nodes whose particles went to the P2P slab (in walk
+/// order), the mixed roots, and the walk's counters. Slab *contents* are
+/// re-read from the tree and particle array at replay time, so a cached
+/// list never holds stale coordinates.
+#[derive(Debug, Clone, Default)]
+struct CachedList {
+    node_ids: Vec<NodeId>,
+    direct: Vec<NodeId>,
+    mixed: Vec<NodeId>,
+    self_in_p2p: bool,
+    shared_mac_tests: u64,
+    class_reject: u64,
+    nodes_opened: u64,
+}
+
+impl CachedList {
+    fn bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + std::mem::size_of::<NodeId>()
+                * (self.node_ids.capacity() + self.direct.capacity() + self.mixed.capacity())
+    }
+}
+
+/// Default per-cache memory budget (per worker thread): stop inserting new
+/// lists once this many bytes of cached ids are held. Hits keep replaying;
+/// uncached leaves fall back to a fresh walk.
+pub const WALK_CACHE_DEFAULT_BUDGET: usize = 64 << 20;
+
+/// Per-worker cache of frozen interaction lists for [`gather_group_cached`],
+/// keyed on leaf id and pinned to one tree *generation* — a counter the
+/// caller bumps on every rebuild. Any generation change evicts everything
+/// (the node ids of the old tree mean nothing in the new one).
+#[derive(Debug)]
+pub struct WalkCache {
+    generation: u64,
+    map: HashMap<NodeId, CachedList>,
+    bytes: usize,
+    budget: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for WalkCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WalkCache {
+    pub fn new() -> Self {
+        WalkCache {
+            generation: 0,
+            map: HashMap::new(),
+            bytes: 0,
+            budget: WALK_CACHE_DEFAULT_BUDGET,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cap the cached-id bytes (0 disables caching entirely: every gather
+    /// walks fresh, which is the reference path the bitwise tests compare
+    /// against).
+    pub fn set_budget(&mut self, bytes: usize) {
+        self.budget = bytes;
+    }
+
+    /// Pin the cache to `generation`, evicting every cached list if it
+    /// differs from the current one.
+    pub fn set_generation(&mut self, generation: u64) {
+        if self.generation != generation {
+            self.map.clear();
+            self.bytes = 0;
+            self.generation = generation;
+        }
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of cached lists.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate bytes held by cached lists.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Drop every cached list (the generation is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+    }
+
+    /// Take and zero the hit/miss counters accumulated since the last call.
+    pub fn take_stats(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.hits), std::mem::take(&mut self.misses))
+    }
+}
+
+/// [`gather_group`] with interaction-list reuse across substeps of a frozen
+/// tree.
+///
+/// The caller owns a `generation` counter that it bumps on every tree
+/// rebuild; passing it here (re-)pins `cache` to the current tree, evicting
+/// stale lists. The walk bucket is chosen *deterministically and
+/// cache-independently*: the leaf's own cell when it still contains every
+/// member's current position (the common case — under block timesteps the
+/// tree is frozen across substeps and members drift only slightly), else
+/// the tight bounding box as in [`gather_group`]. Because the bucket choice
+/// never depends on cache state, replaying a cached list refills the slabs
+/// *bitwise-identically* to re-walking — same nodes, same order, same
+/// current-coordinate payloads — which is what the cache-disabled
+/// equivalence proptests pin down.
+///
+/// Members that drifted outside their frozen leaf cell take the uncached
+/// tight-bucket walk (counted as a miss, never inserted): the cell no
+/// longer bounds them, so neither the cached list nor the leaf-cell bucket
+/// is valid for them.
+pub fn gather_group_cached(
+    tree: &Tree,
+    particles: &[Particle],
+    leaf: NodeId,
+    mac: &impl GroupMac,
+    buf: &mut InteractionBuffers,
+    cache: &mut WalkCache,
+    generation: u64,
+) -> usize {
+    cache.set_generation(generation);
+    buf.clear();
+    if tree.is_empty() {
+        return 0;
+    }
+    let members = tree.particles_under(leaf);
+    if members.is_empty() {
+        return 0;
+    }
+    let cell = &tree.node(leaf).cell;
+    let in_cell = members.iter().all(|&pi| cell.contains(particles[pi as usize].pos));
+    if !in_cell {
+        // Drifted out of the frozen cell: fall back to the tight bucket,
+        // uncached (identical to what a cache-free run would do here).
+        cache.misses += 1;
+        let bucket = Aabb::bounding(members.iter().map(|&pi| particles[pi as usize].pos))
+            .expect("non-empty member set");
+        walk_bucket(tree, particles, &bucket, Some(leaf), mac, buf, None);
+        return members.len();
+    }
+    if let Some(list) = cache.map.get(&leaf) {
+        cache.hits += 1;
+        for &id in &list.node_ids {
+            let n = tree.node(id);
+            buf.push_node(id, n.com, n.mass);
+        }
+        for &d in &list.direct {
+            for &pi in tree.particles_under(d) {
+                buf.push_particle(&particles[pi as usize]);
+            }
+        }
+        buf.mixed.extend_from_slice(&list.mixed);
+        buf.self_in_p2p = list.self_in_p2p;
+        buf.shared_mac_tests = list.shared_mac_tests;
+        buf.class_reject = list.class_reject;
+        buf.nodes_opened = list.nodes_opened;
+        buf.pad();
+        return members.len();
+    }
+    cache.misses += 1;
+    let mut direct = Vec::new();
+    walk_bucket(tree, particles, cell, Some(leaf), mac, buf, Some(&mut direct));
+    if cache.bytes < cache.budget {
+        let list = CachedList {
+            node_ids: buf.node_ids.clone(),
+            direct,
+            mixed: buf.mixed.clone(),
+            self_in_p2p: buf.self_in_p2p,
+            shared_mac_tests: buf.shared_mac_tests,
+            class_reject: buf.class_reject,
+            nodes_opened: buf.nodes_opened,
+        };
+        cache.bytes += list.bytes();
+        cache.map.insert(leaf, list);
+    }
     members.len()
 }
 
@@ -504,12 +785,23 @@ pub fn gather_group_targets(
     if tree.is_empty() {
         return;
     }
-    walk_bucket(tree, particles, bucket, None, mac, buf);
+    walk_bucket(tree, particles, bucket, None, mac, buf, None);
 }
 
 /// The classification walk shared by [`gather_group`] (bucket = a leaf's
-/// members, `self_leaf = Some`) and [`gather_group_targets`] (bucket = a
-/// batch of query points, `self_leaf = None`). Fills and pads `buf`.
+/// members, `self_leaf = Some`), [`gather_group_targets`] (bucket = a batch
+/// of query points, `self_leaf = None`), and [`gather_group_cached`] misses
+/// (`record = Some`: collects the ids of nodes whose particles were pushed
+/// to the P2P slab, in push order, for replay). Fills and pads `buf`.
+///
+/// Nodes are classified *in batch* when their parent is opened
+/// ([`GroupMac::classify_batch`] — up to all 8 children per call, SIMD on
+/// the concrete MACs), and consumed from the stack with their stored class.
+/// Children are pushed in reverse so pops process them in forward order:
+/// traversal order, slab fill order, and every counter are exactly those of
+/// the one-classify-per-pop scalar walk, and the batch classifiers are
+/// decision-bitwise-identical — so f64 forces are unchanged down to the
+/// bit.
 fn walk_bucket(
     tree: &Tree,
     particles: &[Particle],
@@ -517,52 +809,93 @@ fn walk_bucket(
     self_leaf: Option<NodeId>,
     mac: &impl GroupMac,
     buf: &mut InteractionBuffers,
+    mut record: Option<&mut Vec<NodeId>>,
 ) {
     let mut stack = std::mem::take(&mut buf.stack);
     stack.clear();
-    stack.push(0);
-    while let Some(id) = stack.pop() {
-        let node = tree.node(id);
-        let count = node.count();
-        if count == 0 {
+    {
+        let root = tree.node(0);
+        // The class of count ≤ 1 entries is never read; Mixed is a harmless
+        // placeholder.
+        let class = if root.count() >= 2 {
+            mac.classify(&root.cell, root.com, bucket)
+        } else {
+            GroupClass::Mixed
+        };
+        stack.push(WalkEntry::new(0, root, class));
+    }
+    let mut batch = NodeBatch::new();
+    while let Some(e) = stack.pop() {
+        if e.count == 0 {
             continue;
         }
-        if count == 1 {
+        if e.count == 1 {
             // Same special case as the per-particle walk: singletons skip
             // the MAC and interact directly.
-            let pi = tree.order[node.start as usize];
+            let pi = tree.order[e.start as usize];
             buf.push_particle(&particles[pi as usize]);
-            if Some(id) == self_leaf {
+            if let Some(rec) = record.as_deref_mut() {
+                rec.push(e.id);
+            }
+            if Some(e.id) == self_leaf {
                 buf.self_in_p2p = true;
             }
             continue;
         }
-        match mac.classify(&node.cell, node.com, bucket) {
+        match e.class {
             GroupClass::AcceptAll => {
                 buf.shared_mac_tests += 1;
-                buf.push_node(id, node.com, node.mass);
+                buf.push_node(e.id, e.com, e.mass);
             }
             GroupClass::RejectAll => {
                 buf.shared_mac_tests += 1;
                 buf.class_reject += 1;
-                if node.is_leaf() {
-                    for &pi in tree.particles_under(id) {
+                if e.is_leaf {
+                    for &pi in &tree.order[e.start as usize..(e.start + e.count) as usize] {
                         buf.push_particle(&particles[pi as usize]);
                     }
-                    if Some(id) == self_leaf {
+                    if let Some(rec) = record.as_deref_mut() {
+                        rec.push(e.id);
+                    }
+                    if Some(e.id) == self_leaf {
                         buf.self_in_p2p = true;
                     }
                 } else {
                     buf.nodes_opened += 1;
-                    for &c in node.children.iter().rev() {
-                        if c != NIL {
-                            stack.push(c);
+                    let node = tree.node(e.id);
+                    // Pack the non-NIL children; batch-classify the
+                    // non-singleton ones in one MAC call.
+                    batch.clear();
+                    let mut kids: [WalkEntry; 8] = [e; 8];
+                    let mut nk = 0usize;
+                    for &c in node.children.iter() {
+                        if c == NIL {
+                            continue;
                         }
+                        let ch = tree.node(c);
+                        if ch.count() >= 2 {
+                            batch.push(&ch.cell, ch.com);
+                        }
+                        kids[nk] = WalkEntry::new(c, ch, GroupClass::Mixed);
+                        nk += 1;
+                    }
+                    if !batch.is_empty() {
+                        let classes = mac.classify_batch(&batch, bucket);
+                        let mut bi = 0usize;
+                        for k in kids[..nk].iter_mut() {
+                            if k.count >= 2 {
+                                k.class = classes[bi];
+                                bi += 1;
+                            }
+                        }
+                    }
+                    for k in kids[..nk].iter().rev() {
+                        stack.push(*k);
                     }
                 }
             }
             GroupClass::Mixed => {
-                buf.mixed.push(id);
+                buf.mixed.push(e.id);
             }
         }
     }
@@ -642,6 +975,184 @@ pub fn resolve_mixed_tails(
         }
         buf.tails.push(span);
     }
+    buf.mixed = mixed;
+    buf.tails_ready = true;
+}
+
+/// One stack entry of the member-lane mixed replay: a node plus the set of
+/// lanes (bit `l` = member lane `l`) that still descend through it.
+#[derive(Clone, Copy)]
+struct MultiEntry {
+    id: NodeId,
+    mask: u8,
+}
+
+/// Replay the mixed frontier under `root` for up to 8 members in one
+/// traversal.
+///
+/// Per lane this makes exactly the decisions of
+/// [`for_each_interaction_from`]`(tree, root, …, pts[l], Some(skips[l]),
+/// mac, …)` — the same [`Mac::accept`] call on the same operands — but a
+/// node shared by several members' walks is fetched and expanded once, with
+/// a lane bitmask tracking who still descends. A lane that accepts a node
+/// records the interaction and drops out of the subtree; the subtree is
+/// opened only for the lanes that rejected. Each lane's emitted sequence is
+/// its own depth-first order, so accumulating per lane and concatenating in
+/// member order reproduces the scalar replay bit for bit — interactions,
+/// order, and [`TraversalStats`] alike.
+#[allow(clippy::too_many_arguments)] // per-lane inputs are separate slices by design
+fn walk_mixed_multi(
+    tree: &Tree,
+    root: NodeId,
+    particles: &[Particle],
+    pts: &[Vec3],
+    skips: &[u32],
+    mac: &impl Mac,
+    init_mask: u8,
+    acc: &mut [Vec<[f64; 4]>],
+    stats: &mut [TraversalStats; 8],
+) {
+    debug_assert!(pts.len() <= 8 && pts.len() == skips.len());
+    if init_mask == 0 {
+        return;
+    }
+    let mut stack: Vec<MultiEntry> = vec![MultiEntry { id: root, mask: init_mask }];
+    while let Some(e) = stack.pop() {
+        let node = tree.node(e.id);
+        let count = node.count();
+        if count == 0 {
+            continue;
+        }
+        if count == 1 {
+            let pi = tree.order[node.start as usize];
+            let q = &particles[pi as usize];
+            let mut m = e.mask;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if q.id != skips[l] {
+                    stats[l].p2p += 1;
+                    acc[l].push([q.pos.x, q.pos.y, q.pos.z, q.mass]);
+                }
+            }
+            continue;
+        }
+        let mut reject: u8 = 0;
+        let mut m = e.mask;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            stats[l].mac_tests += 1;
+            if mac.accept(&node.cell, node.com, pts[l]) {
+                stats[l].p2n += 1;
+                acc[l].push([node.com.x, node.com.y, node.com.z, node.mass]);
+            } else {
+                reject |= 1 << l;
+            }
+        }
+        if reject == 0 {
+            continue;
+        }
+        if node.is_leaf() {
+            for &pi in tree.particles_under(e.id) {
+                let q = &particles[pi as usize];
+                let mut m = reject;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if q.id != skips[l] {
+                        stats[l].p2p += 1;
+                        acc[l].push([q.pos.x, q.pos.y, q.pos.z, q.mass]);
+                    }
+                }
+            }
+        } else {
+            for &c in node.children.iter().rev() {
+                if c != NIL {
+                    stack.push(MultiEntry { id: c, mask: reject });
+                }
+            }
+        }
+    }
+}
+
+/// [`resolve_mixed_tails`] with the per-member replays fused into
+/// member-lane traversals: each mixed root is walked once per ≤8-member
+/// chunk instead of once per member, amortizing node fetches, stack
+/// traffic, and leaf scans across the lanes.
+///
+/// Output contract is identical to [`resolve_mixed_tails`] — tail slab
+/// contents, per-member spans, padding, and replay stats are bit-for-bit
+/// the same, because every lane makes the scalar walk's exact decisions in
+/// the scalar walk's exact order. The executor selects this variant on its
+/// vectorized-walk path (`mac_batch`) and keeps the scalar resolve as the
+/// pinned reference.
+pub fn resolve_mixed_tails_lanes(
+    tree: &Tree,
+    particles: &[Particle],
+    leaf: NodeId,
+    mac: &impl GroupMac,
+    buf: &mut InteractionBuffers,
+    active: Option<&[bool]>,
+) {
+    let members = if tree.is_empty() { &[][..] } else { tree.particles_under(leaf) };
+    buf.tails.clear();
+    let mixed = std::mem::take(&mut buf.mixed);
+    let mut scratch = std::mem::take(&mut buf.lane_scratch);
+    scratch.resize(8, Vec::new());
+    for chunk in members.chunks(8) {
+        let mut pts = [Vec3::ZERO; 8];
+        let mut skips = [u32::MAX; 8];
+        let mut init_mask = 0u8;
+        for (l, &pi) in chunk.iter().enumerate() {
+            let p = &particles[pi as usize];
+            pts[l] = p.pos;
+            skips[l] = p.id;
+            scratch[l].clear();
+            let skipped = active.is_some_and(|mask| !mask[pi as usize]);
+            if !skipped && !mixed.is_empty() {
+                init_mask |= 1 << l;
+            }
+        }
+        let mut stats = [TraversalStats::default(); 8];
+        for &root in &mixed {
+            walk_mixed_multi(
+                tree,
+                root,
+                particles,
+                &pts[..chunk.len()],
+                &skips[..chunk.len()],
+                mac,
+                init_mask,
+                &mut scratch,
+                &mut stats,
+            );
+        }
+        for (l, &pi) in chunk.iter().enumerate() {
+            let start = buf.tail_x.len() as u32;
+            let mut span = TailSpan { start, end: start, ..TailSpan::default() };
+            let skipped = active.is_some_and(|mask| !mask[pi as usize]);
+            if !skipped && !mixed.is_empty() {
+                for src in &scratch[l] {
+                    buf.tail_x.push(src[0]);
+                    buf.tail_y.push(src[1]);
+                    buf.tail_z.push(src[2]);
+                    buf.tail_m.push(src[3]);
+                }
+                span.stats = stats[l];
+                span.len = buf.tail_x.len() as u32 - start;
+                while !buf.tail_x.len().is_multiple_of(PAD_MULTIPLE) {
+                    buf.tail_x.push(0.0);
+                    buf.tail_y.push(0.0);
+                    buf.tail_z.push(0.0);
+                    buf.tail_m.push(0.0);
+                }
+                span.end = buf.tail_x.len() as u32;
+            }
+            buf.tails.push(span);
+        }
+    }
+    buf.lane_scratch = scratch;
     buf.mixed = mixed;
     buf.tails_ready = true;
 }
@@ -1817,5 +2328,377 @@ mod tests {
         );
         assert_eq!(calls, 1);
         assert_eq!(st.interactions(), 0);
+    }
+
+    /// Every observable of two gathers must match bitwise: slab contents
+    /// (logical and padding), ids, counters, flags.
+    fn assert_buffers_bitwise(a: &InteractionBuffers, b: &InteractionBuffers, ctx: &str) {
+        assert_eq!(a.node_ids, b.node_ids, "{ctx}: node_ids");
+        assert_eq!(a.com_x.padded(), b.com_x.padded(), "{ctx}: com_x");
+        assert_eq!(a.com_y.padded(), b.com_y.padded(), "{ctx}: com_y");
+        assert_eq!(a.com_z.padded(), b.com_z.padded(), "{ctx}: com_z");
+        assert_eq!(a.node_mass.padded(), b.node_mass.padded(), "{ctx}: node_mass");
+        assert_eq!(a.px.padded(), b.px.padded(), "{ctx}: px");
+        assert_eq!(a.py.padded(), b.py.padded(), "{ctx}: py");
+        assert_eq!(a.pz.padded(), b.pz.padded(), "{ctx}: pz");
+        assert_eq!(a.pmass.padded(), b.pmass.padded(), "{ctx}: pmass");
+        assert_eq!(a.pid.padded(), b.pid.padded(), "{ctx}: pid");
+        assert_eq!(a.mixed, b.mixed, "{ctx}: mixed roots");
+        assert_eq!(a.shared_mac_tests, b.shared_mac_tests, "{ctx}: shared_mac_tests");
+        assert_eq!(a.class_reject, b.class_reject, "{ctx}: class_reject");
+        assert_eq!(a.nodes_opened, b.nodes_opened, "{ctx}: nodes_opened");
+        assert_eq!(a.self_in_p2p, b.self_in_p2p, "{ctx}: self_in_p2p");
+    }
+
+    /// The SIMD-batched walk must be indistinguishable from the scalar
+    /// one-classify-per-pop walk: identical slabs, counters, and (therefore)
+    /// bitwise-identical f64 forces. [`crate::mac_simd::ScalarClassify`]
+    /// keeps the trait-default scalar classification, so comparing the two
+    /// walks pins exactly the batch classifiers.
+    #[test]
+    fn batched_walk_is_bitwise_identical_to_scalar_classification() {
+        use crate::mac_simd::ScalarClassify;
+        for (seed, alpha, cap) in [(3u64, 0.67, 8), (13, 1.0, 4), (29, 0.4, 16)] {
+            let set = plummer(PlummerSpec { n: 600, seed, ..Default::default() });
+            let tree = build(&set.particles, BuildParams::with_leaf_capacity(cap));
+            let simd_mac = BarnesHutMac::new(alpha);
+            let scalar_mac = ScalarClassify(simd_mac);
+            let (mut buf_a, mut buf_b) = (InteractionBuffers::new(), InteractionBuffers::new());
+            for leaf in leaf_schedule(&tree) {
+                gather_group(&tree, &set.particles, leaf, &simd_mac, &mut buf_a);
+                gather_group(&tree, &set.particles, leaf, &scalar_mac, &mut buf_b);
+                assert_buffers_bitwise(&buf_a, &buf_b, &format!("seed {seed} leaf {leaf}"));
+                resolve_mixed_tails(&tree, &set.particles, leaf, &simd_mac, &mut buf_a, None);
+                resolve_mixed_tails(&tree, &set.particles, leaf, &scalar_mac, &mut buf_b, None);
+                let mut out_a = Vec::new();
+                eval_gathered_monopole_masked(
+                    &tree,
+                    &set.particles,
+                    leaf,
+                    &simd_mac,
+                    EPS,
+                    KernelPrecision::F64,
+                    &buf_a,
+                    None,
+                    |pi, phi, acc, it| out_a.push((pi, phi, acc, it)),
+                );
+                let mut out_b = Vec::new();
+                eval_gathered_monopole_masked(
+                    &tree,
+                    &set.particles,
+                    leaf,
+                    &scalar_mac,
+                    EPS,
+                    KernelPrecision::F64,
+                    &buf_b,
+                    None,
+                    |pi, phi, acc, it| out_b.push((pi, phi, acc, it)),
+                );
+                assert_eq!(out_a, out_b, "forces must be bitwise-identical (leaf {leaf})");
+            }
+        }
+    }
+
+    /// Drift positions a little between "substeps" of a frozen tree, the way
+    /// block timesteps do.
+    fn drift(particles: &mut [Particle], k: u64) {
+        for (i, p) in particles.iter_mut().enumerate() {
+            let s = 1e-4 * ((i as u64 * 37 + k * 101) % 13) as f64;
+            p.pos += Vec3::new(s, -0.5 * s, 0.25 * s);
+        }
+    }
+
+    /// Replaying a cached interaction list must refill the slabs
+    /// bitwise-identically to re-walking the frozen tree with the same
+    /// deterministic bucket — across substeps that drift the particles.
+    #[test]
+    fn cached_gather_replay_is_bitwise_identical_to_rewalk() {
+        let set = plummer(PlummerSpec { n: 500, seed: 51, ..Default::default() });
+        let mut particles = set.particles.clone();
+        let tree = build(&particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let mut cache = WalkCache::new();
+        // The reference cache never holds anything: budget 0 means every
+        // gather is a fresh walk with the identical bucket choice.
+        let mut no_cache = WalkCache::new();
+        no_cache.set_budget(0);
+        let (mut buf_a, mut buf_b) = (InteractionBuffers::new(), InteractionBuffers::new());
+        let generation = 1;
+        let mut hits = 0u64;
+        for substep in 0..4 {
+            for leaf in leaf_schedule(&tree) {
+                let na = gather_group_cached(
+                    &tree, &particles, leaf, &mac, &mut buf_a, &mut cache, generation,
+                );
+                let nb = gather_group_cached(
+                    &tree,
+                    &particles,
+                    leaf,
+                    &mac,
+                    &mut buf_b,
+                    &mut no_cache,
+                    generation,
+                );
+                assert_eq!(na, nb);
+                assert_buffers_bitwise(&buf_a, &buf_b, &format!("substep {substep} leaf {leaf}"));
+            }
+            let (h, _) = cache.take_stats();
+            hits += h;
+            let (h0, _) = no_cache.take_stats();
+            assert_eq!(h0, 0, "a zero-budget cache can never hit");
+            assert!(no_cache.is_empty() && no_cache.bytes() == 0);
+            drift(&mut particles, substep as u64);
+        }
+        assert!(hits > 0, "frozen-tree substeps must actually replay cached lists");
+    }
+
+    #[test]
+    fn generation_bump_always_evicts() {
+        let set = plummer(PlummerSpec { n: 300, seed: 53, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let mut cache = WalkCache::new();
+        let mut buf = InteractionBuffers::new();
+        let leaves = leaf_schedule(&tree);
+        for &leaf in &leaves {
+            gather_group_cached(&tree, &set.particles, leaf, &mac, &mut buf, &mut cache, 1);
+        }
+        assert_eq!(cache.len(), leaves.len());
+        assert!(cache.bytes() > 0);
+        let (h, m) = cache.take_stats();
+        assert_eq!((h, m), (0, leaves.len() as u64), "first sweep misses everywhere");
+        // Same generation: all hits, nothing evicted.
+        for &leaf in &leaves {
+            gather_group_cached(&tree, &set.particles, leaf, &mac, &mut buf, &mut cache, 1);
+        }
+        let (h, m) = cache.take_stats();
+        assert_eq!((h, m), (leaves.len() as u64, 0), "second sweep replays everywhere");
+        // Generation bump (a rebuild): everything evicted, sweep misses.
+        gather_group_cached(&tree, &set.particles, leaves[0], &mac, &mut buf, &mut cache, 2);
+        assert_eq!(cache.generation(), 2);
+        assert_eq!(cache.len(), 1, "old generation's lists are gone");
+        let (h, m) = cache.take_stats();
+        assert_eq!((h, m), (0, 1));
+    }
+
+    /// A member drifting *outside* its frozen leaf cell invalidates the
+    /// leaf-cell bucket; the gather must fall back to the tight bucket
+    /// (uncached) and still agree bitwise with the cache-free path.
+    #[test]
+    fn drifted_members_fall_back_to_tight_bucket() {
+        let set = plummer(PlummerSpec { n: 400, seed: 59, ..Default::default() });
+        let mut particles = set.particles.clone();
+        let tree = build(&particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let mut cache = WalkCache::new();
+        let mut buf = InteractionBuffers::new();
+        let leaves = leaf_schedule(&tree);
+        for &leaf in &leaves {
+            gather_group_cached(&tree, &particles, leaf, &mac, &mut buf, &mut cache, 1);
+        }
+        cache.take_stats();
+        // Throw the first member of the first leaf far away.
+        let leaf = leaves[0];
+        let pi = tree.particles_under(leaf)[0] as usize;
+        particles[pi].pos += Vec3::new(1e3, 1e3, 1e3);
+        let mut fresh = WalkCache::new();
+        fresh.set_budget(0);
+        let mut buf_b = InteractionBuffers::new();
+        gather_group_cached(&tree, &particles, leaf, &mac, &mut buf, &mut cache, 1);
+        gather_group_cached(&tree, &particles, leaf, &mac, &mut buf_b, &mut fresh, 1);
+        assert_buffers_bitwise(&buf, &buf_b, "drifted leaf");
+        let (h, m) = cache.take_stats();
+        assert_eq!((h, m), (0, 1), "a drifted bucket is a miss, not a stale hit");
+        // Other leaves still hit.
+        let other = leaves[leaves.len() - 1];
+        assert_ne!(other, leaf);
+        gather_group_cached(&tree, &particles, other, &mac, &mut buf, &mut cache, 1);
+        let (h, _) = cache.take_stats();
+        assert_eq!(h, 1);
+    }
+
+    /// Filling the f32 mirrors during the gather must be indistinguishable
+    /// from the two-pass `prepare_f32` conversion: identical MixedF32
+    /// evaluation results on every leaf.
+    #[test]
+    fn fill_f32_gather_matches_prepare_f32_bitwise() {
+        let set = plummer(PlummerSpec { n: 500, seed: 61, ..Default::default() });
+        let tree = build(&set.particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let mut direct = InteractionBuffers::new();
+        direct.set_fill_f32(true);
+        let mut two_pass = InteractionBuffers::new();
+        for leaf in leaf_schedule(&tree) {
+            gather_group(&tree, &set.particles, leaf, &mac, &mut direct);
+            resolve_mixed_tails(&tree, &set.particles, leaf, &mac, &mut direct, None);
+            gather_group(&tree, &set.particles, leaf, &mac, &mut two_pass);
+            resolve_mixed_tails(&tree, &set.particles, leaf, &mac, &mut two_pass, None);
+            two_pass.prepare_f32();
+            let run = |buf: &InteractionBuffers| {
+                let mut out: Vec<(u32, f64, Vec3, u64)> = Vec::new();
+                eval_gathered_monopole_masked(
+                    &tree,
+                    &set.particles,
+                    leaf,
+                    &mac,
+                    EPS,
+                    KernelPrecision::MixedF32,
+                    buf,
+                    None,
+                    |pi, phi, acc, it| out.push((pi, phi, acc, it)),
+                );
+                out
+            };
+            assert_eq!(run(&direct), run(&two_pass), "leaf {leaf}");
+        }
+        // And prepare_f32 on a fill_f32 buffer is a no-op for results.
+        let leaf = leaf_schedule(&tree)[0];
+        gather_group(&tree, &set.particles, leaf, &mac, &mut direct);
+        let (acc_a, phi_a) =
+            direct.eval_m2p(Vec3::new(0.1, 0.2, 0.3), EPS, KernelPrecision::MixedF32);
+        direct.prepare_f32();
+        let (acc_b, phi_b) =
+            direct.eval_m2p(Vec3::new(0.1, 0.2, 0.3), EPS, KernelPrecision::MixedF32);
+        assert_eq!((acc_a, phi_a), (acc_b, phi_b));
+    }
+
+    /// Deterministic sequence mirror of the executor-level proptest: any mix
+    /// of rebuilds (generation bumps), substeps (drifts), and mask changes
+    /// leaves cached and cache-disabled forces bitwise-identical.
+    #[test]
+    fn cached_eval_sequence_is_bitwise_cache_free() {
+        let set = plummer(PlummerSpec { n: 400, seed: 67, ..Default::default() });
+        let mut particles = set.particles.clone();
+        let mut tree = build(&particles, BuildParams::with_leaf_capacity(8));
+        let mac = BarnesHutMac::new(0.67);
+        let mut cache = WalkCache::new();
+        let mut no_cache = WalkCache::new();
+        no_cache.set_budget(0);
+        let (mut buf_a, mut buf_b) = (InteractionBuffers::new(), InteractionBuffers::new());
+        let mut generation = 1u64;
+        // r = rebuild, s = substep (drift), m = toggled mask on/off
+        for (step, op) in "srsmsrmssm".chars().enumerate() {
+            match op {
+                'r' => {
+                    tree = build(&particles, BuildParams::with_leaf_capacity(8));
+                    generation += 1;
+                }
+                's' => drift(&mut particles, step as u64),
+                _ => {}
+            }
+            let mask: Option<Vec<bool>> =
+                (op == 'm').then(|| (0..particles.len()).map(|i| i % 3 != step % 3).collect());
+            for leaf in leaf_schedule(&tree) {
+                let run = |buf: &mut InteractionBuffers,
+                           cache: &mut WalkCache|
+                 -> Vec<(u32, f64, Vec3, u64)> {
+                    gather_group_cached(&tree, &particles, leaf, &mac, buf, cache, generation);
+                    resolve_mixed_tails(&tree, &particles, leaf, &mac, buf, mask.as_deref());
+                    let mut out = Vec::new();
+                    eval_gathered_monopole_masked(
+                        &tree,
+                        &particles,
+                        leaf,
+                        &mac,
+                        EPS,
+                        KernelPrecision::F64,
+                        buf,
+                        mask.as_deref(),
+                        |pi, phi, acc, it| out.push((pi, phi, acc, it)),
+                    );
+                    out
+                };
+                let out_a = run(&mut buf_a, &mut cache);
+                let out_b = run(&mut buf_b, &mut no_cache);
+                assert_eq!(out_a, out_b, "step {step} op {op} leaf {leaf}");
+            }
+        }
+        let (h, _) = cache.take_stats();
+        assert!(h > 0, "the sequence must exercise actual replays");
+    }
+
+    /// The member-lane tail resolve must reproduce the scalar per-member
+    /// replay bit for bit: tail slab contents, span bounds, padding, replay
+    /// stats, and the final evaluated forces — across leaf capacities
+    /// (chunking at 8 lanes), MAC variants, and activity masks.
+    #[test]
+    fn lane_resolved_tails_match_scalar_resolve_bitwise() {
+        for (n, alpha, cap) in [(500, 0.6, 8), (700, 0.9, 16), (300, 0.4, 3)] {
+            let set = plummer(PlummerSpec { n, seed: 11 + n as u64, ..Default::default() });
+            let tree = build(&set.particles, BuildParams::with_leaf_capacity(cap));
+            let mac = BarnesHutMac::new(alpha);
+            let md = MinDistMac::new(alpha);
+            let masks: [Option<Vec<bool>>; 2] = [None, Some((0..n).map(|i| i % 3 != 1).collect())];
+            let mut buf_a = InteractionBuffers::new();
+            let mut buf_b = InteractionBuffers::new();
+            for mask in &masks {
+                for leaf in leaf_schedule(&tree) {
+                    gather_group(&tree, &set.particles, leaf, &mac, &mut buf_a);
+                    resolve_mixed_tails(
+                        &tree,
+                        &set.particles,
+                        leaf,
+                        &mac,
+                        &mut buf_a,
+                        mask.as_deref(),
+                    );
+                    gather_group(&tree, &set.particles, leaf, &mac, &mut buf_b);
+                    resolve_mixed_tails_lanes(
+                        &tree,
+                        &set.particles,
+                        leaf,
+                        &mac,
+                        &mut buf_b,
+                        mask.as_deref(),
+                    );
+                    let ctx = format!("n={n} alpha={alpha} cap={cap} leaf={leaf}");
+                    assert_eq!(buf_a.tails.len(), buf_b.tails.len(), "{ctx}");
+                    for (sa, sb) in buf_a.tails.iter().zip(&buf_b.tails) {
+                        assert_eq!(
+                            (sa.start, sa.end, sa.len, sa.stats),
+                            (sb.start, sb.end, sb.len, sb.stats),
+                            "{ctx}"
+                        );
+                    }
+                    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&buf_a.tail_x), bits(&buf_b.tail_x), "{ctx}");
+                    assert_eq!(bits(&buf_a.tail_y), bits(&buf_b.tail_y), "{ctx}");
+                    assert_eq!(bits(&buf_a.tail_z), bits(&buf_b.tail_z), "{ctx}");
+                    assert_eq!(bits(&buf_a.tail_m), bits(&buf_b.tail_m), "{ctx}");
+                    let eval = |buf: &InteractionBuffers| {
+                        let mut out = Vec::new();
+                        eval_gathered_monopole_masked(
+                            &tree,
+                            &set.particles,
+                            leaf,
+                            &mac,
+                            EPS,
+                            KernelPrecision::F64,
+                            buf,
+                            mask.as_deref(),
+                            |pi, phi, acc, it| {
+                                out.push((
+                                    pi,
+                                    phi.to_bits(),
+                                    acc.x.to_bits(),
+                                    acc.y.to_bits(),
+                                    acc.z.to_bits(),
+                                    it,
+                                ))
+                            },
+                        );
+                        out
+                    };
+                    assert_eq!(eval(&buf_a), eval(&buf_b), "{ctx}");
+                    // The MinDist MAC exercises a different accept geometry.
+                    gather_group(&tree, &set.particles, leaf, &md, &mut buf_a);
+                    resolve_mixed_tails(&tree, &set.particles, leaf, &md, &mut buf_a, None);
+                    gather_group(&tree, &set.particles, leaf, &md, &mut buf_b);
+                    resolve_mixed_tails_lanes(&tree, &set.particles, leaf, &md, &mut buf_b, None);
+                    assert_eq!(bits(&buf_a.tail_x), bits(&buf_b.tail_x), "{ctx} mindist");
+                    assert_eq!(bits(&buf_a.tail_m), bits(&buf_b.tail_m), "{ctx} mindist");
+                }
+            }
+        }
     }
 }

@@ -26,6 +26,7 @@ pub mod direct;
 pub mod group;
 pub mod kernel;
 pub mod mac;
+pub mod mac_simd;
 pub mod node;
 pub mod traverse;
 
@@ -34,9 +35,10 @@ pub use binary::BinaryTree;
 pub use build::BuildParams;
 pub use group::{
     accel_batch_m2p, accel_batch_p2p, eval_gathered_targets, eval_group_monopole, gather_group,
-    gather_group_targets, leaf_schedule, resolve_mixed_tails_targets, InteractionBuffers,
-    QueryTarget,
+    gather_group_cached, gather_group_targets, leaf_schedule, resolve_mixed_tails_targets,
+    InteractionBuffers, QueryTarget, WalkCache,
 };
 pub use mac::{BarnesHutMac, GroupClass, GroupMac, Mac, MinDistMac};
+pub use mac_simd::{NodeBatch, ScalarClassify, MAC_BATCH};
 pub use node::{Node, NodeId, Tree, NIL};
 pub use traverse::{accel_on, potential_at, Interaction, TraversalStats};

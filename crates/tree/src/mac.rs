@@ -13,6 +13,7 @@
 //! a box that still contains the evaluation point's near field when the
 //! center of mass sits far off-center).
 
+use crate::mac_simd::{NodeBatch, MAC_BATCH};
 use bhut_geom::{Aabb, Vec3};
 
 /// Decides whether a particle–node interaction may be approximated by the
@@ -99,9 +100,28 @@ pub enum GroupClass {
 /// `accept(cell, com, p)`, and `RejectAll` implies `!accept(cell, com, p)`.
 pub trait GroupMac: Mac {
     fn classify(&self, cell: &Aabb, com: Vec3, bucket: &Aabb) -> GroupClass;
+
+    /// Classify `batch.len()` sibling nodes against one bucket in a single
+    /// call. The default loops over [`GroupMac::classify`] (so every
+    /// implementor is automatically correct); the concrete MACs override it
+    /// with the lane-parallel bodies in [`crate::mac_simd`], which are
+    /// bitwise-identical decision for decision. Lanes at index ≥
+    /// `batch.len()` are unspecified.
+    fn classify_batch(&self, batch: &NodeBatch, bucket: &Aabb) -> [GroupClass; MAC_BATCH] {
+        let mut out = [GroupClass::Mixed; MAC_BATCH];
+        for (j, slot) in out.iter_mut().enumerate().take(batch.len()) {
+            *slot = self.classify(&batch.cell(j), batch.com(j), bucket);
+        }
+        out
+    }
 }
 
 impl GroupMac for BarnesHutMac {
+    #[inline]
+    fn classify_batch(&self, batch: &NodeBatch, bucket: &Aabb) -> [GroupClass; MAC_BATCH] {
+        crate::mac_simd::classify_batch_bh(self.alpha * self.alpha, batch, bucket)
+    }
+
     #[inline]
     fn classify(&self, cell: &Aabb, com: Vec3, bucket: &Aabb) -> GroupClass {
         // Per-member test: side² < α² · dist²(com, p). Over p ∈ bucket the
@@ -120,6 +140,11 @@ impl GroupMac for BarnesHutMac {
 }
 
 impl GroupMac for MinDistMac {
+    #[inline]
+    fn classify_batch(&self, batch: &NodeBatch, bucket: &Aabb) -> [GroupClass; MAC_BATCH] {
+        crate::mac_simd::classify_batch_md(self.alpha * self.alpha, batch, bucket)
+    }
+
     #[inline]
     fn classify(&self, cell: &Aabb, _com: Vec3, bucket: &Aabb) -> GroupClass {
         // Per-member test: side² < α² · dist²(cell, p). The minimum over the
